@@ -1,0 +1,671 @@
+//! Parameter-reuse inference: a 1-context-sensitive interprocedural taint
+//! analysis (§5.1 of the paper).
+//!
+//! The question the batched-kernel generator needs answered for every
+//! argument of every tensor-operator call site is: *will all DFG nodes
+//! batched for this site pass the same tensor here?*  If yes the argument is
+//! [`ArgClass::Shared`] (loaded once by the batched kernel — model
+//! parameters, constant tensors); otherwise it is [`ArgClass::Batched`].
+//!
+//! The analysis computes, for every expression, an abstract value:
+//!
+//! * [`AbsVal::Inv`] — *batch-invariant*, with a symbolic identity
+//!   describing which value it is (a `$` model parameter, a constant
+//!   operator such as `zeros`, or an operator applied to invariant inputs);
+//! * [`AbsVal::Instance`] — (possibly) differs across mini-batch instances.
+//!
+//! Functions are analyzed per *context*: the vector of abstract arguments at
+//! the call site (this subsumes the paper's 1-call-site sensitivity on our
+//! two-level lattice, while remaining finite).  When the same operator call
+//! site observes *different* invariant identities in different contexts —
+//! the paper's BiRNN example, where `@rnn` is invoked with forward and then
+//! backward weights — the site cannot have a single shared binding; the
+//! conflict is recorded and resolved by code duplication ([`crate::dup`]).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use acrobat_ir::{Arm, Callee, Expr, ExprId, ExprKind, Module, Param, ParamKind, Pattern};
+
+use crate::ArgClass;
+
+/// Symbolic identity of a batch-invariant value.
+///
+/// Identities are canonical strings: `param:w`, `lit:1`, or
+/// `op:<site>(<inputs>)`.  Two values share a kernel argument slot iff their
+/// identities are equal.
+pub type InvId = String;
+
+/// Abstract value of an expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbsVal {
+    /// Batch-invariant with the given identity.
+    Inv(InvId),
+    /// Differs (or may differ) across instances.
+    Instance,
+    /// Tuple of abstract values (kept precise for `parallel` results).
+    Tuple(Vec<AbsVal>),
+}
+
+impl AbsVal {
+    /// Least upper bound.  Distinct invariant identities join to
+    /// [`AbsVal::Instance`]: a value that is one parameter on one control
+    /// path and another parameter on a different path is not uniform across
+    /// the batch.
+    pub fn join(&self, other: &AbsVal) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Inv(a), AbsVal::Inv(b)) if a == b => AbsVal::Inv(a.clone()),
+            (AbsVal::Tuple(xs), AbsVal::Tuple(ys)) if xs.len() == ys.len() => {
+                AbsVal::Tuple(xs.iter().zip(ys).map(|(x, y)| x.join(y)).collect())
+            }
+            _ => AbsVal::Instance,
+        }
+    }
+
+    /// Collapses tuples: the join of all leaves.
+    fn flatten(&self) -> AbsVal {
+        match self {
+            AbsVal::Tuple(xs) => {
+                let mut acc: Option<AbsVal> = None;
+                for x in xs {
+                    let fx = x.flatten();
+                    acc = Some(match acc {
+                        None => fx,
+                        Some(a) => a.join(&fx),
+                    });
+                }
+                acc.unwrap_or(AbsVal::Instance)
+            }
+            other => other.clone(),
+        }
+    }
+
+    fn inv_id(&self) -> Option<&str> {
+        match self {
+            AbsVal::Inv(id) => Some(id),
+            _ => None,
+        }
+    }
+}
+
+/// Accumulated observation of one operator-site argument across contexts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SiteArg {
+    Unseen,
+    Inv(InvId),
+    /// Invariant in every context but under different identities — the
+    /// duplication trigger.
+    MultiInv,
+    Instance,
+}
+
+impl SiteArg {
+    fn observe(&mut self, v: &AbsVal) {
+        let flat = v.flatten();
+        *self = match (&*self, &flat) {
+            (SiteArg::Unseen, AbsVal::Inv(id)) => SiteArg::Inv(id.clone()),
+            (SiteArg::Unseen, _) => SiteArg::Instance,
+            (SiteArg::Inv(a), AbsVal::Inv(b)) if a == b => SiteArg::Inv(a.clone()),
+            (SiteArg::Inv(_), AbsVal::Inv(_)) => SiteArg::MultiInv,
+            (SiteArg::MultiInv, AbsVal::Inv(_)) => SiteArg::MultiInv,
+            (_, _) => SiteArg::Instance,
+        };
+    }
+}
+
+/// Binding vector: per argument position, the invariant identity if the
+/// argument is batch-invariant (`None` = instance data).
+pub type BindingVec = Vec<Option<InvId>>;
+
+/// Result of the reuse analysis.
+#[derive(Debug, Clone, Default)]
+pub struct ReuseAnalysis {
+    /// Final argument classes per operator call site.
+    pub arg_classes: BTreeMap<ExprId, Vec<ArgClass>>,
+    /// Functions observed under genuinely conflicting invariant bindings
+    /// (two contexts with *different* invariant identities at the same
+    /// position), with the distinct restricted binding keys seen (used by
+    /// [`crate::dup`]).  Positions where one context is invariant and
+    /// another is instance data do **not** conflict — duplication cannot
+    /// make instance data shared.
+    pub conflicts: BTreeMap<String, BTreeSet<String>>,
+    /// For every *global-function call site*: the callee and its restricted
+    /// binding key (drives call-site rewriting in duplication).
+    pub call_signatures: BTreeMap<ExprId, (String, String)>,
+}
+
+/// Runs the reuse analysis over a type-checked module.
+///
+/// # Panics
+///
+/// Panics if the module has no `@main` (checked by [`crate::analyze`]).
+pub fn analyze_reuse(module: &Module) -> ReuseAnalysis {
+    let main = module.functions.get("main").expect("module has @main");
+    let mut a = Analyzer {
+        module,
+        site_args: BTreeMap::new(),
+        memo: HashMap::new(),
+        stack: Vec::new(),
+        call_sigs: BTreeMap::new(),
+        fn_bindings: BTreeMap::new(),
+        queue: Vec::new(),
+    };
+    let args: Vec<AbsVal> = main
+        .params
+        .iter()
+        .map(|p| match p.kind {
+            ParamKind::Model => AbsVal::Inv(format!("param:{}", p.name)),
+            ParamKind::Input => AbsVal::Instance,
+        })
+        .collect();
+    a.analyze_fn("main", &args);
+    // Drain widened recursive contexts: a recursive call whose context
+    // differs from the pending one (e.g. the RNN hidden state becoming
+    // loop-carried instance data) must still have its body's operator sites
+    // observed under the widened context.
+    let mut guard = 0;
+    while let Some((func, args)) = a.queue.pop() {
+        guard += 1;
+        if guard > 1000 {
+            break; // widening guarantees termination; belt and braces
+        }
+        let key = (func.clone(), canon_args(&args));
+        if !a.memo.contains_key(&key) {
+            a.analyze_fn(&func, &args);
+        }
+    }
+
+    let mut result = ReuseAnalysis::default();
+    for (site, args) in &a.site_args {
+        result.arg_classes.insert(
+            *site,
+            args.iter()
+                .map(|s| match s {
+                    SiteArg::Inv(_) => ArgClass::Shared,
+                    // MultiInv is *not* shared until duplication splits it.
+                    _ => ArgClass::Batched,
+                })
+                .collect(),
+        );
+    }
+    // Conflict positions: ≥2 distinct invariant identities at one position.
+    let mut conflict_positions: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (func, bindings) in &a.fn_bindings {
+        let nargs = bindings.iter().map(Vec::len).max().unwrap_or(0);
+        let mut positions = Vec::new();
+        for p in 0..nargs {
+            let ids: BTreeSet<&str> = bindings
+                .iter()
+                .filter_map(|b| b.get(p).and_then(|o| o.as_deref()))
+                .collect();
+            if ids.len() >= 2 {
+                positions.push(p);
+            }
+        }
+        if !positions.is_empty() {
+            conflict_positions.insert(func.clone(), positions);
+        }
+    }
+    for (func, positions) in &conflict_positions {
+        let keys: BTreeSet<String> = a.fn_bindings[func]
+            .iter()
+            .map(|b| restricted_key(b, positions))
+            .collect();
+        if keys.len() >= 2 {
+            result.conflicts.insert(func.clone(), keys);
+        }
+    }
+    // Restricted call signatures (only for callees with conflicts).
+    for (site, (callee, binding)) in &a.call_sigs {
+        if let Some(positions) = conflict_positions.get(callee) {
+            result
+                .call_signatures
+                .insert(*site, (callee.clone(), restricted_key(binding, positions)));
+        }
+    }
+    result
+}
+
+fn restricted_key(binding: &BindingVec, positions: &[usize]) -> String {
+    let mut s = String::new();
+    for &p in positions {
+        match binding.get(p).and_then(|o| o.as_deref()) {
+            Some(id) => s.push_str(id),
+            None => s.push('*'),
+        }
+        s.push('|');
+    }
+    s
+}
+
+struct Analyzer<'m> {
+    module: &'m Module,
+    site_args: BTreeMap<ExprId, Vec<SiteArg>>,
+    /// (func, canonical args) → result.
+    memo: HashMap<(String, String), AbsVal>,
+    /// Functions currently being analyzed: (name, canon key, abstract args).
+    stack: Vec<(String, String, Vec<AbsVal>)>,
+    call_sigs: BTreeMap<ExprId, (String, BindingVec)>,
+    fn_bindings: BTreeMap<String, BTreeSet<BindingVec>>,
+    /// Widened recursive contexts awaiting analysis.
+    queue: Vec<(String, Vec<AbsVal>)>,
+}
+
+fn canon_args(args: &[AbsVal]) -> String {
+    let mut s = String::new();
+    for a in args {
+        match a.flatten() {
+            AbsVal::Inv(id) => {
+                s.push_str(&id);
+            }
+            _ => s.push('*'),
+        }
+        s.push('|');
+    }
+    s
+}
+
+fn binding_vec(args: &[AbsVal]) -> BindingVec {
+    args.iter()
+        .map(|a| match a.flatten() {
+            AbsVal::Inv(id) => Some(id),
+            _ => None,
+        })
+        .collect()
+}
+
+impl<'m> Analyzer<'m> {
+    fn analyze_fn(&mut self, name: &str, args: &[AbsVal]) -> AbsVal {
+        let canon = canon_args(args);
+        let key = (name.to_string(), canon.clone());
+        if let Some(hit) = self.memo.get(&key) {
+            return hit.clone();
+        }
+        if let Some((_, _, pending_args)) =
+            self.stack.iter().find(|(f, _, _)| f == name)
+        {
+            if self.stack.iter().any(|(f, k, _)| f == name && *k == canon) {
+                // Identical context: optimistic recursion result.
+                return AbsVal::Instance;
+            }
+            // Context differs from the pending one: widen the differing
+            // positions to instance data and queue the widened context for
+            // a full analysis once the stack unwinds.  Widening bounds the
+            // context set (each position is either the original identity or
+            // instance data), so the worklist terminates.
+            let widened: Vec<AbsVal> = pending_args
+                .iter()
+                .zip(args)
+                .map(|(p, a)| {
+                    let (pf, af) = (p.flatten(), a.flatten());
+                    if pf == af {
+                        af
+                    } else {
+                        AbsVal::Instance
+                    }
+                })
+                .collect();
+            self.queue.push((name.to_string(), widened));
+            return AbsVal::Instance;
+        }
+        self.stack.push((name.to_string(), canon, args.to_vec()));
+        self.fn_bindings
+            .entry(name.to_string())
+            .or_default()
+            .insert(binding_vec(args));
+        let f = &self.module.functions[name];
+        let mut env: HashMap<String, AbsVal> = HashMap::new();
+        for (p, a) in f.params.iter().zip(args) {
+            env.insert(p.name.clone(), a.clone());
+        }
+        let result = self.eval(&f.body, &mut env);
+        self.stack.pop();
+        self.memo.insert(key, result.clone());
+        result
+    }
+
+    fn eval(&mut self, expr: &Expr, env: &mut HashMap<String, AbsVal>) -> AbsVal {
+        match &expr.kind {
+            ExprKind::Var(name) => env.get(name).cloned().unwrap_or(AbsVal::Instance),
+            ExprKind::IntLit(v) => AbsVal::Inv(format!("lit:i{v}")),
+            ExprKind::FloatLit(v) => AbsVal::Inv(format!("lit:f{v}")),
+            ExprKind::BoolLit(v) => AbsVal::Inv(format!("lit:b{v}")),
+            ExprKind::PhaseBoundary => AbsVal::Inv("lit:phase".into()),
+            ExprKind::RandRange { .. } => AbsVal::Instance,
+            ExprKind::Let { pat, value, body } => {
+                let v = self.eval(value, env);
+                let mut saved = Vec::new();
+                match pat {
+                    Pattern::Var(n) => saved.push((n.clone(), env.insert(n.clone(), v))),
+                    Pattern::Wildcard => {}
+                    Pattern::Tuple(ns) => match v {
+                        AbsVal::Tuple(parts) if parts.len() == ns.len() => {
+                            for (n, p) in ns.iter().zip(parts) {
+                                saved.push((n.clone(), env.insert(n.clone(), p)));
+                            }
+                        }
+                        other => {
+                            let flat = other.flatten();
+                            for n in ns {
+                                saved.push((n.clone(), env.insert(n.clone(), flat.clone())));
+                            }
+                        }
+                    },
+                }
+                let r = self.eval(body, env);
+                for (n, old) in saved {
+                    match old {
+                        Some(v) => env.insert(n, v),
+                        None => env.remove(&n),
+                    };
+                }
+                r
+            }
+            ExprKind::If { cond, then, els } => {
+                let _ = self.eval(cond, env);
+                let t = self.eval(then, env);
+                let e = self.eval(els, env);
+                t.join(&e)
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                let sv = self.eval(scrutinee, env).flatten();
+                let mut result: Option<AbsVal> = None;
+                for Arm { binders, body, .. } in arms {
+                    let mut saved = Vec::new();
+                    for b in binders {
+                        saved.push((b.clone(), env.insert(b.clone(), sv.clone())));
+                    }
+                    let r = self.eval(body, env);
+                    for (n, old) in saved {
+                        match old {
+                            Some(v) => env.insert(n, v),
+                            None => env.remove(&n),
+                        };
+                    }
+                    result = Some(match result {
+                        None => r,
+                        Some(acc) => acc.join(&r),
+                    });
+                }
+                result.unwrap_or(AbsVal::Instance)
+            }
+            ExprKind::Call { callee, args } => {
+                let arg_vals: Vec<AbsVal> = args.iter().map(|a| self.eval(a, env)).collect();
+                match callee {
+                    Callee::Op { .. } => {
+                        // Record the observation for each argument.
+                        let entry = self
+                            .site_args
+                            .entry(expr.id)
+                            .or_insert_with(|| vec![SiteArg::Unseen; arg_vals.len()]);
+                        for (slot, v) in entry.iter_mut().zip(&arg_vals) {
+                            slot.observe(v);
+                        }
+                        // The result is invariant iff every input is.
+                        let mut ids = Vec::with_capacity(arg_vals.len());
+                        for v in &arg_vals {
+                            match v.flatten().inv_id() {
+                                Some(id) => ids.push(id.to_string()),
+                                None => return AbsVal::Instance,
+                            }
+                        }
+                        AbsVal::Inv(format!("op:{}({})", expr.id, ids.join(",")))
+                    }
+                    Callee::Global(name) => {
+                        self.call_sigs
+                            .insert(expr.id, (name.clone(), binding_vec(&arg_vals)));
+                        self.analyze_fn(name, &arg_vals)
+                    }
+                    Callee::Ctor(_) => {
+                        // ADT value: collapse fields.
+                        let mut acc: Option<AbsVal> = None;
+                        for v in &arg_vals {
+                            let f = v.flatten();
+                            acc = Some(match acc {
+                                None => f,
+                                Some(a) => a.join(&f),
+                            });
+                        }
+                        acc.unwrap_or_else(|| AbsVal::Inv(format!("ctor:{}", expr.id)))
+                    }
+                    Callee::Var(name) => {
+                        // Calling a lambda-typed variable: conservatively
+                        // instance (lambdas are analyzed at `map` below).
+                        let _ = env.get(name);
+                        AbsVal::Instance
+                    }
+                }
+            }
+            ExprKind::Tuple(parts) | ExprKind::Parallel(parts) => {
+                AbsVal::Tuple(parts.iter().map(|p| self.eval(p, env)).collect())
+            }
+            ExprKind::Proj { tuple, index } => {
+                let tv = self.eval(tuple, env);
+                match tv {
+                    AbsVal::Tuple(parts) => {
+                        parts.get(*index).cloned().unwrap_or(AbsVal::Instance)
+                    }
+                    other => other.flatten(),
+                }
+            }
+            ExprKind::Lambda { .. } => AbsVal::Instance,
+            ExprKind::Map { func, list } => {
+                let lv = self.eval(list, env).flatten();
+                match &func.kind {
+                    ExprKind::Lambda { params, body } => {
+                        let mut saved = Vec::new();
+                        for Param { name, .. } in params {
+                            saved.push((name.clone(), env.insert(name.clone(), lv.clone())));
+                        }
+                        let r = self.eval(body, env);
+                        for (n, old) in saved {
+                            match old {
+                                Some(v) => env.insert(n, v),
+                                None => env.remove(&n),
+                            };
+                        }
+                        r
+                    }
+                    _ => AbsVal::Instance,
+                }
+            }
+            ExprKind::ScalarBin { lhs, rhs, op } => {
+                let l = self.eval(lhs, env).flatten();
+                let r = self.eval(rhs, env).flatten();
+                match (l.inv_id(), r.inv_id()) {
+                    (Some(a), Some(b)) => {
+                        AbsVal::Inv(format!("sb:{}({a},{b})", op.symbol()))
+                    }
+                    _ => AbsVal::Instance,
+                }
+            }
+            ExprKind::ScalarUn { operand, op } => {
+                let v = self.eval(operand, env).flatten();
+                match v.inv_id() {
+                    Some(a) => AbsVal::Inv(format!("su:{op:?}({a})")),
+                    None => AbsVal::Instance,
+                }
+            }
+            ExprKind::Sync { tensor, .. } => {
+                let _ = self.eval(tensor, env);
+                AbsVal::Instance
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acrobat_ir::{parse_module, typeck};
+
+    fn analyze(src: &str) -> (Module, ReuseAnalysis) {
+        let m = typeck::check_module(parse_module(src).unwrap()).unwrap();
+        let r = analyze_reuse(&m);
+        (m, r)
+    }
+
+    /// Finds the single op site whose name matches.
+    fn op_site(m: &Module, name: &str) -> ExprId {
+        let mut found = None;
+        for f in m.functions.values() {
+            acrobat_ir::ast::visit_exprs(&f.body, &mut |e| {
+                if let ExprKind::Call { callee: Callee::Op { name: n, .. }, .. } = &e.kind {
+                    if n == name {
+                        found = Some(e.id);
+                    }
+                }
+            });
+        }
+        found.unwrap_or_else(|| panic!("no op site `{name}`"))
+    }
+
+    #[test]
+    fn weight_is_shared_input_is_batched() {
+        let (m, r) = analyze(
+            "def @main($w: Tensor[(2, 2)], %x: Tensor[(1, 2)]) -> Tensor[(1, 2)] { matmul(%x, $w) }",
+        );
+        let classes = &r.arg_classes[&op_site(&m, "matmul")];
+        assert_eq!(classes, &vec![ArgClass::Batched, ArgClass::Shared]);
+    }
+
+    #[test]
+    fn constant_tensor_is_shared() {
+        // The §E.4 TreeLSTM case: a constant-valued tensor is recognized as
+        // reusable (DyNet re-creates it per leaf).
+        let (m, r) = analyze(
+            "def @main(%x: Tensor[(1, 2)]) -> Tensor[(1, 2)] { add(%x, zeros[shape=(1, 2)]()) }",
+        );
+        let classes = &r.arg_classes[&op_site(&m, "add")];
+        assert_eq!(classes, &vec![ArgClass::Batched, ArgClass::Shared]);
+    }
+
+    #[test]
+    fn op_on_params_stays_shared() {
+        // w2 = transpose(w) is still batch-invariant, so its consumers see a
+        // shared argument.
+        let (m, r) = analyze(
+            "def @main($w: Tensor[(2, 2)], %x: Tensor[(1, 2)]) -> Tensor[(1, 2)] {
+                let %wt = transpose($w);
+                matmul(%x, %wt)
+             }",
+        );
+        let classes = &r.arg_classes[&op_site(&m, "matmul")];
+        assert_eq!(classes[1], ArgClass::Shared);
+        // transpose itself takes a shared input.
+        let t = &r.arg_classes[&op_site(&m, "transpose")];
+        assert_eq!(t[0], ArgClass::Shared);
+    }
+
+    #[test]
+    fn recursion_keeps_weight_shared() {
+        let src = r#"
+            def @rnn(%xs: List[Tensor[(1, 2)]], %h: Tensor[(1, 2)], $w: Tensor[(2, 2)]) -> Tensor[(1, 2)] {
+                match %xs {
+                    Nil => %h,
+                    Cons(%x, %t) => {
+                        let %nh = tanh(matmul(add(%x, %h), $w));
+                        @rnn(%t, %nh, $w)
+                    }
+                }
+            }
+            def @main($w: Tensor[(2, 2)], $h0: Tensor[(1, 2)], %xs: List[Tensor[(1, 2)]]) -> Tensor[(1, 2)] {
+                @rnn(%xs, $h0, $w)
+            }
+        "#;
+        let (m, r) = analyze(src);
+        let classes = &r.arg_classes[&op_site(&m, "matmul")];
+        assert_eq!(classes[1], ArgClass::Shared, "recurrent weight stays shared");
+        assert_eq!(classes[0], ArgClass::Batched);
+        assert!(r.conflicts.is_empty());
+    }
+
+    #[test]
+    fn birnn_two_weight_contexts_conflict() {
+        // The paper's §C.1 example: one @rnn called with two different
+        // parameter sets — conflict, requiring duplication.
+        let src = r#"
+            def @step(%x: Tensor[(1, 2)], $w: Tensor[(2, 2)]) -> Tensor[(1, 2)] {
+                tanh(matmul(%x, $w))
+            }
+            def @main($wf: Tensor[(2, 2)], $wb: Tensor[(2, 2)], %x: Tensor[(1, 2)]) -> Tensor[(1, 2)] {
+                let %f = @step(%x, $wf);
+                let %b = @step(%x, $wb);
+                add(%f, %b)
+            }
+        "#;
+        let (m, r) = analyze(src);
+        assert!(r.conflicts.contains_key("step"), "conflicts: {:?}", r.conflicts);
+        assert_eq!(r.conflicts["step"].len(), 2);
+        // Without duplication the weight argument must degrade to batched.
+        let classes = &r.arg_classes[&op_site(&m, "matmul")];
+        assert_eq!(classes[1], ArgClass::Batched);
+    }
+
+    #[test]
+    fn same_context_twice_is_no_conflict() {
+        let src = r#"
+            def @step(%x: Tensor[(1, 2)], $w: Tensor[(2, 2)]) -> Tensor[(1, 2)] {
+                tanh(matmul(%x, $w))
+            }
+            def @main($w: Tensor[(2, 2)], %x: Tensor[(1, 2)]) -> Tensor[(1, 2)] {
+                let %a = @step(%x, $w);
+                @step(%a, $w)
+            }
+        "#;
+        let (m, r) = analyze(src);
+        assert!(r.conflicts.is_empty());
+        let classes = &r.arg_classes[&op_site(&m, "matmul")];
+        assert_eq!(classes[1], ArgClass::Shared);
+    }
+
+    #[test]
+    fn branch_selected_weight_not_shared() {
+        // A weight chosen by instance-dependent control flow differs across
+        // instances — must be batched.
+        let src = r#"
+            def @main($w1: Tensor[(2, 2)], $w2: Tensor[(2, 2)], %x: Tensor[(1, 2)], %c: Bool) -> Tensor[(1, 2)] {
+                let %w = if %c { $w1 } else { $w2 };
+                matmul(%x, %w)
+            }
+        "#;
+        let (m, r) = analyze(src);
+        let classes = &r.arg_classes[&op_site(&m, "matmul")];
+        assert_eq!(classes[1], ArgClass::Batched);
+    }
+
+    #[test]
+    fn map_lambda_sites_observed() {
+        let src = r#"
+            def @main($w: Tensor[(2, 2)], %xs: List[Tensor[(1, 2)]]) -> List[Tensor[(1, 2)]] {
+                map(fn(%p) { matmul(%p, $w) }, %xs)
+            }
+        "#;
+        let (m, r) = analyze(src);
+        let classes = &r.arg_classes[&op_site(&m, "matmul")];
+        assert_eq!(classes, &vec![ArgClass::Batched, ArgClass::Shared]);
+    }
+
+    #[test]
+    fn sample_result_is_instance() {
+        let src = r#"
+            def @main($w: Tensor[(1, 2)], %x: Tensor[(1, 2)]) -> Tensor[(1, 2)] {
+                let %s = sample(%x);
+                if %s > 0.5 { relu(%x) } else { relu($w) }
+            }
+        "#;
+        let (m, r) = analyze(src);
+        // Two relu sites: one sees instance data, one sees the param.
+        let mut seen = Vec::new();
+        for f in m.functions.values() {
+            acrobat_ir::ast::visit_exprs(&f.body, &mut |e| {
+                if let ExprKind::Call { callee: Callee::Op { name, .. }, .. } = &e.kind {
+                    if name == "relu" {
+                        seen.push(r.arg_classes[&e.id][0]);
+                    }
+                }
+            });
+        }
+        seen.sort_by_key(|c| format!("{c}"));
+        assert_eq!(seen, vec![ArgClass::Batched, ArgClass::Shared]);
+    }
+}

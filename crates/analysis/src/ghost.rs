@@ -1,0 +1,160 @@
+//! Ghost-operator insertion (§4.1 and §B.3, Fig. 4 of the paper).
+//!
+//! Depth-based scheduling is eager: after an `if` whose branches perform
+//! different numbers of operator steps, instances that took the short branch
+//! arrive at the join point at a smaller depth than instances that took the
+//! long branch.  A subsequent common operator `opB` then executes in two
+//! separate batches (Fig. 4, upper panes).  ACROBAT statically pads the
+//! short branch with *ghost operators* — pure depth bumps, ignored at kernel
+//! execution time — so that both populations align and `opB` batches once
+//! (Fig. 4, lower panes).
+//!
+//! The pass finds every conditional whose branches are straight-line
+//! (operator work only, no nested control flow or calls) and records, for
+//! the shorter branch, the number of depth bumps to insert.
+
+use std::collections::BTreeMap;
+
+use acrobat_ir::{Callee, Expr, ExprId, ExprKind, Module};
+
+use crate::blocks::BlockMap;
+
+/// Ghost insertions: branch expression id → number of ghost depth bumps the
+/// lowering appends after that branch.
+pub fn ghost_insertions(module: &Module, blocks: &BlockMap) -> BTreeMap<ExprId, usize> {
+    let mut out = BTreeMap::new();
+    for f in module.functions.values() {
+        acrobat_ir::ast::visit_exprs(&f.body, &mut |e| {
+            if let ExprKind::If { then, els, .. } = &e.kind {
+                if let (Some(t), Some(l)) = (branch_units(then, blocks), branch_units(els, blocks))
+                {
+                    if t != l {
+                        let (short, pad) =
+                            if t < l { (then.id, l - t) } else { (els.id, t - l) };
+                        out.insert(short, pad);
+                    }
+                }
+            }
+        });
+    }
+    out
+}
+
+/// Number of scheduling units (fusion groups) a straight-line branch emits;
+/// `None` if the branch is not straight-line (contains calls, nested control
+/// flow, maps or syncs — padding those is unsound statically).
+fn branch_units(branch: &Expr, blocks: &BlockMap) -> Option<usize> {
+    let mut straight = true;
+    let mut sites = Vec::new();
+    acrobat_ir::ast::visit_exprs(branch, &mut |e| match &e.kind {
+        ExprKind::If { .. }
+        | ExprKind::Match { .. }
+        | ExprKind::Map { .. }
+        | ExprKind::Parallel(_)
+        | ExprKind::Sync { .. }
+        | ExprKind::Lambda { .. }
+            // The outer visit starts at the branch itself, which may be the
+            // If — exclude only *nested* control flow.
+            if e.id != branch.id => {
+                straight = false;
+            }
+        ExprKind::Call { callee, .. } => match callee {
+            Callee::Op { .. } => sites.push(e.id),
+            _ => straight = false,
+        },
+        _ => {}
+    });
+    if !straight {
+        return None;
+    }
+    // Count distinct groups covering these sites.
+    let mut groups = std::collections::BTreeSet::new();
+    for block in &blocks.blocks {
+        for g in &block.groups {
+            if g.sites.iter().any(|s| sites.contains(s)) {
+                groups.insert(g.id);
+            }
+        }
+    }
+    Some(groups.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::find_blocks;
+    use crate::fusion::plan_fusion;
+    use crate::AnalysisOptions;
+    use acrobat_ir::{parse_module, typeck};
+
+    fn ghosts(src: &str) -> BTreeMap<ExprId, usize> {
+        let m = typeck::check_module(parse_module(src).unwrap()).unwrap();
+        let b = plan_fusion(&m, find_blocks(&m), AnalysisOptions::none(), &Default::default());
+        ghost_insertions(&m, &b)
+    }
+
+    #[test]
+    fn uneven_branches_get_padding() {
+        // Fig. 4: `let t1 = if (…) opA() else t1` — the else branch does no
+        // operator work and receives one ghost bump.
+        let src = r#"
+            def @main(%x: Tensor[(1, 2)], %c: Bool) -> Tensor[(1, 2)] {
+                let %t1 = if %c { relu(%x) } else { %x };
+                tanh(%t1)
+            }
+        "#;
+        let g = ghosts(src);
+        assert_eq!(g.len(), 1);
+        assert_eq!(*g.values().next().unwrap(), 1);
+    }
+
+    #[test]
+    fn balanced_branches_need_no_padding() {
+        let src = r#"
+            def @main(%x: Tensor[(1, 2)], %c: Bool) -> Tensor[(1, 2)] {
+                if %c { relu(%x) } else { tanh(%x) }
+            }
+        "#;
+        assert!(ghosts(src).is_empty());
+    }
+
+    #[test]
+    fn two_op_difference_pads_two() {
+        let src = r#"
+            def @main(%x: Tensor[(1, 2)], %c: Bool) -> Tensor[(1, 2)] {
+                if %c { neg(tanh(relu(%x))) } else { sigmoid(%x) }
+            }
+        "#;
+        let g = ghosts(src);
+        assert_eq!(g.len(), 1);
+        assert_eq!(*g.values().next().unwrap(), 2);
+    }
+
+    #[test]
+    fn branches_with_calls_are_skipped() {
+        let src = r#"
+            def @f(%x: Tensor[(1, 2)]) -> Tensor[(1, 2)] { relu(%x) }
+            def @main(%x: Tensor[(1, 2)], %c: Bool) -> Tensor[(1, 2)] {
+                if %c { @f(%x) } else { %x }
+            }
+        "#;
+        assert!(ghosts(src).is_empty(), "cannot statically pad across calls");
+    }
+
+    #[test]
+    fn fusion_changes_unit_counts() {
+        // With fusion on, relu+tanh+neg is one group → padding is 1, not 3…
+        let src = r#"
+            def @main(%x: Tensor[(1, 2)], %c: Bool) -> Tensor[(1, 2)] {
+                if %c { neg(tanh(relu(%x))) } else { %x }
+            }
+        "#;
+        let m = typeck::check_module(parse_module(src).unwrap()).unwrap();
+        let fused = plan_fusion(&m, find_blocks(&m), AnalysisOptions::default(), &Default::default());
+        let g = ghost_insertions(&m, &fused);
+        assert_eq!(*g.values().next().unwrap(), 1);
+        let unfused = plan_fusion(&m, find_blocks(&m), AnalysisOptions::none(), &Default::default());
+        let g2 = ghost_insertions(&m, &unfused);
+        assert_eq!(*g2.values().next().unwrap(), 3);
+    }
+}

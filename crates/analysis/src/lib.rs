@@ -1,0 +1,231 @@
+//! ACROBAT's static analyses (the compile-time half of the paper's hybrid
+//! static+dynamic approach).
+//!
+//! Given a type-checked [`acrobat_ir::Module`], [`analyze`] runs the passes
+//! below and returns an [`AnalysisResult`] that the AOT lowering
+//! (`acrobat-vm`) and the batched-kernel generator (`acrobat-codegen`)
+//! consume:
+//!
+//! 1. **Parameter-reuse taint analysis** ([`absval`], §5.1) — a 1-context
+//!    sensitive interprocedural dataflow analysis that classifies every
+//!    argument of every tensor-operator call site as *shared* (identical
+//!    tensor for all instances in a mini-batch — typically a model
+//!    parameter) or *batched*.
+//! 2. **Code duplication** ([`dup`], §C.1) — when one function is reached
+//!    with conflicting shared-value bindings (the paper's BiRNN example:
+//!    `@rnn` called with forward and backward weights), the function is
+//!    transitively duplicated per binding so each operator call site sees a
+//!    single shared value.
+//! 3. **Static blocks** ([`blocks`], §A) — maximal straight-line regions of
+//!    operator calls; the unit of grain-size coarsening (§B.2).
+//! 4. **Kernel fusion** ([`fusion`], §4, §C.1) — vertical (elementwise and
+//!    memory operators folded into their consumers) and horizontal
+//!    (concurrent same-shape operators sharing an operand, e.g. the four
+//!    LSTM gate projections) fusion within static blocks.
+//! 5. **Operator hoisting** ([`depth`], §B.1) — operators not part of the
+//!    sequential dependency of a recursion get a static depth of zero,
+//!    which at runtime hoists them out of the recursion.
+//! 6. **Program phases** ([`phases`], §4.1, §B.3) — semantic stages of
+//!    `@main`, inferred heuristically with a manual `phase;` override.
+//! 7. **Ghost operators** ([`ghost`], §4.1, Fig. 4) — depth padding for the
+//!    shorter branch of conditionals so that eager depth-based batching does
+//!    not split batches.
+//! 8. **Static frequency estimation** ([`freq`], §D.1) — per-operator
+//!    execution-count estimates from recursion nesting depth, the
+//!    auto-scheduler's prioritization fallback when PGO is unavailable.
+
+#![deny(missing_docs)]
+
+pub mod absval;
+pub mod blocks;
+pub mod depth;
+pub mod dup;
+pub mod freq;
+pub mod fusion;
+pub mod ghost;
+pub mod phases;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use acrobat_ir::{ExprId, Module};
+use serde::{Deserialize, Serialize};
+
+/// Which optimizations the static pipeline applies.
+///
+/// Each flag maps to one bar of the paper's Fig. 5 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnalysisOptions {
+    /// Vertical kernel fusion ("standard kernel fusion" in Fig. 5).
+    pub fusion: bool,
+    /// Horizontal fusion of concurrent operators sharing inputs (§C.1).
+    pub horizontal_fusion: bool,
+    /// Grain-size coarsening: schedule whole static blocks (§B.2).
+    pub coarsen: bool,
+    /// Ghost-operator insertion at conditionals (§B.3).
+    pub ghost_ops: bool,
+    /// Program-phase inference (§4.1).
+    pub phases: bool,
+    /// Code duplication for data reuse (§C.1).
+    pub duplication: bool,
+    /// Operator hoisting out of recursions (§B.1).
+    pub hoisting: bool,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            fusion: true,
+            horizontal_fusion: true,
+            coarsen: true,
+            ghost_ops: true,
+            phases: true,
+            duplication: true,
+            hoisting: true,
+        }
+    }
+}
+
+impl AnalysisOptions {
+    /// Everything off — the "no optimizations" baseline of Fig. 5.
+    pub fn none() -> Self {
+        AnalysisOptions {
+            fusion: false,
+            horizontal_fusion: false,
+            coarsen: false,
+            ghost_ops: false,
+            phases: false,
+            duplication: false,
+            hoisting: false,
+        }
+    }
+}
+
+/// Classification of one operator-call argument (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArgClass {
+    /// The same tensor for every instance in the batch; the generated
+    /// batched kernel loads it once and reuses it.
+    Shared,
+    /// A distinct tensor per instance; the batched kernel indexes it by the
+    /// instance lane.
+    Batched,
+}
+
+impl fmt::Display for ArgClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArgClass::Shared => "shared",
+            ArgClass::Batched => "batched",
+        })
+    }
+}
+
+/// The complete output of the static pipeline.
+#[derive(Debug, Clone)]
+pub struct AnalysisResult {
+    /// The analyzed module (after code duplication; re-type-checked).
+    pub module: Module,
+    /// Per operator call site: the class of each argument.
+    pub arg_classes: BTreeMap<ExprId, Vec<ArgClass>>,
+    /// Operator call sites whose depth is statically zero (hoistable out of
+    /// the enclosing recursion).
+    pub hoisted: BTreeSet<ExprId>,
+    /// `let` statements in `@main` after which the program-phase counter
+    /// increments.
+    pub phase_boundaries: BTreeSet<ExprId>,
+    /// Ghost-operator insertions: conditional branch expression → number of
+    /// depth bumps to pad.
+    pub ghosts: BTreeMap<ExprId, usize>,
+    /// Static blocks per function, with their fusion groups.
+    pub blocks: blocks::BlockMap,
+    /// For each operator call site, its position descriptor (block, group,
+    /// whether it closes its group / block).
+    pub site_info: BTreeMap<ExprId, SiteInfo>,
+    /// The options the pipeline ran with.
+    pub options: AnalysisOptions,
+}
+
+/// Where an operator call site sits in the block/group structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteInfo {
+    /// Enclosing static block.
+    pub block: blocks::BlockId,
+    /// Fusion group within the block.
+    pub group: fusion::GroupId,
+    /// True if this is the final site of its group (the group's kernel is
+    /// launched when this site executes).
+    pub closes_group: bool,
+    /// True if this is the final site of its block (the scheduling unit is
+    /// complete when this site executes).
+    pub closes_block: bool,
+}
+
+/// Runs the full static pipeline.
+///
+/// `module` must already be type checked ([`acrobat_ir::typeck::check_module`]).
+///
+/// # Errors
+///
+/// Returns [`acrobat_ir::IrError`] if re-type-checking after code
+/// duplication fails (which would indicate an internal inconsistency) or if
+/// the module lacks `@main`.
+pub fn analyze(
+    module: Module,
+    options: AnalysisOptions,
+) -> Result<AnalysisResult, acrobat_ir::IrError> {
+    if !module.functions.contains_key("main") {
+        return Err(acrobat_ir::IrError::NoMain);
+    }
+
+    // 1+2. Taint analysis interleaved with duplication rounds; nested
+    // conflicts (a duplicated function that itself calls a now-conflicting
+    // callee) are resolved by successive rounds.
+    let mut module = module;
+    let mut taint = absval::analyze_reuse(&module);
+    if options.duplication {
+        for _ in 0..4 {
+            if taint.conflicts.is_empty() {
+                break;
+            }
+            module = dup::duplicate_for_reuse(module, &taint)?;
+            taint = absval::analyze_reuse(&module);
+        }
+    }
+    let arg_classes = taint.arg_classes.clone();
+
+    // 5 (first): hoisting — computed before fusion so that fusion does not
+    // merge hoistable operators (statically-depth-zero) with
+    // recursion-carried ones, which would forfeit the hoist (the paper's
+    // Listing 2 keeps `bias_dense` and `sigmoid_add_dense` as separate
+    // fused kernels for exactly this reason).
+    let hoisted =
+        if options.hoisting { depth::hoistable_sites(&module) } else { BTreeSet::new() };
+
+    // 3+4. Static blocks and fusion groups.
+    let block_map = blocks::find_blocks(&module);
+    let block_map = fusion::plan_fusion(&module, block_map, options, &hoisted);
+    let site_info = blocks::site_info(&block_map);
+
+    // 6. Phases.
+    let phase_boundaries =
+        if options.phases { phases::phase_boundaries(&module) } else { BTreeSet::new() };
+
+    // 7. Ghost operators.
+    let ghosts = if options.ghost_ops {
+        ghost::ghost_insertions(&module, &block_map)
+    } else {
+        BTreeMap::new()
+    };
+
+    Ok(AnalysisResult {
+        module,
+        arg_classes,
+        hoisted,
+        phase_boundaries,
+        ghosts,
+        blocks: block_map,
+        site_info,
+        options,
+    })
+}

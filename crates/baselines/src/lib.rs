@@ -1,0 +1,24 @@
+//! Baseline frameworks the ACROBAT paper evaluates against — implemented
+//! from scratch so every comparison in the benchmark harness runs real code:
+//!
+//! * [`dynet`] — a DyNet-style fully-dynamic auto-batching framework
+//!   (§2.2, Fig. 6): eager per-instance graph construction, on-the-fly
+//!   batching with signature heuristics, vendor-library kernels with
+//!   coverage gaps (no batched `argmax`, no batched broadcasting multiply,
+//!   unbatched constant construction, the first-argument matmul heuristic —
+//!   all documented in §E.4), explicit memory gathers, and DyNet's two
+//!   schedulers (depth-based and agenda-based).  The `DN++` improvement
+//!   toggles of Table 8 are provided.
+//! * [`cortex`] — a Cortex-style static compiler for *recursive* models
+//!   (Fegade et al., MLSYS 2021): fully static scheduling with near-zero
+//!   runtime overheads and aggressively fused persistent kernels, but
+//!   restricted model support and mandatory dense copies of leaf inputs
+//!   (the MV-RNN penalty of §7.2.2).
+//! * [`pytorch`] — a PyTorch-style eager executor: well-tuned kernels, no
+//!   auto-batching whatsoever (§E.3).
+
+#![deny(missing_docs)]
+
+pub mod cortex;
+pub mod dynet;
+pub mod pytorch;

@@ -1,0 +1,160 @@
+//! Criterion micro-benchmarks for the hot paths behind the paper's numbers:
+//! batched kernels (gather-fused vs explicit-gather), the three schedulers,
+//! fiber coordination and the VM-vs-AOT dispatch gap.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use acrobat_analysis::{analyze, AnalysisOptions};
+use acrobat_codegen::KernelLibrary;
+use acrobat_ir::{parse_module, typeck};
+use acrobat_runtime::{scheduler, DeviceModel, Dfg, Runtime, RuntimeOptions, SchedulerKind};
+use acrobat_tensor::batch::{run_batched_prim, BatchArg, BatchMode};
+use acrobat_tensor::{DeviceMem, PrimOp, Shape, Tensor};
+use acrobat_vm::{BackendKind, Executable, InputValue};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_batched_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_matmul_64x64_b32");
+    for (name, mode) in
+        [("gather_fused", BatchMode::GatherFused), ("explicit_gather", BatchMode::ExplicitGather)]
+    {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter_batched(
+                || {
+                    let mut mem = DeviceMem::new(1 << 20);
+                    let w = mem
+                        .upload(&Tensor::from_fn(&[64, 64], |i| (i as f32 * 0.01).sin()))
+                        .unwrap();
+                    let mut xs = Vec::new();
+                    for i in 0..32 {
+                        xs.push(mem.upload(&Tensor::fill(&[1, 64], i as f32)).unwrap());
+                        mem.alloc(&Shape::new(&[7])).unwrap(); // scatter
+                    }
+                    (mem, vec![BatchArg::Batched(xs), BatchArg::Shared(w)])
+                },
+                |(mut mem, args)| {
+                    let (outs, _) =
+                        run_batched_prim(&mut mem, &PrimOp::MatMul, &args, 32, mode).unwrap();
+                    std::hint::black_box(outs.len())
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn chain_dfg(instances: usize, depth: usize) -> Dfg {
+    let mut mem = DeviceMem::new(1 << 20);
+    let mut dfg = Dfg::new();
+    for i in 0..instances {
+        let mut v = dfg.ready_value(mem.upload(&Tensor::ones(&[4])).unwrap());
+        for d in 0..depth {
+            let (_, o) = dfg.add_node(
+                acrobat_codegen::KernelId((d % 3) as u32),
+                i,
+                d as u64,
+                0,
+                0,
+                vec![v],
+                1,
+            );
+            v = o[0];
+        }
+    }
+    dfg
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_64x20");
+    let dfg = chain_dfg(64, 20);
+    for kind in [SchedulerKind::InlineDepth, SchedulerKind::DynamicDepth, SchedulerKind::Agenda] {
+        group.bench_function(BenchmarkId::from_parameter(format!("{kind:?}")), |b| {
+            b.iter(|| std::hint::black_box(scheduler::plan(kind, &dfg).batches.len()));
+        });
+    }
+    group.finish();
+}
+
+const RNN_SRC: &str = r#"
+    def @rnn(%xs: List[Tensor[(1, 16)]], %h: Tensor[(1, 16)], $w: Tensor[(32, 16)], $b: Tensor[(1, 16)]) -> Tensor[(1, 16)] {
+        match %xs {
+            Nil => %h,
+            Cons(%x, %t) => @rnn(%t, tanh(add(matmul(concat[axis=1](%h, %x), $w), $b)), $w, $b)
+        }
+    }
+    def @main($w: Tensor[(32, 16)], $b: Tensor[(1, 16)], $h0: Tensor[(1, 16)],
+              %xs: List[Tensor[(1, 16)]]) -> Tensor[(1, 16)] {
+        @rnn(%xs, $h0, $w, $b)
+    }
+"#;
+
+fn build_exe(kind: BackendKind) -> Executable {
+    let m = typeck::check_module(parse_module(RNN_SRC).unwrap()).unwrap();
+    let a = Arc::new(analyze(m, AnalysisOptions::default()).unwrap());
+    let lib = KernelLibrary::build(&a);
+    let rt = Runtime::new(lib, DeviceModel::default(), RuntimeOptions::default());
+    Executable::new(a, rt, kind, 7).unwrap()
+}
+
+fn bench_vm_vs_aot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("program_execution_rnn16_b8x12");
+    let params = BTreeMap::from([
+        ("w".to_string(), Tensor::from_fn(&[32, 16], |i| ((i % 7) as f32 - 3.0) * 0.05)),
+        ("b".to_string(), Tensor::zeros(&[1, 16])),
+        ("h0".to_string(), Tensor::zeros(&[1, 16])),
+    ]);
+    let instances: Vec<Vec<InputValue>> = (0..8)
+        .map(|i| {
+            vec![InputValue::list(
+                (0..12)
+                    .map(|t| {
+                        InputValue::Tensor(Tensor::from_fn(&[1, 16], |k| {
+                            ((i * 31 + t * 7 + k) % 11) as f32 * 0.05
+                        }))
+                    })
+                    .collect(),
+            )]
+        })
+        .collect();
+    for (name, kind) in [("aot", BackendKind::Aot), ("relay_vm", BackendKind::Vm)] {
+        let exe = build_exe(kind);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| std::hint::black_box(exe.run(&params, &instances).unwrap().stats.nodes));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fiber_roundtrip(c: &mut Criterion) {
+    c.bench_function("fiber_suspend_resume_x8", |b| {
+        b.iter(|| {
+            let hub = Arc::new(acrobat_runtime::FiberHub::new());
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                hub.register();
+                let h = hub.clone();
+                handles.push(std::thread::spawn(move || {
+                    for _ in 0..4 {
+                        h.wait_for_flush();
+                    }
+                    h.finish();
+                }));
+            }
+            let mut flushes = 0u32;
+            hub.drive(|| flushes += 1);
+            for h in handles {
+                h.join().unwrap();
+            }
+            std::hint::black_box(flushes)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_batched_matmul, bench_schedulers, bench_vm_vs_aot, bench_fiber_roundtrip
+}
+criterion_main!(benches);

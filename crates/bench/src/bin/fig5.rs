@@ -1,0 +1,49 @@
+//! Fig. 5: the benefit of each ACROBAT optimization — execution time for
+//! every model (large size, batch 64) as optimizations accumulate:
+//! none → +fusion → +coarsening → +inline depth → +phases/ghost ops →
+//! +gather fusion.  Values are normalized to the unoptimized configuration
+//! (lower is better).
+
+use acrobat_bench::{print_table, quick_flag, run_acrobat, suite};
+use acrobat_core::{CompileOptions, OptLevel};
+use acrobat_models::ModelSize;
+
+fn main() {
+    let quick = quick_flag();
+    let batch = if quick { 8 } else { 64 };
+    let seed = 0xF5;
+    let mut rows = Vec::new();
+    for spec in suite(ModelSize::Large, quick) {
+        let mut row = vec![spec.name.to_string()];
+        let mut baseline = None;
+        for level in OptLevel::ALL {
+            let mut options = CompileOptions::at_level(level);
+            options.runtime.device_memory = 256 << 20; // 1 GB simulated device
+            match run_acrobat(&spec, &options, batch, seed) {
+                Ok(m) => {
+                    let base = *baseline.get_or_insert(m.ms);
+                    row.push(format!("{:.2}", m.ms / base));
+                }
+                Err(e) if e.contains("out of memory") => {
+                    // The paper's Fig. 5 has the same phenomenon: its
+                    // unfused Berxit configurations were killed by OOM.
+                    row.push("OOM".into());
+                }
+                Err(e) => panic!("{} {level:?}: {e}", spec.name),
+            }
+        }
+        eprintln!("done: {}", spec.name);
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("Model")
+        .chain(OptLevel::ALL.iter().map(|l| l.label()))
+        .collect();
+    print_table(
+        &format!("Fig. 5: normalized execution time as optimizations accumulate (large, batch {batch})"),
+        &headers,
+        &rows,
+    );
+    println!(
+        "\n(values normalized to the leftmost non-OOM configuration; each column adds one optimization.\n OOM = killed by simulated-device memory exhaustion, as the paper's unfused Berxit was.)"
+    );
+}

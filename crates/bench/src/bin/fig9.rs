@@ -1,0 +1,45 @@
+//! Fig. 9: speedups over PyTorch-style eager execution for TreeLSTM,
+//! MV-RNN and BiRNN (§E.3).  PyTorch performs no auto-batching, so the
+//! speedup reflects the batch/instance parallelism ACROBAT recovers; it is
+//! larger at the small model size, where per-operator parallelism is too
+//! low to saturate the device.
+
+use acrobat_baselines::pytorch;
+use acrobat_bench::{instances_for, print_table, quick_flag, run_acrobat, suite, BATCH_SIZES};
+use acrobat_core::CompileOptions;
+use acrobat_models::ModelSize;
+
+fn main() {
+    let quick = quick_flag();
+    let seed = 0xF9;
+    let mut rows = Vec::new();
+    for size in [ModelSize::Small, ModelSize::Large] {
+        for spec in suite(size, quick) {
+            if !matches!(spec.name, "TreeLSTM" | "MV-RNN" | "BiRNN") {
+                continue;
+            }
+            for batch in BATCH_SIZES {
+                let batch = if quick { batch.min(8) } else { batch };
+                let instances = instances_for(&spec, seed, batch);
+                let pt = pytorch::run(&spec.source, &spec.params, &instances)
+                    .unwrap_or_else(|e| panic!("{} pytorch: {e}", spec.name));
+                let ab = run_acrobat(&spec, &CompileOptions::default(), batch, seed)
+                    .unwrap_or_else(|e| panic!("{} acrobat: {e}", spec.name));
+                rows.push(vec![
+                    spec.name.to_string(),
+                    format!("{size:?}"),
+                    format!("{batch}"),
+                    format!("{:.1}", pt.stats.total_ms()),
+                    format!("{:.2}", ab.ms),
+                    format!("{:.1}x", pt.stats.total_ms() / ab.ms),
+                ]);
+                eprintln!("done: {} {size:?} batch {batch}", spec.name);
+            }
+        }
+    }
+    print_table(
+        "Fig. 9: ACROBAT speedup over PyTorch-style eager execution",
+        &["Model", "Size", "Batch", "PyTorch (ms)", "ACROBAT (ms)", "Speedup"],
+        &rows,
+    );
+}

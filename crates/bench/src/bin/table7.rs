@@ -1,0 +1,66 @@
+//! Table 7: Relay-VM-style interpretation vs ACROBAT's AOT compilation
+//! (TreeLSTM, MV-RNN, BiRNN — the models the paper's prototype supports on
+//! the VM, footnote 11).
+//!
+//! Both backends share the batching runtime, so the gap isolates program
+//! execution: the reported latency is modeled device time plus *measured*
+//! host execution time (boxed scalars, name-resolved environments and
+//! per-node dispatch on the VM vs slot-resolved native-scalar AOT code).
+
+use acrobat_bench::{instances_for, ms, print_table, quick_flag, suite, BATCH_SIZES};
+use acrobat_core::{compile, BackendKind, CompileOptions};
+use acrobat_models::ModelSize;
+
+fn main() {
+    let quick = quick_flag();
+    let seed = 0x77;
+    let repeats = 5;
+    for size in [ModelSize::Small, ModelSize::Large] {
+        let mut rows = Vec::new();
+        for spec in suite(size, quick) {
+            if !matches!(spec.name, "TreeLSTM" | "MV-RNN" | "BiRNN") {
+                continue;
+            }
+            for batch in BATCH_SIZES {
+                let batch = if quick { batch.min(8) } else { batch };
+                let instances = instances_for(&spec, seed, batch);
+                let mut host = Vec::new();
+                let mut total = Vec::new();
+                for backend in [BackendKind::Vm, BackendKind::Aot] {
+                    let mut options = CompileOptions::default();
+                    options.backend = backend;
+                    options.seed = seed;
+                    let model = compile(&spec.source, &options)
+                        .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+                    // Warm up, then best-of-N for the measured host time.
+                    let _ = model.run(&spec.params, &instances).unwrap();
+                    let (mut best_host, mut best_total) = (f64::INFINITY, f64::INFINITY);
+                    for _ in 0..repeats {
+                        let r = model.run(&spec.params, &instances).unwrap();
+                        best_host = best_host.min(r.stats.program_host_us / 1000.0);
+                        best_total = best_total.min(r.stats.total_with_host_us() / 1000.0);
+                    }
+                    host.push(best_host);
+                    total.push(best_total);
+                }
+                rows.push(vec![
+                    spec.name.to_string(),
+                    format!("{batch}"),
+                    format!("{:.2}", host[0]),
+                    format!("{:.2}", host[1]),
+                    format!("{:.2}", host[0] / host[1]),
+                    ms(total[0]),
+                    ms(total[1]),
+                ]);
+                eprintln!("done: {} {:?} batch {batch}", spec.name, size);
+            }
+        }
+        print_table(
+            &format!(
+                "Table 7 ({size:?}): Relay VM vs AOT — measured host execution (ms) and end-to-end (ms)"
+            ),
+            &["Model", "Batch", "VM host", "AOT host", "host ratio", "VM e2e", "AOT e2e"],
+            &rows,
+        );
+    }
+}

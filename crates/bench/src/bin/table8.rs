@@ -1,0 +1,47 @@
+//! Table 8: the DyNet improvements study — stock DyNet (DN), DyNet with the
+//! §E.4 fixes applied (DN++: shape-based matmul batching + constant-tensor
+//! reuse), and ACROBAT (AB), on TreeLSTM, MV-RNN and DRNN.
+
+use acrobat_baselines::dynet::Improvements;
+use acrobat_bench::{ms, print_table, quick_flag, run_acrobat, run_dynet, suite, BATCH_SIZES};
+use acrobat_core::CompileOptions;
+use acrobat_models::ModelSize;
+
+fn main() {
+    let quick = quick_flag();
+    let seed = 0x88;
+    // Ample memory: Table 8 compares latencies, all cells present.
+    let mem = 512usize << 20;
+    for size in [ModelSize::Small, ModelSize::Large] {
+        let mut rows = Vec::new();
+        for spec in suite(size, quick) {
+            if !matches!(spec.name, "TreeLSTM" | "MV-RNN" | "DRNN") {
+                continue;
+            }
+            for batch in BATCH_SIZES {
+                let batch = if quick { batch.min(8) } else { batch };
+                let dn = run_dynet(&spec, Improvements::default(), mem, batch, seed)
+                    .unwrap_or_else(|e| panic!("{} DN: {e}", spec.name));
+                let dnpp = run_dynet(&spec, Improvements::all(), mem, batch, seed)
+                    .unwrap_or_else(|e| panic!("{} DN++: {e}", spec.name));
+                let mut opts = CompileOptions::default();
+                opts.runtime.device_memory = mem;
+                let ab = run_acrobat(&spec, &opts, batch, seed)
+                    .unwrap_or_else(|e| panic!("{} AB: {e}", spec.name));
+                rows.push(vec![
+                    spec.name.to_string(),
+                    format!("{batch}"),
+                    ms(dn.ms),
+                    ms(dnpp.ms),
+                    ms(ab.ms),
+                ]);
+                eprintln!("done: {} {:?} batch {batch}", spec.name, size);
+            }
+        }
+        print_table(
+            &format!("Table 8 ({size:?}): DyNet (DN) vs improved DyNet (DN++) vs ACROBAT (AB), ms"),
+            &["Model", "Batch", "DN", "DN++", "AB"],
+            &rows,
+        );
+    }
+}

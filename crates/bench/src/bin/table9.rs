@@ -1,0 +1,70 @@
+//! Table 9: the benefit of PGO-prioritized auto-scheduling — NestedRNN
+//! (small, batch 8) without/with PGO across auto-scheduler iteration
+//! budgets.
+//!
+//! NestedRNN's inner RNN kernels execute ~30× more often than the outer GRU
+//! kernels; with PGO, the measured invocation frequencies steer the tuning
+//! budget toward the hot kernels (§D.1, §E.5).
+
+use acrobat_bench::{instances_for, ms, print_table, quick_flag};
+use acrobat_core::{compile, CompileOptions};
+use acrobat_models::{nestedrnn, ModelSize};
+
+fn main() {
+    let quick = quick_flag();
+    let spec = if quick {
+        nestedrnn::spec_with(16, nestedrnn::Bounds { inner: (3, 6), outer: (3, 5) })
+    } else {
+        nestedrnn::spec(ModelSize::Small)
+    };
+    let batch = 8;
+    let seed = 0x99;
+    let instances = instances_for(&spec, seed, batch);
+
+    let mut rows = Vec::new();
+    // The auto-scheduler search is randomized; average over several search
+    // seeds, as the paper does (footnote 13: averaged over 10 runs).
+    let sched_seeds: &[u64] = &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mode {
+        Uniform,
+        Pgo,
+        StaticEstimate,
+    }
+    for iters in [100u64, 250, 500, 750, 1000] {
+        let mut cells = Vec::new();
+        for mode in [Mode::Uniform, Mode::Pgo, Mode::StaticEstimate] {
+            let mut total = 0.0;
+            for &ss in sched_seeds {
+                let mut options = CompileOptions::default();
+                options.seed = seed;
+                options.schedule.iterations = iters;
+                options.schedule.seed = ss;
+                let mut model = compile(&spec.source, &options).expect("compile");
+                match mode {
+                    Mode::Uniform => {}
+                    Mode::Pgo => {
+                        model.apply_pgo(&spec.params, &instances).expect("pgo profiling run")
+                    }
+                    Mode::StaticEstimate => model.apply_static_priorities(),
+                }
+                let r = model.run(&spec.params, &instances).expect("run");
+                total += r.stats.total_ms();
+            }
+            cells.push(total / sched_seeds.len() as f64);
+        }
+        rows.push(vec![
+            format!("{iters}"),
+            ms(cells[0]),
+            ms(cells[1]),
+            ms(cells[2]),
+            format!("{:.2}", cells[0] / cells[1]),
+        ]);
+        eprintln!("done: {iters} iterations");
+    }
+    print_table(
+        "Table 9: NestedRNN (small, batch 8) — auto-scheduler prioritization: uniform, PGO, static estimate (ms)",
+        &["Auto-sched iters", "no PGO", "PGO", "static est.", "no-PGO/PGO"],
+        &rows,
+    );
+}

@@ -1,0 +1,455 @@
+//! Reference executor for batched kernel programs.
+//!
+//! One call to [`run_batched_kernel`] models one GPU kernel launch executing
+//! a fused kernel program for every instance lane of a batch.  Both §5.2
+//! batched-operand styles are supported:
+//!
+//! * [`BatchMode::ExplicitGather`] — scattered per-instance operands are
+//!   first copied into contiguous staging (bytes charged to the arena's
+//!   gather counters), then read densely;
+//! * [`BatchMode::GatherFused`] — operands are read in place through their
+//!   offsets; the launch reports the indirect accesses so the device cost
+//!   model can charge them.
+//!
+//! Results are bit-identical between the modes (enforced by property tests).
+
+use acrobat_analysis::ArgClass;
+use acrobat_tensor::arena::batched_shape;
+use acrobat_tensor::batch::BatchMode;
+use acrobat_tensor::{execute_slices, DeviceMem, DeviceTensor, Shape, TensorError};
+
+use crate::kernel::KernelProgram;
+
+/// Runtime arguments for one batched kernel launch, parallel to
+/// [`KernelProgram::inputs`].
+#[derive(Debug, Clone)]
+pub enum BatchedArg {
+    /// One tensor for the whole batch (input slot is [`ArgClass::Shared`]).
+    Shared(DeviceTensor),
+    /// One tensor per instance (slot is [`ArgClass::Batched`]).
+    Batched(Vec<DeviceTensor>),
+}
+
+/// The full argument vector of a launch.
+#[derive(Debug, Clone, Default)]
+pub struct BatchedArgs {
+    /// Arguments in [`KernelProgram::inputs`] order.
+    pub args: Vec<BatchedArg>,
+}
+
+/// Cost-relevant observations of one launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelLaunchStats {
+    /// Always 1 for a successful launch.
+    pub launches: u64,
+    /// Bytes moved by explicit gathers.
+    pub gather_bytes: u64,
+    /// Explicit gather copies performed.
+    pub gather_copies: u64,
+    /// Gathers skipped (operands contiguous).
+    pub contiguous_hits: u64,
+    /// Scattered operand instances read through the offset table.
+    pub indirect_reads: u64,
+    /// Total floating-point work (`flops_per_instance × batch`).
+    pub flops: u64,
+    /// Bytes of shared operands loaded (once per launch).
+    pub shared_bytes: u64,
+    /// Bytes of batched operands loaded (per instance).
+    pub batched_bytes: u64,
+    /// Bytes of output written.
+    pub output_bytes: u64,
+}
+
+impl KernelLaunchStats {
+    /// Accumulates another launch.
+    pub fn merge(&mut self, o: &KernelLaunchStats) {
+        self.launches += o.launches;
+        self.gather_bytes += o.gather_bytes;
+        self.gather_copies += o.gather_copies;
+        self.contiguous_hits += o.contiguous_hits;
+        self.indirect_reads += o.indirect_reads;
+        self.flops += o.flops;
+        self.shared_bytes += o.shared_bytes;
+        self.batched_bytes += o.batched_bytes;
+        self.output_bytes += o.output_bytes;
+    }
+}
+
+/// Executes a kernel program for `batch` instance lanes.
+///
+/// Returns `outputs[slot][lane]` device tensors (each slot's lanes share one
+/// contiguous allocation, so downstream gathers hit the contiguous fast
+/// path) plus the launch statistics.
+///
+/// # Errors
+///
+/// Returns [`TensorError`] on argument-shape mismatches, arena exhaustion or
+/// kernel failures.
+pub fn run_batched_kernel(
+    mem: &mut DeviceMem,
+    program: &KernelProgram,
+    args: &BatchedArgs,
+    batch: usize,
+    mode: BatchMode,
+) -> Result<(Vec<Vec<DeviceTensor>>, KernelLaunchStats), TensorError> {
+    if batch == 0 {
+        return Err(TensorError::EmptyBatch);
+    }
+    if args.args.len() != program.inputs.len() {
+        return Err(TensorError::Arity {
+            op: "kernel",
+            got: args.args.len(),
+            expected: program.inputs.len(),
+        });
+    }
+    let mut stats = KernelLaunchStats {
+        launches: 1,
+        flops: program.flops_per_instance * batch as u64,
+        ..Default::default()
+    };
+
+    // Resolve every input slot to per-lane offsets (shared slots repeat).
+    enum Slot {
+        Shared { offset: usize, shape: Shape },
+        PerLane { offsets: Vec<usize>, shape: Shape },
+    }
+    let mut slots: Vec<Slot> = Vec::with_capacity(args.args.len());
+    for (input, arg) in program.inputs.iter().zip(&args.args) {
+        match (input.class, arg) {
+            (ArgClass::Shared, BatchedArg::Shared(t)) => {
+                if t.shape() != &input.shape {
+                    return Err(TensorError::BatchShape {
+                        op: "kernel",
+                        first: input.shape.clone(),
+                        other: t.shape().clone(),
+                    });
+                }
+                stats.shared_bytes += t.shape().byte_size() as u64;
+                slots.push(Slot::Shared { offset: t.offset(), shape: t.shape().clone() });
+            }
+            (ArgClass::Batched, BatchedArg::Batched(ts)) => {
+                if ts.len() != batch {
+                    return Err(TensorError::Arity {
+                        op: "kernel",
+                        got: ts.len(),
+                        expected: batch,
+                    });
+                }
+                for t in ts {
+                    if t.shape() != &input.shape {
+                        return Err(TensorError::BatchShape {
+                            op: "kernel",
+                            first: input.shape.clone(),
+                            other: t.shape().clone(),
+                        });
+                    }
+                }
+                stats.batched_bytes += (input.shape.byte_size() * batch) as u64;
+                let offsets = match mode {
+                    BatchMode::GatherFused => {
+                        stats.indirect_reads += batch as u64;
+                        ts.iter().map(|t| t.offset()).collect()
+                    }
+                    BatchMode::ExplicitGather => {
+                        // Identical operands across all lanes (e.g. an
+                        // un-deduplicated weight) need no staging: the dense
+                        // kernel broadcast-reads one copy.
+                        if ts.iter().all(|t| t.offset() == ts[0].offset()) {
+                            stats.contiguous_hits += 1;
+                            vec![ts[0].offset(); batch]
+                        } else {
+                            let before = mem.stats();
+                            let refs: Vec<&DeviceTensor> = ts.iter().collect();
+                            let (staging, copied) = mem.gather(&refs)?;
+                            if copied {
+                                stats.gather_bytes +=
+                                    mem.stats().gather_bytes - before.gather_bytes;
+                                stats.gather_copies += 1;
+                            } else {
+                                stats.contiguous_hits += 1;
+                            }
+                            let n = input.shape.numel();
+                            (0..batch).map(|i| staging.offset() + i * n).collect()
+                        }
+                    }
+                };
+                slots.push(Slot::PerLane { offsets, shape: input.shape.clone() });
+            }
+            (want, _) => {
+                return Err(TensorError::Arity {
+                    op: if want == ArgClass::Shared { "kernel shared slot" } else { "kernel batched slot" },
+                    got: 0,
+                    expected: 1,
+                });
+            }
+        }
+    }
+
+    // Allocate batched outputs (contiguous per slot, back to back).
+    let mut out_handles: Vec<DeviceTensor> = Vec::with_capacity(program.outputs.len());
+    for (_, _, shape) in &program.outputs {
+        out_handles.push(mem.alloc(&batched_shape(shape, batch))?);
+        stats.output_bytes += (shape.byte_size() * batch) as u64;
+    }
+    let split_at =
+        out_handles.first().map(|h| h.offset()).unwrap_or_else(|| mem.used());
+
+    // Scratch registers for instruction results.
+    let max_reg = program
+        .instrs
+        .iter()
+        .map(|k| k.out.0)
+        .chain(program.inputs.iter().map(|i| i.reg.0))
+        .max()
+        .map(|m| m as usize + 1)
+        .unwrap_or(0);
+    let mut scratch: Vec<Vec<f32>> = vec![Vec::new(); max_reg];
+    let mut reg_shapes: Vec<Option<Shape>> = vec![None; max_reg];
+    for k in &program.instrs {
+        scratch[k.out.0 as usize] = vec![0.0; k.shape.numel()];
+        reg_shapes[k.out.0 as usize] = Some(k.shape.clone());
+    }
+
+    let (lo, hi) = mem.split_at_mut(split_at);
+    for lane in 0..batch {
+        // Bind input registers to slices for this lane.
+        let mut input_views: Vec<Option<(&[f32], Shape)>> = vec![None; max_reg];
+        for (slot, input) in slots.iter().zip(&program.inputs) {
+            let (offset, shape) = match slot {
+                Slot::Shared { offset, shape } => (*offset, shape.clone()),
+                Slot::PerLane { offsets, shape } => (offsets[lane], shape.clone()),
+            };
+            input_views[input.reg.0 as usize] =
+                Some((&lo[offset..offset + shape.numel()], shape));
+        }
+        // Execute instructions into scratch.  Registers are SSA-style (the
+        // destination is always fresh), so taking the output buffer out of
+        // the register file before borrowing the argument registers is safe.
+        for k in &program.instrs {
+            let mut out_buf = std::mem::take(&mut scratch[k.out.0 as usize]);
+            {
+                let mut ins: Vec<(&[f32], &Shape)> = Vec::with_capacity(k.args.len());
+                for a in &k.args {
+                    let i = a.0 as usize;
+                    if let Some((slice, shape)) = &input_views[i] {
+                        ins.push((slice, shape));
+                    } else {
+                        let shape = reg_shapes[i].as_ref().expect("register defined");
+                        ins.push((&scratch[i], shape));
+                    }
+                }
+                execute_slices(&k.op, &ins, &mut out_buf)?;
+            }
+            scratch[k.out.0 as usize] = out_buf;
+        }
+        // Copy escaping registers into the batched output allocations.
+        for ((_, reg, shape), handle) in program.outputs.iter().zip(&out_handles) {
+            let n = shape.numel();
+            let dst_start = handle.offset() - split_at + lane * n;
+            hi[dst_start..dst_start + n].copy_from_slice(&scratch[reg.0 as usize]);
+        }
+    }
+
+    // Build per-lane views of each output slot.
+    let mut outputs: Vec<Vec<DeviceTensor>> = Vec::with_capacity(program.outputs.len());
+    for ((_, _, shape), handle) in program.outputs.iter().zip(&out_handles) {
+        outputs.push(mem.scatter_views(handle, batch)?.into_iter().collect());
+        debug_assert_eq!(shape.numel() * batch, handle.numel());
+    }
+    Ok((outputs, stats))
+}
+
+/// Convenience: executes a program for a single instance (`batch == 1`),
+/// returning one tensor per output slot.
+///
+/// # Errors
+///
+/// As for [`run_batched_kernel`].
+pub fn run_single(
+    mem: &mut DeviceMem,
+    program: &KernelProgram,
+    args: &BatchedArgs,
+) -> Result<(Vec<DeviceTensor>, KernelLaunchStats), TensorError> {
+    let (outs, stats) = run_batched_kernel(mem, program, args, 1, BatchMode::GatherFused)?;
+    Ok((outs.into_iter().map(|mut v| v.remove(0)).collect(), stats))
+}
+
+/// Helper used by runtimes: wraps concrete tensors into [`BatchedArgs`]
+/// according to the program's input classes, where `per_site[lane][slot]`
+/// holds each lane's argument tensors.
+///
+/// For shared slots the lane-0 tensor is used (all lanes hold the same
+/// tensor by construction — the taint analysis guarantees it).
+pub fn bind_args(program: &KernelProgram, per_lane: &[Vec<DeviceTensor>]) -> BatchedArgs {
+    let mut args = Vec::with_capacity(program.inputs.len());
+    for (slot, input) in program.inputs.iter().enumerate() {
+        match input.class {
+            ArgClass::Shared => args.push(BatchedArg::Shared(per_lane[0][slot].clone())),
+            ArgClass::Batched => args.push(BatchedArg::Batched(
+                per_lane.iter().map(|lane| lane[slot].clone()).collect(),
+            )),
+        }
+    }
+    BatchedArgs { args }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acrobat_analysis::{analyze, AnalysisOptions};
+    use acrobat_ir::{parse_module, typeck};
+    use acrobat_tensor::Tensor;
+
+    fn compile(src: &str) -> (acrobat_analysis::AnalysisResult, crate::KernelLibrary) {
+        let m = typeck::check_module(parse_module(src).unwrap()).unwrap();
+        let a = analyze(m, AnalysisOptions::default()).unwrap();
+        let lib = crate::KernelLibrary::build(&a);
+        (a, lib)
+    }
+
+    #[test]
+    fn fused_kernel_matches_reference() {
+        let (_, lib) = compile(
+            "def @main($w: Tensor[(3, 3)], $b: Tensor[(1, 3)], %x: Tensor[(1, 3)]) -> Tensor[(1, 3)] {
+                sigmoid(add($b, matmul(%x, $w)))
+            }",
+        );
+        assert_eq!(lib.len(), 1);
+        let program = lib.kernel(crate::KernelId(0));
+
+        let mut mem = DeviceMem::new(1 << 16);
+        let w = Tensor::from_fn(&[3, 3], |i| (i as f32 * 0.3).sin());
+        let b = Tensor::from_fn(&[1, 3], |i| i as f32 * 0.1);
+        let dw = mem.upload(&w).unwrap();
+        let db = mem.upload(&b).unwrap();
+
+        let batch = 4;
+        let mut lanes = Vec::new();
+        let mut hosts = Vec::new();
+        for l in 0..batch {
+            let x = Tensor::from_fn(&[1, 3], |i| (i + l) as f32 * 0.2 - 0.5);
+            let dx = mem.upload(&x).unwrap();
+            mem.alloc(&acrobat_tensor::Shape::new(&[l + 1])).unwrap(); // scatter
+            hosts.push(x);
+            // Slot order follows program.inputs; find which binding is which
+            // by class: x is the only batched input.
+            let mut lane = Vec::new();
+            for input in &program.inputs {
+                match input.class {
+                    ArgClass::Batched => lane.push(dx.clone()),
+                    ArgClass::Shared => {
+                        // shared inputs: bias and weight — identify by shape.
+                        if input.shape.dims() == [3, 3] {
+                            lane.push(dw.clone());
+                        } else {
+                            lane.push(db.clone());
+                        }
+                    }
+                }
+            }
+            lanes.push(lane);
+        }
+        let args = bind_args(program, &lanes);
+        let (outs, stats) =
+            run_batched_kernel(&mut mem, program, &args, batch, BatchMode::GatherFused).unwrap();
+        assert_eq!(stats.launches, 1);
+        assert_eq!(outs.len(), 1);
+
+        for (l, host_x) in hosts.iter().enumerate() {
+            let mm = acrobat_tensor::execute(&acrobat_tensor::PrimOp::MatMul, &[host_x, &w]).unwrap();
+            let ad = acrobat_tensor::execute(&acrobat_tensor::PrimOp::Add, &[&b, &mm]).unwrap();
+            let sg = acrobat_tensor::execute(&acrobat_tensor::PrimOp::Sigmoid, &[&ad]).unwrap();
+            let got = mem.download(&outs[0][l]).unwrap();
+            assert!(got.allclose(&sg, 1e-6), "lane {l}: {got:?} vs {sg:?}");
+        }
+    }
+
+    #[test]
+    fn gather_and_fused_modes_agree() {
+        let (_, lib) = compile(
+            "def @main($w: Tensor[(2, 2)], %x: Tensor[(1, 2)]) -> Tensor[(1, 2)] {
+                relu(matmul(%x, $w))
+            }",
+        );
+        let program = lib.kernel(crate::KernelId(0));
+        let mut mem = DeviceMem::new(1 << 16);
+        let w = mem.upload(&Tensor::from_fn(&[2, 2], |i| i as f32 + 1.0)).unwrap();
+        let batch = 3;
+        let mut lanes = Vec::new();
+        for l in 0..batch {
+            let x = mem.upload(&Tensor::fill(&[1, 2], l as f32 - 1.0)).unwrap();
+            mem.alloc(&acrobat_tensor::Shape::new(&[2])).unwrap();
+            let lane: Vec<DeviceTensor> = program
+                .inputs
+                .iter()
+                .map(|i| if i.class == ArgClass::Batched { x.clone() } else { w.clone() })
+                .collect();
+            lanes.push(lane);
+        }
+        let args = bind_args(program, &lanes);
+        let (f, fs) = run_batched_kernel(&mut mem, program, &args, batch, BatchMode::GatherFused).unwrap();
+        let (g, gs) =
+            run_batched_kernel(&mut mem, program, &args, batch, BatchMode::ExplicitGather).unwrap();
+        for (a, b) in f[0].iter().zip(&g[0]) {
+            assert_eq!(mem.read(a).unwrap(), mem.read(b).unwrap());
+        }
+        assert_eq!(fs.gather_bytes, 0);
+        assert!(fs.indirect_reads > 0);
+        assert!(gs.gather_bytes > 0);
+    }
+
+    #[test]
+    fn batch_errors() {
+        let (_, lib) = compile(
+            "def @main(%x: Tensor[(1, 2)]) -> Tensor[(1, 2)] { relu(%x) }",
+        );
+        let program = lib.kernel(crate::KernelId(0));
+        let mut mem = DeviceMem::new(1 << 12);
+        let args = BatchedArgs { args: vec![] };
+        assert!(run_batched_kernel(&mut mem, program, &args, 1, BatchMode::GatherFused).is_err());
+        let x = mem.upload(&Tensor::zeros(&[1, 2])).unwrap();
+        let args = BatchedArgs { args: vec![BatchedArg::Batched(vec![x])] };
+        assert!(matches!(
+            run_batched_kernel(&mut mem, program, &args, 0, BatchMode::GatherFused),
+            Err(TensorError::EmptyBatch)
+        ));
+        // Wrong per-lane count.
+        assert!(run_batched_kernel(&mut mem, program, &args, 2, BatchMode::GatherFused).is_err());
+    }
+
+    #[test]
+    fn multi_output_kernel_executes() {
+        let (_, lib) = compile(
+            "def @main($wi: Tensor[(2, 2)], $wf: Tensor[(2, 2)], %x: Tensor[(1, 2)]) -> (Tensor[(1, 2)], Tensor[(1, 2)]) {
+                (matmul(%x, $wi), matmul(%x, $wf))
+            }",
+        );
+        assert_eq!(lib.len(), 1);
+        let program = lib.kernel(crate::KernelId(0));
+        assert_eq!(program.outputs.len(), 2);
+        let mut mem = DeviceMem::new(1 << 14);
+        let wi = mem.upload(&Tensor::from_fn(&[2, 2], |i| i as f32)).unwrap();
+        let wf = mem.upload(&Tensor::from_fn(&[2, 2], |i| (i * i) as f32)).unwrap();
+        let x = mem.upload(&Tensor::fill(&[1, 2], 1.0)).unwrap();
+        // Identify shared slots by binding order: both shared weights have the
+        // same shape, so use input order (wi first by construction).
+        let mut lane = Vec::new();
+        let mut shared_seen = 0;
+        for input in &program.inputs {
+            match input.class {
+                ArgClass::Batched => lane.push(x.clone()),
+                ArgClass::Shared => {
+                    lane.push(if shared_seen == 0 { wi.clone() } else { wf.clone() });
+                    shared_seen += 1;
+                }
+            }
+        }
+        let args = bind_args(program, &[lane]);
+        let (outs, _) =
+            run_batched_kernel(&mut mem, program, &args, 1, BatchMode::GatherFused).unwrap();
+        assert_eq!(outs.len(), 2);
+        // x·wi = [1 1]·[[0 1][2 3]] = [2 4]; x·wf = [1 1]·[[0 1][4 9]] = [4 10]
+        assert_eq!(mem.read(&outs[0][0]).unwrap(), &[2.0, 4.0]);
+        assert_eq!(mem.read(&outs[1][0]).unwrap(), &[4.0, 10.0]);
+    }
+}

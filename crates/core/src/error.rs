@@ -1,0 +1,44 @@
+use std::fmt;
+
+use acrobat_ir::IrError;
+use acrobat_vm::VmError;
+
+/// Errors from compiling or running a model.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// Parsing or type checking failed.
+    Frontend(IrError),
+    /// Lowering or execution failed.
+    Execution(VmError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Frontend(e) => write!(f, "frontend: {e}"),
+            CompileError::Execution(e) => write!(f, "execution: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Frontend(e) => Some(e),
+            CompileError::Execution(e) => Some(e),
+        }
+    }
+}
+
+impl From<IrError> for CompileError {
+    fn from(e: IrError) -> Self {
+        CompileError::Frontend(e)
+    }
+}
+
+impl From<VmError> for CompileError {
+    fn from(e: VmError) -> Self {
+        CompileError::Execution(e)
+    }
+}

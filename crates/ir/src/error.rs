@@ -1,0 +1,55 @@
+use std::fmt;
+
+/// Errors produced by parsing and type checking.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// Lexical error at a source position.
+    Lex {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        col: usize,
+        /// Description.
+        msg: String,
+    },
+    /// Parse error at a source position.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        col: usize,
+        /// Description.
+        msg: String,
+    },
+    /// Type error, with the function it occurred in.
+    Type {
+        /// Enclosing function name.
+        func: String,
+        /// Description.
+        msg: String,
+    },
+    /// Reference to an unknown function, operator, constructor or variable.
+    Unresolved {
+        /// Kind of entity ("function", "operator", …).
+        kind: &'static str,
+        /// Name that failed to resolve.
+        name: String,
+    },
+    /// The module has no `@main`.
+    NoMain,
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Lex { line, col, msg } => write!(f, "lex error at {line}:{col}: {msg}"),
+            IrError::Parse { line, col, msg } => write!(f, "parse error at {line}:{col}: {msg}"),
+            IrError::Type { func, msg } => write!(f, "type error in @{func}: {msg}"),
+            IrError::Unresolved { kind, name } => write!(f, "unresolved {kind} `{name}`"),
+            IrError::NoMain => write!(f, "module has no @main function"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}

@@ -1,0 +1,433 @@
+//! Hand-written lexer for the frontend language.
+
+use crate::{IrError, Result};
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Tok {
+    /// Bare identifier: type names, constructor names, operator names,
+    /// keywords are separated out below.
+    Ident(String),
+    /// `@name` — global function reference.
+    Global(String),
+    /// `%name` — local variable / input parameter.
+    Local(String),
+    /// `$name` — model parameter.
+    Model(String),
+    Int(i64),
+    Float(f64),
+    // keywords
+    KwDef,
+    KwType,
+    KwLet,
+    KwIf,
+    KwElse,
+    KwMatch,
+    KwParallel,
+    KwPhase,
+    KwFn,
+    KwMap,
+    KwTrue,
+    KwFalse,
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Dot,
+    FatArrow,
+    ThinArrow,
+    Assign,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Bang,
+    Eof,
+}
+
+/// A token plus its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Token {
+    pub tok: Tok,
+    pub line: usize,
+    pub col: usize,
+}
+
+pub(crate) fn lex(src: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! push {
+        ($tok:expr, $line:expr, $col:expr) => {
+            out.push(Token { tok: $tok, line: $line, col: $col })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let (tl, tc) = (line, col);
+        let advance = |n: usize, i: &mut usize, col: &mut usize| {
+            *i += n;
+            *col += n;
+        };
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => advance(1, &mut i, &mut col),
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                // (* block comment *) — may span lines, no nesting.
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(IrError::Lex {
+                            line: tl,
+                            col: tc,
+                            msg: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b')' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+            '(' => {
+                push!(Tok::LParen, tl, tc);
+                advance(1, &mut i, &mut col);
+            }
+            ')' => {
+                push!(Tok::RParen, tl, tc);
+                advance(1, &mut i, &mut col);
+            }
+            '{' => {
+                push!(Tok::LBrace, tl, tc);
+                advance(1, &mut i, &mut col);
+            }
+            '}' => {
+                push!(Tok::RBrace, tl, tc);
+                advance(1, &mut i, &mut col);
+            }
+            '[' => {
+                push!(Tok::LBracket, tl, tc);
+                advance(1, &mut i, &mut col);
+            }
+            ']' => {
+                push!(Tok::RBracket, tl, tc);
+                advance(1, &mut i, &mut col);
+            }
+            ',' => {
+                push!(Tok::Comma, tl, tc);
+                advance(1, &mut i, &mut col);
+            }
+            ';' => {
+                push!(Tok::Semi, tl, tc);
+                advance(1, &mut i, &mut col);
+            }
+            ':' => {
+                push!(Tok::Colon, tl, tc);
+                advance(1, &mut i, &mut col);
+            }
+            '.' => {
+                push!(Tok::Dot, tl, tc);
+                advance(1, &mut i, &mut col);
+            }
+            '+' => {
+                push!(Tok::Plus, tl, tc);
+                advance(1, &mut i, &mut col);
+            }
+            '*' => {
+                push!(Tok::Star, tl, tc);
+                advance(1, &mut i, &mut col);
+            }
+            '/' => {
+                push!(Tok::Slash, tl, tc);
+                advance(1, &mut i, &mut col);
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    push!(Tok::FatArrow, tl, tc);
+                    advance(2, &mut i, &mut col);
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::EqEq, tl, tc);
+                    advance(2, &mut i, &mut col);
+                } else {
+                    push!(Tok::Assign, tl, tc);
+                    advance(1, &mut i, &mut col);
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    push!(Tok::ThinArrow, tl, tc);
+                    advance(2, &mut i, &mut col);
+                } else {
+                    push!(Tok::Minus, tl, tc);
+                    advance(1, &mut i, &mut col);
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Le, tl, tc);
+                    advance(2, &mut i, &mut col);
+                } else {
+                    push!(Tok::Lt, tl, tc);
+                    advance(1, &mut i, &mut col);
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Ge, tl, tc);
+                    advance(2, &mut i, &mut col);
+                } else {
+                    push!(Tok::Gt, tl, tc);
+                    advance(1, &mut i, &mut col);
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Ne, tl, tc);
+                    advance(2, &mut i, &mut col);
+                } else {
+                    push!(Tok::Bang, tl, tc);
+                    advance(1, &mut i, &mut col);
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    push!(Tok::AndAnd, tl, tc);
+                    advance(2, &mut i, &mut col);
+                } else {
+                    return Err(IrError::Lex { line: tl, col: tc, msg: "expected `&&`".into() });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    push!(Tok::OrOr, tl, tc);
+                    advance(2, &mut i, &mut col);
+                } else {
+                    return Err(IrError::Lex { line: tl, col: tc, msg: "expected `||`".into() });
+                }
+            }
+            '@' | '%' | '$' => {
+                let sigil = c;
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(IrError::Lex {
+                        line: tl,
+                        col: tc,
+                        msg: format!("expected identifier after `{sigil}`"),
+                    });
+                }
+                let name = src[start..j].to_string();
+                let tok = match sigil {
+                    '@' => Tok::Global(name),
+                    '%' => Tok::Local(name),
+                    _ => Tok::Model(name),
+                };
+                push!(tok, tl, tc);
+                let n = j - i;
+                advance(n, &mut i, &mut col);
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j < bytes.len()
+                    && bytes[j] == b'.'
+                    && j + 1 < bytes.len()
+                    && bytes[j + 1].is_ascii_digit()
+                {
+                    is_float = true;
+                    j += 1;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+                    is_float = true;
+                    j += 1;
+                    if j < bytes.len() && (bytes[j] == b'-' || bytes[j] == b'+') {
+                        j += 1;
+                    }
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                let text = &src[start..j];
+                let tok = if is_float {
+                    Tok::Float(text.parse().map_err(|_| IrError::Lex {
+                        line: tl,
+                        col: tc,
+                        msg: format!("bad float literal `{text}`"),
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| IrError::Lex {
+                        line: tl,
+                        col: tc,
+                        msg: format!("bad int literal `{text}`"),
+                    })?)
+                };
+                push!(tok, tl, tc);
+                let n = j - i;
+                advance(n, &mut i, &mut col);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                let word = &src[start..j];
+                let tok = match word {
+                    "def" => Tok::KwDef,
+                    "type" => Tok::KwType,
+                    "let" => Tok::KwLet,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "match" => Tok::KwMatch,
+                    "parallel" => Tok::KwParallel,
+                    "phase" => Tok::KwPhase,
+                    "fn" => Tok::KwFn,
+                    "map" => Tok::KwMap,
+                    "true" => Tok::KwTrue,
+                    "false" => Tok::KwFalse,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                push!(tok, tl, tc);
+                let n = j - i;
+                advance(n, &mut i, &mut col);
+            }
+            other => {
+                return Err(IrError::Lex {
+                    line: tl,
+                    col: tc,
+                    msg: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    out.push(Token { tok: Tok::Eof, line, col });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn sigils() {
+        assert_eq!(
+            toks("@rnn %x $w"),
+            vec![
+                Tok::Global("rnn".into()),
+                Tok::Local("x".into()),
+                Tok::Model("w".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42 0.5 1e-3"), vec![Tok::Int(42), Tok::Float(0.5), Tok::Float(1e-3), Tok::Eof]);
+    }
+
+    #[test]
+    fn operators_and_arrows() {
+        assert_eq!(
+            toks("-> => <= >= == != && || < >"),
+            vec![
+                Tok::ThinArrow,
+                Tok::FatArrow,
+                Tok::Le,
+                Tok::Ge,
+                Tok::EqEq,
+                Tok::Ne,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("let // trailing\n(* block\ncomment *) if"),
+            vec![Tok::KwLet, Tok::KwIf, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment() {
+        assert!(lex("(* oops").is_err());
+    }
+
+    #[test]
+    fn position_tracking() {
+        let ts = lex("let\n  if").unwrap();
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn bad_chars_rejected() {
+        assert!(lex("let ^ x").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("% ").is_err());
+    }
+
+    #[test]
+    fn keywords_vs_idents() {
+        assert_eq!(
+            toks("matmul type lettuce"),
+            vec![Tok::Ident("matmul".into()), Tok::KwType, Tok::Ident("lettuce".into()), Tok::Eof]
+        );
+    }
+}

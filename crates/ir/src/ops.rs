@@ -1,0 +1,162 @@
+//! The tensor-operator registry: surface operator names → [`PrimOp`].
+//!
+//! ACROBAT "avoids the use of vendor libraries" by generating every tensor
+//! kernel itself (§5).  Correspondingly, the frontend does not distinguish
+//! "library" operators: every operator name resolves here to a primitive the
+//! kernel generator can compile, so new operators (the paper's example is
+//! batched `argmax`, which DyNet's vendor libraries lack) come for free.
+
+use std::collections::BTreeMap;
+
+use acrobat_tensor::{PrimOp, Shape};
+
+use crate::ast::AttrValue;
+
+/// Attribute lookup helpers shared by the builders below.
+fn int_attr(attrs: &BTreeMap<String, AttrValue>, key: &str) -> Result<i64, String> {
+    match attrs.get(key) {
+        Some(AttrValue::Int(v)) => Ok(*v),
+        Some(other) => Err(format!("attribute `{key}` must be an integer, got {other:?}")),
+        None => Err(format!("missing required attribute `{key}`")),
+    }
+}
+
+fn float_attr(attrs: &BTreeMap<String, AttrValue>, key: &str, default: Option<f64>) -> Result<f64, String> {
+    match attrs.get(key) {
+        Some(AttrValue::Float(v)) => Ok(*v),
+        Some(AttrValue::Int(v)) => Ok(*v as f64),
+        Some(other) => Err(format!("attribute `{key}` must be a number, got {other:?}")),
+        None => default.ok_or_else(|| format!("missing required attribute `{key}`")),
+    }
+}
+
+fn shape_attr(attrs: &BTreeMap<String, AttrValue>, key: &str) -> Result<Shape, String> {
+    match attrs.get(key) {
+        Some(AttrValue::Shape(dims)) => Ok(Shape::new(dims)),
+        Some(other) => Err(format!("attribute `{key}` must be a shape, got {other:?}")),
+        None => Err(format!("missing required attribute `{key}`")),
+    }
+}
+
+fn no_attrs(attrs: &BTreeMap<String, AttrValue>, name: &str) -> Result<(), String> {
+    if attrs.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("operator `{name}` takes no attributes"))
+    }
+}
+
+/// Builds the [`PrimOp`] for a surface operator name plus attributes.
+///
+/// # Errors
+///
+/// Returns a description if the name is unknown or the attributes are
+/// malformed.
+pub fn build_prim(name: &str, attrs: &BTreeMap<String, AttrValue>) -> Result<PrimOp, String> {
+    let simple = |op: PrimOp| -> Result<PrimOp, String> {
+        no_attrs(attrs, name)?;
+        Ok(op)
+    };
+    match name {
+        "relu" => simple(PrimOp::Relu),
+        "sigmoid" => simple(PrimOp::Sigmoid),
+        "tanh" => simple(PrimOp::Tanh),
+        "exp" => simple(PrimOp::Exp),
+        "log" => simple(PrimOp::Log),
+        "neg" => simple(PrimOp::Neg),
+        "sqrt" => simple(PrimOp::Sqrt),
+        "gelu" => simple(PrimOp::Gelu),
+        "add" => simple(PrimOp::Add),
+        "sub" => simple(PrimOp::Sub),
+        "mul" => simple(PrimOp::Mul),
+        "div" => simple(PrimOp::Div),
+        "maximum" => simple(PrimOp::Maximum),
+        // `dense` is Relay's `nn.dense` spelled without the namespace; it is
+        // a plain matrix multiply against a pre-transposed weight here.
+        "matmul" | "dense" => simple(PrimOp::MatMul),
+        "sum_rows" => simple(PrimOp::SumRows),
+        "mean_rows" => simple(PrimOp::MeanRows),
+        "max_rows" => simple(PrimOp::MaxRows),
+        "argmax_rows" => simple(PrimOp::ArgmaxRows),
+        "softmax_rows" => simple(PrimOp::SoftmaxRows),
+        "layer_norm" => Ok(PrimOp::LayerNormRows { eps: float_attr(attrs, "eps", Some(1e-5))? as f32 }),
+        "concat" => Ok(PrimOp::Concat { axis: int_attr(attrs, "axis")? as usize }),
+        "transpose" => simple(PrimOp::Transpose),
+        "reshape" => Ok(PrimOp::Reshape { shape: shape_attr(attrs, "shape")? }),
+        "slice" => Ok(PrimOp::Slice {
+            axis: int_attr(attrs, "axis")? as usize,
+            start: int_attr(attrs, "start")? as usize,
+            len: int_attr(attrs, "len")? as usize,
+        }),
+        "fill" => Ok(PrimOp::Fill {
+            value: float_attr(attrs, "value", None)? as f32,
+            shape: shape_attr(attrs, "shape")?,
+        }),
+        "zeros" => Ok(PrimOp::Fill { value: 0.0, shape: shape_attr(attrs, "shape")? }),
+        "ones" => Ok(PrimOp::Fill { value: 1.0, shape: shape_attr(attrs, "shape")? }),
+        "copy" => simple(PrimOp::Copy),
+        _ => Err(format!("unknown tensor operator `{name}`")),
+    }
+}
+
+/// Returns `true` if `name` is a registered tensor operator.
+pub fn is_op(name: &str) -> bool {
+    const NAMES: &[&str] = &[
+        "relu", "sigmoid", "tanh", "exp", "log", "neg", "sqrt", "gelu", "add", "sub", "mul",
+        "div", "maximum", "matmul", "dense", "sum_rows", "mean_rows", "max_rows", "argmax_rows",
+        "softmax_rows", "layer_norm", "concat", "transpose", "reshape", "slice", "fill", "zeros",
+        "ones", "copy",
+    ];
+    NAMES.contains(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ops_reject_attrs() {
+        let mut attrs = BTreeMap::new();
+        assert_eq!(build_prim("relu", &attrs), Ok(PrimOp::Relu));
+        attrs.insert("axis".into(), AttrValue::Int(0));
+        assert!(build_prim("relu", &attrs).is_err());
+    }
+
+    #[test]
+    fn attr_ops() {
+        let mut attrs = BTreeMap::new();
+        attrs.insert("axis".into(), AttrValue::Int(1));
+        assert_eq!(build_prim("concat", &attrs), Ok(PrimOp::Concat { axis: 1 }));
+        assert!(build_prim("concat", &BTreeMap::new()).is_err());
+
+        let mut attrs = BTreeMap::new();
+        attrs.insert("shape".into(), AttrValue::Shape(vec![1, 4]));
+        assert_eq!(
+            build_prim("zeros", &attrs),
+            Ok(PrimOp::Fill { value: 0.0, shape: Shape::new(&[1, 4]) })
+        );
+        attrs.insert("value".into(), AttrValue::Float(2.0));
+        assert_eq!(
+            build_prim("fill", &attrs),
+            Ok(PrimOp::Fill { value: 2.0, shape: Shape::new(&[1, 4]) })
+        );
+    }
+
+    #[test]
+    fn layer_norm_default_eps() {
+        let op = build_prim("layer_norm", &BTreeMap::new()).unwrap();
+        assert!(matches!(op, PrimOp::LayerNormRows { eps } if (eps - 1e-5).abs() < 1e-9));
+    }
+
+    #[test]
+    fn dense_aliases_matmul() {
+        assert_eq!(build_prim("dense", &BTreeMap::new()), Ok(PrimOp::MatMul));
+    }
+
+    #[test]
+    fn unknown_rejected() {
+        assert!(build_prim("conv9d", &BTreeMap::new()).is_err());
+        assert!(!is_op("conv9d"));
+        assert!(is_op("argmax_rows"));
+    }
+}

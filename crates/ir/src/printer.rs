@@ -1,0 +1,346 @@
+//! Pretty printer: turns a [`Module`] back into (re-parseable) surface syntax.
+
+use std::fmt::Write;
+
+use crate::ast::*;
+
+/// Prints a module as surface syntax.
+///
+/// The output is intended to round-trip: `parse_module(print_module(m))`
+/// yields a structurally equal module (modulo expression ids).
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    for adt in module.adts.values() {
+        if adt.name == "List" {
+            continue; // prelude
+        }
+        let _ = write!(out, "type {}", adt.name);
+        if !adt.type_vars.is_empty() {
+            let _ = write!(out, "[{}]", adt.type_vars.join(", "));
+        }
+        let _ = writeln!(out, " {{");
+        for (i, c) in adt.ctors.iter().enumerate() {
+            let sep = if i + 1 < adt.ctors.len() { "," } else { "" };
+            if c.fields.is_empty() {
+                let _ = writeln!(out, "  {}{}", c.name, sep);
+            } else {
+                let fields: Vec<String> = c.fields.iter().map(|f| f.to_string()).collect();
+                let _ = writeln!(out, "  {}({}){}", c.name, fields.join(", "), sep);
+            }
+        }
+        let _ = writeln!(out, "}}");
+    }
+    for f in module.functions.values() {
+        let params: Vec<String> = f
+            .params
+            .iter()
+            .map(|p| {
+                let sigil = match p.kind {
+                    ParamKind::Model => '$',
+                    ParamKind::Input => '%',
+                };
+                format!("{sigil}{}: {}", p.name, p.ty)
+            })
+            .collect();
+        let _ = writeln!(out, "def @{}({}) -> {} {{", f.name, params.join(", "), f.ret);
+        let mut body = String::new();
+        print_expr(&f.body, 1, &mut body);
+        let _ = writeln!(out, "{body}");
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn print_expr(e: &Expr, depth: usize, out: &mut String) {
+    match &e.kind {
+        ExprKind::Let { pat, value, body }
+            if matches!(pat, Pattern::Wildcard)
+                && matches!(value.kind, ExprKind::PhaseBoundary) =>
+        {
+            indent(depth, out);
+            out.push_str("phase;\n");
+            print_expr(body, depth, out);
+        }
+        ExprKind::Let { pat, value, body } => {
+            indent(depth, out);
+            match pat {
+                Pattern::Var(n) => {
+                    out.push_str("let %");
+                    out.push_str(n);
+                }
+                Pattern::Wildcard => out.push_str("let %_"),
+                Pattern::Tuple(ns) => {
+                    out.push_str("let (");
+                    for (i, n) in ns.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push('%');
+                        out.push_str(n);
+                    }
+                    out.push(')');
+                }
+            }
+            out.push_str(" = ");
+            print_inline(value, out);
+            out.push_str(";\n");
+            print_expr(body, depth, out);
+        }
+        _ => {
+            indent(depth, out);
+            print_inline(e, out);
+        }
+    }
+}
+
+fn print_inline(e: &Expr, out: &mut String) {
+    match &e.kind {
+        ExprKind::Var(n) => {
+            out.push('%');
+            out.push_str(n);
+        }
+        ExprKind::IntLit(v) => {
+            let _ = write!(out, "{v}");
+        }
+        ExprKind::FloatLit(v) => {
+            if v.fract() == 0.0 && v.is_finite() {
+                let _ = write!(out, "{v:.1}");
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        ExprKind::BoolLit(v) => {
+            let _ = write!(out, "{v}");
+        }
+        ExprKind::Let { .. } => {
+            out.push_str("{\n");
+            print_expr(e, 1, out);
+            out.push_str("\n}");
+        }
+        ExprKind::If { cond, then, els } => {
+            out.push_str("if ");
+            print_inline(cond, out);
+            out.push_str(" {\n");
+            print_expr(then, 1, out);
+            out.push_str("\n} else {\n");
+            print_expr(els, 1, out);
+            out.push_str("\n}");
+        }
+        ExprKind::Match { scrutinee, arms } => {
+            out.push_str("match ");
+            print_inline(scrutinee, out);
+            out.push_str(" {\n");
+            for (i, arm) in arms.iter().enumerate() {
+                out.push_str("  ");
+                out.push_str(&arm.ctor);
+                if !arm.binders.is_empty() {
+                    out.push('(');
+                    for (j, b) in arm.binders.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push('%');
+                        out.push_str(b);
+                    }
+                    out.push(')');
+                }
+                out.push_str(" => {\n");
+                print_expr(&arm.body, 2, out);
+                out.push_str("\n  }");
+                if i + 1 < arms.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push('}');
+        }
+        ExprKind::Call { callee, args } => {
+            match callee {
+                Callee::Global(n) => {
+                    out.push('@');
+                    out.push_str(n);
+                }
+                Callee::Ctor(n) => out.push_str(n),
+                Callee::Var(n) => {
+                    out.push('%');
+                    out.push_str(n);
+                }
+                Callee::Op { name, attrs } => {
+                    out.push_str(name);
+                    if !attrs.is_empty() {
+                        out.push('[');
+                        for (i, (k, v)) in attrs.iter().enumerate() {
+                            if i > 0 {
+                                out.push_str(", ");
+                            }
+                            let _ = write!(out, "{k}=");
+                            match v {
+                                AttrValue::Int(x) => {
+                                    let _ = write!(out, "{x}");
+                                }
+                                AttrValue::Float(x) => {
+                                    let _ = write!(out, "{x}");
+                                }
+                                AttrValue::Shape(dims) => {
+                                    out.push('(');
+                                    for (j, d) in dims.iter().enumerate() {
+                                        if j > 0 {
+                                            out.push_str(", ");
+                                        }
+                                        let _ = write!(out, "{d}");
+                                    }
+                                    out.push(')');
+                                }
+                            }
+                        }
+                        out.push(']');
+                    }
+                }
+            }
+            if !(matches!(callee, Callee::Ctor(_)) && args.is_empty()) {
+                out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    print_inline(a, out);
+                }
+                out.push(')');
+            }
+        }
+        ExprKind::Tuple(parts) => {
+            out.push('(');
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_inline(p, out);
+            }
+            out.push(')');
+        }
+        ExprKind::Proj { tuple, index } => {
+            print_inline(tuple, out);
+            let _ = write!(out, ".{index}");
+        }
+        ExprKind::Lambda { params, body } => {
+            out.push_str("fn(");
+            for (i, p) in params.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "%{}", p.name);
+                if p.ty.is_concrete() {
+                    let _ = write!(out, ": {}", p.ty);
+                }
+            }
+            out.push_str(") {\n");
+            print_expr(body, 1, out);
+            out.push_str("\n}");
+        }
+        ExprKind::Map { func, list } => {
+            out.push_str("map(");
+            print_inline(func, out);
+            out.push_str(", ");
+            print_inline(list, out);
+            out.push(')');
+        }
+        ExprKind::Parallel(parts) => {
+            out.push_str("parallel(");
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_inline(p, out);
+            }
+            out.push(')');
+        }
+        ExprKind::ScalarBin { op, lhs, rhs } => {
+            out.push('(');
+            print_inline(lhs, out);
+            let _ = write!(out, " {} ", op.symbol());
+            print_inline(rhs, out);
+            out.push(')');
+        }
+        ExprKind::ScalarUn { op, operand } => {
+            match op {
+                ScalarUnOp::Neg => out.push('-'),
+                ScalarUnOp::Not => out.push('!'),
+                ScalarUnOp::ToFloat => {
+                    out.push_str("to_float(");
+                    print_inline(operand, out);
+                    out.push(')');
+                    return;
+                }
+            }
+            print_inline(operand, out);
+        }
+        ExprKind::Sync { kind, tensor } => {
+            out.push_str(match kind {
+                SyncKind::Item => "item(",
+                SyncKind::Sample => "sample(",
+            });
+            print_inline(tensor, out);
+            out.push(')');
+        }
+        ExprKind::RandRange { lo, hi } => {
+            let _ = write!(out, "rand_range[lo={lo}, hi={hi}]()");
+        }
+        // A bare phase marker outside a statement position cannot occur in
+        // parsed programs; print its (unit-like) value.
+        ExprKind::PhaseBoundary => out.push('0'),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_module;
+
+    #[test]
+    fn roundtrip_simple() {
+        let src = r#"
+            type Tree[a] { Leaf(a), Node(Tree[a], Tree[a]) }
+            def @main($w: Tensor[(2, 2)], %x: Tensor[(1, 2)]) -> Tensor[(1, 2)] {
+                let %h = matmul(%x, $w);
+                relu(%h)
+            }
+        "#;
+        let m1 = parse_module(src).unwrap();
+        let printed = super::print_module(&m1);
+        let m2 = parse_module(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(m1.adts, m2.adts);
+        assert_eq!(m1.functions.keys().collect::<Vec<_>>(), m2.functions.keys().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn roundtrip_control_flow() {
+        let src = r#"
+            def @f(%xs: List[Tensor[(1, 2)]], %n: Int) -> Int {
+                match %xs {
+                    Nil => %n,
+                    Cons(%h, %t) => {
+                        let %v = item(sum_rows(sum_rows(%h)));
+                        if %v > 0.5 { @f(%t, %n + 1) } else { @f(%t, %n) }
+                    }
+                }
+            }
+            def @main(%xs: List[Tensor[(1, 2)]]) -> Int { @f(%xs, 0) }
+        "#;
+        let m1 = parse_module(src).unwrap();
+        let printed = super::print_module(&m1);
+        let m2 = parse_module(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(m1.functions.len(), m2.functions.len());
+    }
+
+    #[test]
+    fn prints_attrs() {
+        let src = "def @main(%x: Tensor[(1, 4)]) -> Tensor[(1, 8)] { concat[axis=1](%x, %x) }";
+        let printed = super::print_module(&parse_module(src).unwrap());
+        assert!(printed.contains("concat[axis=1]"), "{printed}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Seeded synthetic dataset generators.
+//!
+//! The paper evaluates on the Stanford Sentiment Treebank (TreeLSTM,
+//! MV-RNN) and XNLI (BiRNN, StackRNN).  Auto-batching performance depends
+//! on the *structure* of the inputs — tree shapes, sentence lengths — not
+//! on token identities, so these generators reproduce the structural
+//! statistics (SST sentences average ≈19 tokens; XNLI premises ≈21) with
+//! seeded pseudo-randomness, and fill embeddings with random values (the
+//! paper itself uses random parameters, §6).
+
+use acrobat_tensor::Tensor;
+use acrobat_vm::InputValue;
+
+pub use acrobat_vm::session::Prng;
+
+/// Draws an approximately-normal integer via the sum of three uniforms,
+/// clamped to `[lo, hi]`.
+fn approx_normal(rng: &mut Prng, mean: f64, std: f64, lo: i64, hi: i64) -> usize {
+    let u = (rng.next_f64() + rng.next_f64() + rng.next_f64()) / 3.0; // mean .5, bell-ish
+    let v = mean + (u - 0.5) * std * 3.46; // match the std of the sum
+    (v.round() as i64).clamp(lo, hi) as usize
+}
+
+/// A random embedding row `[1, dim]` in `[-0.5, 0.5)`.
+pub fn embedding(rng: &mut Prng, dim: usize) -> Tensor {
+    Tensor::from_fn(&[1, dim], |_| (rng.next_f64() - 0.5) as f32)
+}
+
+/// A random matrix `[rows, cols]` scaled for stable recurrences.
+pub fn weight(rng: &mut Prng, rows: usize, cols: usize) -> Tensor {
+    let scale = 1.0 / (rows as f64).sqrt();
+    Tensor::from_fn(&[rows, cols], |_| ((rng.next_f64() - 0.5) * 2.0 * scale) as f32)
+}
+
+/// SST-like sentence length (mean ≈19 tokens, clamped to `[3, 45]`).
+pub fn sst_length(rng: &mut Prng) -> usize {
+    approx_normal(rng, 19.0, 8.0, 3, 45)
+}
+
+/// XNLI-like sentence length (mean ≈21 tokens, clamped to `[4, 50]`).
+pub fn xnli_length(rng: &mut Prng) -> usize {
+    approx_normal(rng, 21.0, 9.0, 4, 50)
+}
+
+/// A list of `len` token embeddings.
+pub fn sentence(rng: &mut Prng, len: usize, dim: usize) -> InputValue {
+    InputValue::list((0..len).map(|_| InputValue::Tensor(embedding(rng, dim))).collect())
+}
+
+/// A random binary tree with `leaves` leaves, each leaf built by `leaf`.
+///
+/// The shape follows random binary bracketings, like constituency parses.
+pub fn random_tree(
+    rng: &mut Prng,
+    leaves: usize,
+    leaf: &mut impl FnMut(&mut Prng) -> InputValue,
+) -> InputValue {
+    assert!(leaves >= 1);
+    if leaves == 1 {
+        return InputValue::Adt { ctor: "Leaf".into(), fields: vec![leaf(rng)] };
+    }
+    // Random split point.
+    let left = 1 + (rng.next_u64() as usize) % (leaves - 1);
+    let l = random_tree(rng, left, leaf);
+    let r = random_tree(rng, leaves - left, leaf);
+    InputValue::Adt { ctor: "Node".into(), fields: vec![l, r] }
+}
+
+/// Number of `Leaf` nodes in a tree input.
+pub fn tree_leaves(v: &InputValue) -> usize {
+    match v {
+        InputValue::Adt { ctor, fields } if ctor == "Leaf" => {
+            let _ = fields;
+            1
+        }
+        InputValue::Adt { ctor, fields } if ctor == "Node" => {
+            tree_leaves(&fields[0]) + tree_leaves(&fields[1])
+        }
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_in_range_and_seeded() {
+        let mut rng = Prng::new(7, 0);
+        let lens: Vec<usize> = (0..200).map(|_| sst_length(&mut rng)).collect();
+        assert!(lens.iter().all(|&l| (3..=45).contains(&l)));
+        let mean: f64 = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        assert!((12.0..26.0).contains(&mean), "mean {mean}");
+        let mut rng2 = Prng::new(7, 0);
+        let lens2: Vec<usize> = (0..200).map(|_| sst_length(&mut rng2)).collect();
+        assert_eq!(lens, lens2, "seeded determinism");
+    }
+
+    #[test]
+    fn tree_has_requested_leaves() {
+        let mut rng = Prng::new(3, 1);
+        for n in [1usize, 2, 7, 19] {
+            let t = random_tree(&mut rng, n, &mut |r| {
+                InputValue::Tensor(embedding(r, 4))
+            });
+            assert_eq!(tree_leaves(&t), n);
+        }
+    }
+
+    #[test]
+    fn sentence_structure() {
+        let mut rng = Prng::new(1, 0);
+        let s = sentence(&mut rng, 3, 4);
+        let mut tensors = Vec::new();
+        s.tensors(&mut tensors);
+        assert_eq!(tensors.len(), 3);
+        assert_eq!(tensors[0].shape().dims(), &[1, 4]);
+    }
+
+    #[test]
+    fn weight_scaling() {
+        let mut rng = Prng::new(2, 0);
+        let w = weight(&mut rng, 64, 64);
+        let max = w.data().iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+        assert!(max <= (1.0 / 8.0) + 1e-6);
+    }
+}

@@ -1,0 +1,227 @@
+//! The lazily-built dataflow graph.
+//!
+//! Every scheduling unit the AOT program emits — one fusion group, or one
+//! coarsened static block — becomes a [`DfgNode`].  Node inputs are
+//! [`ValueId`]s that are either already materialized device tensors or
+//! pending outputs of earlier nodes.  The node also records the metadata the
+//! schedulers key on: the instance lane, the inline-computed depth, the
+//! program phase, and the batched kernel that executes it.
+
+use acrobat_codegen::KernelId;
+use acrobat_tensor::DeviceTensor;
+
+/// Identifier of a DFG node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u64);
+
+/// Identifier of a tensor value flowing through the DFG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ValueId(pub u64);
+
+/// State of a value.
+#[derive(Debug, Clone)]
+pub enum ValueState {
+    /// Will be produced by `producer` at output slot `slot`.
+    Pending {
+        /// Producing node.
+        producer: NodeId,
+        /// Output slot of the producer.
+        slot: usize,
+    },
+    /// Materialized on the device.
+    Ready(DeviceTensor),
+}
+
+/// One scheduling unit: a batched-kernel invocation for one instance.
+#[derive(Debug, Clone)]
+pub struct DfgNode {
+    /// Node id.
+    pub id: NodeId,
+    /// Kernel to launch (after batching with compatible nodes).
+    pub kernel: KernelId,
+    /// Mini-batch instance that created the node.
+    pub instance: usize,
+    /// Inline-computed depth (§4.1).
+    pub depth: u64,
+    /// Program phase (§4.1).
+    pub phase: u32,
+    /// Hash of the tensors bound to the kernel's *shared* input slots.
+    /// Nodes may only batch when these agree: a batched kernel loads one
+    /// tensor per shared slot, so lanes with different shared operands
+    /// (e.g. the two weight sets of a duplicated BiRNN cell) must launch
+    /// separately.
+    pub shared_sig: u64,
+    /// Argument values, one per kernel input slot.
+    pub args: Vec<ValueId>,
+    /// Output values, one per kernel output slot.
+    pub outputs: Vec<ValueId>,
+    /// Whether the node has been executed.
+    pub executed: bool,
+}
+
+/// The dataflow graph plus its value table.
+#[derive(Debug, Default)]
+pub struct Dfg {
+    nodes: Vec<DfgNode>,
+    values: Vec<ValueState>,
+    /// Nodes not yet executed.
+    pending: Vec<NodeId>,
+}
+
+impl Dfg {
+    /// Creates an empty graph.
+    pub fn new() -> Dfg {
+        Dfg::default()
+    }
+
+    /// Registers an already-materialized tensor (program input, constant).
+    pub fn ready_value(&mut self, tensor: DeviceTensor) -> ValueId {
+        let id = ValueId(self.values.len() as u64);
+        self.values.push(ValueState::Ready(tensor));
+        id
+    }
+
+    /// Appends a node; returns its output [`ValueId`]s (one per slot).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_node(
+        &mut self,
+        kernel: KernelId,
+        instance: usize,
+        depth: u64,
+        phase: u32,
+        shared_sig: u64,
+        args: Vec<ValueId>,
+        output_slots: usize,
+    ) -> (NodeId, Vec<ValueId>) {
+        let id = NodeId(self.nodes.len() as u64);
+        let outputs: Vec<ValueId> = (0..output_slots)
+            .map(|slot| {
+                let vid = ValueId(self.values.len() as u64);
+                self.values.push(ValueState::Pending { producer: id, slot });
+                vid
+            })
+            .collect();
+        self.nodes.push(DfgNode {
+            id,
+            kernel,
+            instance,
+            depth,
+            phase,
+            shared_sig,
+            args,
+            outputs: outputs.clone(),
+            executed: false,
+        });
+        self.pending.push(id);
+        (id, outputs)
+    }
+
+    /// The node table.
+    pub fn node(&self, id: NodeId) -> &DfgNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// All nodes (executed and pending).
+    pub fn nodes(&self) -> &[DfgNode] {
+        &self.nodes
+    }
+
+    /// Ids of nodes not yet executed, in creation order.
+    pub fn pending(&self) -> &[NodeId] {
+        &self.pending
+    }
+
+    /// Whether any nodes await execution.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Value state lookup.
+    pub fn value(&self, id: ValueId) -> &ValueState {
+        &self.values[id.0 as usize]
+    }
+
+    /// The materialized tensor behind `id`, if ready.
+    pub fn tensor(&self, id: ValueId) -> Option<&DeviceTensor> {
+        match &self.values[id.0 as usize] {
+            ValueState::Ready(t) => Some(t),
+            ValueState::Pending { .. } => None,
+        }
+    }
+
+    /// The producing node of `id`, if still pending.
+    pub fn producer(&self, id: ValueId) -> Option<NodeId> {
+        match &self.values[id.0 as usize] {
+            ValueState::Pending { producer, .. } => Some(*producer),
+            ValueState::Ready(_) => None,
+        }
+    }
+
+    /// True when all arguments of `node` are materialized.
+    pub fn args_ready(&self, node: NodeId) -> bool {
+        self.nodes[node.0 as usize]
+            .args
+            .iter()
+            .all(|a| matches!(self.values[a.0 as usize], ValueState::Ready(_)))
+    }
+
+    /// Marks a node executed, materializing its outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if output counts disagree (internal error).
+    pub fn complete_node(&mut self, node: NodeId, outputs: Vec<DeviceTensor>) {
+        let n = &mut self.nodes[node.0 as usize];
+        assert_eq!(n.outputs.len(), outputs.len(), "output arity mismatch");
+        assert!(!n.executed, "node executed twice");
+        n.executed = true;
+        let out_ids = n.outputs.clone();
+        for (vid, t) in out_ids.into_iter().zip(outputs) {
+            self.values[vid.0 as usize] = ValueState::Ready(t);
+        }
+        self.pending.retain(|&p| p != node);
+    }
+
+    /// Total nodes ever created (the DFG-construction count in Table 5).
+    pub fn node_count(&self) -> u64 {
+        self.nodes.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acrobat_tensor::{DeviceMem, Tensor};
+
+    #[test]
+    fn node_lifecycle() {
+        let mut mem = DeviceMem::new(64);
+        let mut dfg = Dfg::new();
+        let x = dfg.ready_value(mem.upload(&Tensor::ones(&[2])).unwrap());
+        let (n1, o1) = dfg.add_node(acrobat_codegen::KernelId(0), 0, 0, 0, 0, vec![x], 1);
+        assert!(dfg.args_ready(n1));
+        assert!(dfg.tensor(o1[0]).is_none());
+        assert_eq!(dfg.producer(o1[0]), Some(n1));
+
+        let (n2, _) = dfg.add_node(acrobat_codegen::KernelId(1), 0, 1, 0, 0, vec![o1[0]], 1);
+        assert!(!dfg.args_ready(n2), "depends on pending n1");
+        assert_eq!(dfg.pending().len(), 2);
+
+        let t = mem.upload(&Tensor::zeros(&[2])).unwrap();
+        dfg.complete_node(n1, vec![t]);
+        assert!(dfg.args_ready(n2));
+        assert_eq!(dfg.pending(), &[n2]);
+        assert!(dfg.tensor(o1[0]).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "executed twice")]
+    fn double_completion_panics() {
+        let mut mem = DeviceMem::new(64);
+        let mut dfg = Dfg::new();
+        let (n, _) = dfg.add_node(acrobat_codegen::KernelId(0), 0, 0, 0, 0, vec![], 1);
+        let t = mem.upload(&Tensor::ones(&[1])).unwrap();
+        dfg.complete_node(n, vec![t.clone()]);
+        dfg.complete_node(n, vec![t]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Fibers for tensor-dependent control flow (§4.2, Fig. 3 of the paper).
+//!
+//! With tensor-dependent control flow, executing the unbatched program
+//! sequentially per instance would force a DFG flush at every control-flow
+//! decision of every instance — destroying batch parallelism.  ACROBAT
+//! instead runs *all* instances concurrently; each runs until it cannot
+//! progress without a tensor value, then suspends.  When nobody can
+//! progress, the accumulated DFG is flushed once (executing the pending
+//! work of *all* instances in batches), and everyone resumes.
+//!
+//! The paper uses Boost fibers (cooperative user-level stacks).  Here each
+//! logical fiber is an OS thread coordinated by a [`FiberHub`]: the hub
+//! tracks how many fibers are runnable vs suspended-at-a-sync-point, and the
+//! driver thread flushes exactly when the runnable count reaches zero.  The
+//! semantics (suspension points, flush-when-stuck, fork-join instance
+//! parallelism) are identical; the fiber-switch *cost* is charged via the
+//! device model's `fiber_switch_cost_us`, not measured from thread context
+//! switches.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+#[derive(Debug, Default)]
+struct HubState {
+    /// Fibers currently able to make progress.
+    runnable: usize,
+    /// Fibers suspended waiting for a DFG flush.
+    waiting: usize,
+    /// Fibers woken by a flush that have not yet resumed (the driver must
+    /// not flush again until they have, or it would spin).
+    resuming: usize,
+    /// Incremented after every flush; waiters from older generations wake.
+    generation: u64,
+}
+
+/// Coordination point between fibers and the flush driver.
+#[derive(Debug, Default)]
+pub struct FiberHub {
+    state: Mutex<HubState>,
+    cv: Condvar,
+    /// Total suspensions observed (runtime statistic).
+    switches: AtomicU64,
+}
+
+impl FiberHub {
+    /// Creates a hub with no registered fibers.
+    pub fn new() -> FiberHub {
+        FiberHub::default()
+    }
+
+    /// Registers a new runnable fiber (call before spawning it).
+    pub fn register(&self) {
+        self.state.lock().runnable += 1;
+    }
+
+    /// Marks the calling fiber finished.
+    pub fn finish(&self) {
+        let mut st = self.state.lock();
+        st.runnable -= 1;
+        if st.runnable == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Suspends the calling fiber until the next DFG flush completes.
+    pub fn wait_for_flush(&self) {
+        self.switches.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.state.lock();
+        st.runnable -= 1;
+        st.waiting += 1;
+        let my_gen = st.generation;
+        if st.runnable == 0 {
+            self.cv.notify_all(); // wake the driver
+        }
+        while st.generation == my_gen {
+            self.cv.wait(&mut st);
+        }
+        st.waiting -= 1;
+        st.resuming -= 1;
+        st.runnable += 1;
+        if st.resuming == 0 {
+            self.cv.notify_all(); // let the driver re-evaluate
+        }
+    }
+
+    /// Runs `f` (typically joining child fibers) with the calling fiber
+    /// counted as not-runnable, so a flush can proceed while the parent
+    /// blocks on its children (fork-join instance parallelism, §4.2).
+    pub fn suspend_while<R>(&self, f: impl FnOnce() -> R) -> R {
+        {
+            let mut st = self.state.lock();
+            st.runnable -= 1;
+            if st.runnable == 0 {
+                self.cv.notify_all();
+            }
+        }
+        let r = f();
+        self.state.lock().runnable += 1;
+        r
+    }
+
+    /// Drives the fiber pool: blocks until no fiber is runnable, then — if
+    /// fibers are suspended at sync points — calls `flush` and wakes them;
+    /// returns once every fiber has finished.
+    ///
+    /// Call from the coordinator thread after spawning all fibers.
+    pub fn drive(&self, mut flush: impl FnMut()) {
+        loop {
+            {
+                let mut st = self.state.lock();
+                while st.runnable > 0 || st.resuming > 0 {
+                    self.cv.wait(&mut st);
+                }
+                if st.waiting == 0 {
+                    return; // everyone finished
+                }
+            }
+            flush();
+            let mut st = self.state.lock();
+            st.resuming = st.waiting;
+            st.generation += 1;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Number of fiber suspensions observed so far.
+    pub fn switch_count(&self) -> u64 {
+        self.switches.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn fibers_sync_at_flush_points() {
+        let hub = Arc::new(FiberHub::new());
+        let flushes = Arc::new(AtomicUsize::new(0));
+        let progress = Arc::new(AtomicUsize::new(0));
+
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            hub.register();
+            let hub = hub.clone();
+            let progress = progress.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..3 {
+                    progress.fetch_add(1, Ordering::SeqCst);
+                    hub.wait_for_flush();
+                }
+                hub.finish();
+            }));
+        }
+        {
+            let flushes = flushes.clone();
+            let progress = progress.clone();
+            hub.drive(move || {
+                let f = flushes.fetch_add(1, Ordering::SeqCst);
+                // Every fiber progressed exactly once more before this flush.
+                assert_eq!(progress.load(Ordering::SeqCst), (f + 1) * 4);
+            });
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(flushes.load(Ordering::SeqCst), 3);
+        assert_eq!(hub.switch_count(), 12);
+    }
+
+    #[test]
+    fn fork_join_does_not_deadlock() {
+        let hub = Arc::new(FiberHub::new());
+        hub.register();
+        let hub2 = hub.clone();
+        let parent = std::thread::spawn(move || {
+            // Parent forks two children, each of which syncs once.
+            let mut kids = Vec::new();
+            for _ in 0..2 {
+                hub2.register();
+                let h = hub2.clone();
+                kids.push(std::thread::spawn(move || {
+                    h.wait_for_flush();
+                    h.finish();
+                    7
+                }));
+            }
+            let sum: i32 =
+                hub2.suspend_while(|| kids.into_iter().map(|k| k.join().unwrap()).sum());
+            hub2.finish();
+            sum
+        });
+        let flushes = Arc::new(AtomicUsize::new(0));
+        let fc = flushes.clone();
+        hub.drive(move || {
+            fc.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(parent.join().unwrap(), 14);
+        assert_eq!(flushes.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn no_fibers_drive_returns_immediately() {
+        let hub = FiberHub::new();
+        hub.drive(|| panic!("no flush expected"));
+    }
+}

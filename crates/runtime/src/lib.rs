@@ -1,0 +1,52 @@
+//! The ACROBAT runtime: lazy DFG construction, dynamic batching, fibers and
+//! a simulated accelerator.
+//!
+//! This is the dynamic half of the paper's hybrid static+dynamic design.
+//! The AOT-compiled program (in `acrobat-vm`) executes per-instance and
+//! *lazily* records tensor work as dataflow-graph nodes ([`dfg`]); when a
+//! value is actually needed — at a tensor-dependent control-flow decision,
+//! or at the end of the mini-batch — the runtime [`Runtime::flush`]es:
+//! the scheduler ([`scheduler`]) picks batches of compatible nodes and each
+//! batch becomes one batched-kernel launch on the simulated device
+//! ([`device`]).
+//!
+//! Three schedulers are provided, matching the paper's comparison space:
+//!
+//! * [`scheduler::SchedulerKind::InlineDepth`] — ACROBAT's scheme (§4.1):
+//!   depths were computed *while building* the DFG (by AOT-generated code),
+//!   so scheduling is a near-free bucket sort by `(phase, depth, kernel)`;
+//! * [`scheduler::SchedulerKind::DynamicDepth`] — DyNet's depth-based
+//!   scheme: depths are recomputed from the graph topology at flush time;
+//! * [`scheduler::SchedulerKind::Agenda`] — DyNet's agenda-based scheme:
+//!   repeatedly pick the available kernel class with the lowest average
+//!   depth; more parallelism-friendly, higher overhead.
+//!
+//! Tensor-dependent control flow is handled with fibers ([`fiber`]): all
+//! instances of the mini-batch execute concurrently; when an instance needs
+//! a tensor value it suspends; when no instance can make progress the DFG is
+//! flushed and everyone resumes (§4.2, Fig. 3).  Fibers are realized as
+//! cooperatively-coordinated OS threads — same semantics as the paper's
+//! Boost fibers (many logical stacks, suspension at sync points), traded for
+//! implementation simplicity; the *counts* the evaluation relies on (nodes,
+//! launches, bytes) are unaffected.
+//!
+//! All device-side costs come from the analytical [`device::DeviceModel`]
+//! (see DESIGN.md for the substitution rationale); host-side overheads (DFG
+//! construction, scheduling) are charged per the per-event constants in the
+//! model, and every raw count is also reported in [`stats::RuntimeStats`].
+
+#![deny(missing_docs)]
+
+pub mod device;
+pub mod dfg;
+pub mod fiber;
+pub mod runtime;
+pub mod scheduler;
+pub mod stats;
+
+pub use device::DeviceModel;
+pub use dfg::{Dfg, NodeId, ValueId};
+pub use fiber::FiberHub;
+pub use runtime::{Runtime, RuntimeOptions};
+pub use scheduler::SchedulerKind;
+pub use stats::RuntimeStats;

@@ -1,0 +1,488 @@
+//! The runtime proper: ties the DFG, the scheduler, the kernel library and
+//! the simulated device together.
+
+use acrobat_analysis::fusion::GroupId;
+use acrobat_codegen::exec::{bind_args, run_batched_kernel};
+use acrobat_codegen::KernelLibrary;
+use acrobat_tensor::batch::BatchMode;
+use acrobat_tensor::{DeviceMem, DeviceTensor, Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceModel;
+use crate::dfg::{Dfg, ValueId};
+use crate::scheduler::{self, SchedulerKind};
+use crate::stats::RuntimeStats;
+
+/// Configuration of a runtime instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeOptions {
+    /// Scheduling algorithm.
+    pub scheduler: SchedulerKind,
+    /// Gather-operator fusion (§5.2): `true` launches kernels that read
+    /// scattered operands in place; `false` performs explicit gathers.
+    pub gather_fusion: bool,
+    /// Grain-size coarsening (§B.2): charge DFG-construction and scheduling
+    /// overheads per static block rather than per fusion group.
+    pub coarsen: bool,
+    /// Eager execution: flush after every node (PyTorch-style, no
+    /// auto-batching — the §E.3 baseline).
+    pub eager: bool,
+    /// Device memory capacity in `f32` elements.
+    pub device_memory: usize,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions {
+            scheduler: SchedulerKind::InlineDepth,
+            gather_fusion: true,
+            coarsen: true,
+            eager: false,
+            device_memory: 64 << 20, // 256 MB
+        }
+    }
+}
+
+/// The ACROBAT runtime for one compiled program.
+///
+/// Typical lifecycle per mini-batch: [`Runtime::reset`], upload inputs,
+/// interleave [`Runtime::add_unit`] (from the executing program) with
+/// [`Runtime::flush`] (at sync points), read results, inspect
+/// [`Runtime::stats`].
+#[derive(Debug)]
+pub struct Runtime {
+    library: KernelLibrary,
+    mem: DeviceMem,
+    dfg: Dfg,
+    model: DeviceModel,
+    options: RuntimeOptions,
+    stats: RuntimeStats,
+    units: u64,
+    /// Per-kernel launch counts (PGO profile data).
+    profile: std::collections::BTreeMap<acrobat_codegen::KernelId, u64>,
+}
+
+impl Runtime {
+    /// Creates a runtime over a kernel library.
+    pub fn new(library: KernelLibrary, model: DeviceModel, options: RuntimeOptions) -> Runtime {
+        Runtime {
+            library,
+            mem: DeviceMem::new(options.device_memory),
+            dfg: Dfg::new(),
+            model,
+            options,
+            stats: RuntimeStats::default(),
+            units: 0,
+            profile: Default::default(),
+        }
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+
+    /// Active options.
+    pub fn options(&self) -> &RuntimeOptions {
+        &self.options
+    }
+
+    /// The kernel library.
+    pub fn library(&self) -> &KernelLibrary {
+        &self.library
+    }
+
+    /// Mutable access to the kernel library (the auto-scheduler re-tunes
+    /// kernels in place after a PGO profiling run, §D.1).
+    pub fn library_mut(&mut self) -> &mut KernelLibrary {
+        &mut self.library
+    }
+
+    /// Per-kernel launch counts observed so far (profile data for PGO).
+    pub fn take_profile(&mut self) -> std::collections::BTreeMap<acrobat_codegen::KernelId, u64> {
+        std::mem::take(&mut self.profile)
+    }
+
+    /// Clears the DFG, device memory and statistics for a fresh mini-batch.
+    pub fn reset(&mut self) {
+        self.mem.reset();
+        let _ = self.mem.take_stats();
+        self.dfg = Dfg::new();
+        self.stats = RuntimeStats::default();
+        self.units = 0;
+    }
+
+    /// Uploads a batch of host tensors as one transfer operation (the
+    /// paper's batched memcpys, §D.3), returning ready values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DeviceOom`] if device memory is exhausted.
+    pub fn upload_inputs(&mut self, tensors: &[&Tensor]) -> Result<Vec<ValueId>, TensorError> {
+        let before = self.mem.stats();
+        let handles = self.mem.upload_batched(tensors)?;
+        let after = self.mem.stats();
+        let bytes = after.upload_bytes - before.upload_bytes;
+        let ops = after.upload_ops - before.upload_ops;
+        self.stats.memcpy_bytes += bytes;
+        self.stats.memcpy_ops += ops;
+        self.stats.memcpy_us += self.model.memcpy_time_us(bytes, ops);
+        self.stats.cuda_api_us += ops as f64 * self.model.memcpy_overhead_us;
+        Ok(handles.into_iter().map(|h| self.dfg.ready_value(h)).collect())
+    }
+
+    /// Registers an already-resident tensor as a ready value (weights are
+    /// uploaded once and reused across mini-batches in the real system; the
+    /// benchmark harness uploads them outside the timed region).
+    pub fn ready_value(&mut self, tensor: DeviceTensor) -> ValueId {
+        self.dfg.ready_value(tensor)
+    }
+
+    /// Direct access to device memory (weight upload, result download).
+    pub fn mem_mut(&mut self) -> &mut DeviceMem {
+        &mut self.mem
+    }
+
+    /// Appends one scheduling unit to the DFG.
+    ///
+    /// `unit_head` is false when grain-size coarsening merges this node into
+    /// the previous one's scheduling unit (same static block); construction
+    /// and scheduling overheads are then charged once per block.
+    ///
+    /// Returns the node's output values (one per kernel output slot).
+    pub fn add_unit(
+        &mut self,
+        group: GroupId,
+        instance: usize,
+        depth: u64,
+        phase: u32,
+        args: Vec<ValueId>,
+        unit_head: bool,
+    ) -> Vec<ValueId> {
+        let kernel = self.library.kernel_id_for_group(group);
+        let program = self.library.kernel(kernel);
+        let outputs = program.outputs.len();
+        // Shared-operand signature: nodes batch only when their shared
+        // kernel operands are identical tensors.
+        let mut shared_sig = 0xcbf29ce484222325u64;
+        for (input, arg) in program.inputs.iter().zip(&args) {
+            if input.class == acrobat_analysis::ArgClass::Shared {
+                shared_sig ^= arg.0.wrapping_add(0x9E3779B97F4A7C15);
+                shared_sig = shared_sig.wrapping_mul(0x100000001b3);
+            }
+        }
+        let charge = !self.options.coarsen || unit_head;
+        if charge {
+            self.units += 1;
+            self.stats.dfg_construction_us += self.model.dfg_node_cost_us;
+        }
+        let (_, outs) =
+            self.dfg.add_node(kernel, instance, depth, phase, shared_sig, args, outputs);
+        self.stats.nodes = self.dfg.node_count();
+        outs
+    }
+
+    /// The tensor behind a value, if already materialized.
+    pub fn tensor(&self, v: ValueId) -> Option<&DeviceTensor> {
+        self.dfg.tensor(v)
+    }
+
+    /// Forces a value: flushes the DFG if it is still pending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush errors.
+    pub fn force(&mut self, v: ValueId) -> Result<DeviceTensor, TensorError> {
+        if self.dfg.tensor(v).is_none() {
+            self.flush()?;
+        }
+        self.dfg
+            .tensor(v)
+            .cloned()
+            .ok_or(TensorError::StaleHandle)
+    }
+
+    /// Downloads a value to the host (forcing it first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush and transfer errors.
+    pub fn download(&mut self, v: ValueId) -> Result<Tensor, TensorError> {
+        let t = self.force(v)?;
+        let before = self.mem.stats();
+        let host = self.mem.download(&t)?;
+        let bytes = self.mem.stats().download_bytes - before.download_bytes;
+        self.stats.memcpy_bytes += bytes;
+        self.stats.memcpy_ops += 1;
+        self.stats.memcpy_us += self.model.memcpy_time_us(bytes, 1);
+        self.stats.cuda_api_us += self.model.memcpy_overhead_us;
+        Ok(host)
+    }
+
+    /// Executes all pending DFG nodes in batched kernel launches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DeviceOom`] or kernel errors; a scheduling
+    /// inconsistency (a batch whose dependences are unmet) is a bug and
+    /// panics.
+    pub fn flush(&mut self) -> Result<(), TensorError> {
+        if !self.dfg.has_pending() {
+            return Ok(());
+        }
+        let wall = std::time::Instant::now();
+        let plan = scheduler::plan(self.options.scheduler, &self.dfg);
+
+        // Host scheduling cost: per elementary decision, scaled so that with
+        // coarsening the inline scheduler pays per scheduling unit.
+        let per_decision = match self.options.scheduler {
+            SchedulerKind::InlineDepth => self.model.sched_inline_cost_us,
+            SchedulerKind::DynamicDepth => self.model.sched_dyn_depth_cost_us,
+            SchedulerKind::Agenda => self.model.sched_agenda_cost_us,
+        };
+        let unit_ratio = if self.options.coarsen && self.dfg.node_count() > 0 {
+            (self.units as f64 / self.dfg.node_count() as f64).min(1.0)
+        } else {
+            1.0
+        };
+        self.stats.scheduling_us += plan.decisions as f64 * per_decision * unit_ratio;
+
+        for batch in &plan.batches {
+            let kernel_id = self.dfg.node(batch[0]).kernel;
+            let program = self.library.kernel(kernel_id).clone();
+            let lanes = batch.len();
+            // Resolve arguments per lane.
+            let mut per_lane: Vec<Vec<DeviceTensor>> = Vec::with_capacity(lanes);
+            for &node_id in batch {
+                let node = self.dfg.node(node_id);
+                debug_assert_eq!(node.kernel, kernel_id);
+                let mut lane = Vec::with_capacity(node.args.len());
+                for a in &node.args {
+                    let t = self
+                        .dfg
+                        .tensor(*a)
+                        .unwrap_or_else(|| panic!("scheduler produced unmet dependency"))
+                        .clone();
+                    lane.push(t);
+                }
+                per_lane.push(lane);
+            }
+            let args = bind_args(&program, &per_lane);
+            let mode = if self.options.gather_fusion {
+                BatchMode::GatherFused
+            } else {
+                BatchMode::ExplicitGather
+            };
+            let (outs, lstats) = run_batched_kernel(&mut self.mem, &program, &args, lanes, mode)?;
+
+            // Accounting.
+            self.stats.kernel_launches += lstats.launches;
+            // PGO profiles count operator *invocations* (DFG nodes), not
+            // batched launches — the paper prioritizes by execution
+            // frequency (§D.1).
+            *self.profile.entry(kernel_id).or_default() += lanes as u64;
+            self.stats.flops += lstats.flops;
+            self.stats.gather_copies += lstats.gather_copies;
+            self.stats.gather_bytes += lstats.gather_bytes;
+            self.stats.contiguous_hits += lstats.contiguous_hits;
+            self.stats.kernel_time_us +=
+                self.model.kernel_time_us(&lstats, program.schedule.as_ref(), lanes)
+                    + self.model.gather_time_us(&lstats);
+            self.stats.cuda_api_us +=
+                lstats.launches as f64 * self.model.launch_overhead_us
+                    + lstats.gather_copies as f64 * self.model.launch_overhead_us * 0.5;
+
+            // Materialize outputs: outs[slot][lane].
+            for (lane_idx, &node_id) in batch.iter().enumerate() {
+                let node_outs: Vec<DeviceTensor> =
+                    outs.iter().map(|slot| slot[lane_idx].clone()).collect();
+                self.dfg.complete_node(node_id, node_outs);
+            }
+        }
+        self.stats.flushes += 1;
+        self.stats.device_peak_elements = self.mem.stats().peak_elements;
+        self.stats.host_wall_us += wall.elapsed().as_secs_f64() * 1e6;
+        Ok(())
+    }
+
+    /// Charges fiber-switch costs observed by a [`crate::FiberHub`].
+    pub fn charge_fiber_switches(&mut self, switches: u64) {
+        self.stats.fiber_switches += switches;
+        self.stats.fiber_us += switches as f64 * self.model.fiber_switch_cost_us;
+    }
+}
+
+// The profile map lives outside the main struct body definition above for
+// readability; declare the field here via a small extension.
+impl Runtime {
+    /// The device model in use.
+    pub fn model(&self) -> &DeviceModel {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acrobat_analysis::{analyze, AnalysisOptions};
+    use acrobat_ir::{parse_module, typeck};
+
+    fn setup(src: &str, options: RuntimeOptions) -> (acrobat_analysis::AnalysisResult, Runtime) {
+        let m = typeck::check_module(parse_module(src).unwrap()).unwrap();
+        let a = analyze(m, AnalysisOptions::default()).unwrap();
+        let lib = KernelLibrary::build(&a);
+        let rt = Runtime::new(lib, DeviceModel::default(), options);
+        (a, rt)
+    }
+
+    const PROGRAM: &str = "def @main($w: Tensor[(2, 2)], %x: Tensor[(1, 2)]) -> Tensor[(1, 2)] {
+        relu(matmul(%x, $w))
+    }";
+
+    #[test]
+    fn manual_batch_execution() {
+        let (a, mut rt) = setup(PROGRAM, RuntimeOptions::default());
+        let group = a.blocks.blocks[0].groups[0].id;
+        let w_host = Tensor::from_fn(&[2, 2], |i| i as f32);
+        let w = rt.mem_mut().upload(&w_host).unwrap();
+        let wv = rt.ready_value(w);
+
+        let xs: Vec<Tensor> =
+            (0..4).map(|i| Tensor::fill(&[1, 2], i as f32 - 1.5)).collect();
+        let refs: Vec<&Tensor> = xs.iter().collect();
+        let xvs = rt.upload_inputs(&refs).unwrap();
+
+        // Input slot order: discover batched-vs-shared from the kernel.
+        let kernel = rt.library().kernel_for_group(group).clone();
+        let mut outs = Vec::new();
+        for (i, xv) in xvs.iter().enumerate() {
+            let args: Vec<ValueId> = kernel
+                .inputs
+                .iter()
+                .map(|inp| match inp.class {
+                    acrobat_analysis::ArgClass::Batched => *xv,
+                    acrobat_analysis::ArgClass::Shared => wv,
+                })
+                .collect();
+            let o = rt.add_unit(group, i, 0, 0, args, true);
+            outs.push(o[0]);
+        }
+        rt.flush().unwrap();
+        assert_eq!(rt.stats().kernel_launches, 1, "4 instances, one launch");
+        assert_eq!(rt.stats().nodes, 4);
+        for (x, o) in xs.iter().zip(&outs) {
+            let got = rt.download(*o).unwrap();
+            let mm = acrobat_tensor::execute(&acrobat_tensor::PrimOp::MatMul, &[x, &w_host]).unwrap();
+            let want = acrobat_tensor::execute(&acrobat_tensor::PrimOp::Relu, &[&mm]).unwrap();
+            assert!(got.allclose(&want, 1e-6));
+        }
+        assert!(rt.stats().total_us() > 0.0);
+    }
+
+    #[test]
+    fn force_triggers_flush() {
+        let (a, mut rt) = setup(PROGRAM, RuntimeOptions::default());
+        let group = a.blocks.blocks[0].groups[0].id;
+        let w = rt.mem_mut().upload(&Tensor::ones(&[2, 2])).unwrap();
+        let wv = rt.ready_value(w);
+        let x = rt.upload_inputs(&[&Tensor::ones(&[1, 2])]).unwrap()[0];
+        let kernel = rt.library().kernel_for_group(group).clone();
+        let args: Vec<ValueId> = kernel
+            .inputs
+            .iter()
+            .map(|inp| match inp.class {
+                acrobat_analysis::ArgClass::Batched => x,
+                acrobat_analysis::ArgClass::Shared => wv,
+            })
+            .collect();
+        let o = rt.add_unit(group, 0, 0, 0, args, true);
+        assert!(rt.tensor(o[0]).is_none());
+        let t = rt.force(o[0]).unwrap();
+        assert_eq!(rt.mem_mut().read(&t).unwrap(), &[2.0, 2.0]);
+        assert_eq!(rt.stats().flushes, 1);
+        // Flushing with nothing pending is free.
+        rt.flush().unwrap();
+        assert_eq!(rt.stats().flushes, 1);
+    }
+
+    #[test]
+    fn gather_fusion_toggle_changes_accounting_not_results() {
+        let run = |fusion: bool| {
+            let (a, mut rt) = setup(
+                PROGRAM,
+                RuntimeOptions { gather_fusion: fusion, ..Default::default() },
+            );
+            let group = a.blocks.blocks[0].groups[0].id;
+            let w = rt.mem_mut().upload(&Tensor::from_fn(&[2, 2], |i| i as f32)).unwrap();
+            let wv = rt.ready_value(w);
+            let kernel = rt.library().kernel_for_group(group).clone();
+            let mut outs = Vec::new();
+            for i in 0..3 {
+                // Interleave pad allocations to scatter instance tensors.
+                let x = rt.upload_inputs(&[&Tensor::fill(&[1, 2], i as f32)]).unwrap()[0];
+                rt.mem_mut().alloc(&acrobat_tensor::Shape::new(&[3 + i])).unwrap();
+                let args: Vec<ValueId> = kernel
+                    .inputs
+                    .iter()
+                    .map(|inp| match inp.class {
+                        acrobat_analysis::ArgClass::Batched => x,
+                        acrobat_analysis::ArgClass::Shared => wv,
+                    })
+                    .collect();
+                outs.push(rt.add_unit(group, i, 0, 0, args, true)[0]);
+            }
+            rt.flush().unwrap();
+            let results: Vec<Tensor> =
+                outs.iter().map(|o| rt.download(*o).unwrap()).collect();
+            (results, rt.stats().gather_copies, rt.stats().gather_bytes)
+        };
+        let (r_fused, gc_fused, gb_fused) = run(true);
+        let (r_gather, gc_gather, gb_gather) = run(false);
+        for (a, b) in r_fused.iter().zip(&r_gather) {
+            assert_eq!(a.data(), b.data());
+        }
+        assert_eq!(gc_fused, 0);
+        assert_eq!(gb_fused, 0);
+        assert!(gc_gather > 0 && gb_gather > 0);
+    }
+
+    #[test]
+    fn oom_propagates() {
+        let (a, mut rt) = setup(
+            PROGRAM,
+            RuntimeOptions { device_memory: 16, ..Default::default() },
+        );
+        let _ = a;
+        let big = Tensor::zeros(&[32]);
+        assert!(matches!(
+            rt.upload_inputs(&[&big]),
+            Err(TensorError::DeviceOom { .. })
+        ));
+    }
+
+    #[test]
+    fn coarsening_reduces_charged_overheads() {
+        // Two groups in one block: with coarsening, only the unit head is
+        // charged for DFG construction.
+        let src = "def @main($w1: Tensor[(2, 2)], $w2: Tensor[(2, 2)], %x: Tensor[(1, 2)]) -> Tensor[(1, 2)] {
+            matmul(matmul(%x, $w1), $w2)
+        }";
+        let run = |coarsen: bool| {
+            let (a, mut rt) = setup(src, RuntimeOptions { coarsen, ..Default::default() });
+            let block = &a.blocks.blocks[0];
+            assert_eq!(block.groups.len(), 2);
+            let w1 = rt.mem_mut().upload(&Tensor::ones(&[2, 2])).unwrap();
+            let w1v = rt.ready_value(w1);
+            let w2 = rt.mem_mut().upload(&Tensor::ones(&[2, 2])).unwrap();
+            let w2v = rt.ready_value(w2);
+            let x = rt.upload_inputs(&[&Tensor::ones(&[1, 2])]).unwrap()[0];
+            let g0 = block.groups[0].id;
+            let g1 = block.groups[1].id;
+            let o0 = rt.add_unit(g0, 0, 0, 0, vec![x, w1v], true);
+            let _o1 = rt.add_unit(g1, 0, 1, 0, vec![o0[0], w2v], false);
+            rt.flush().unwrap();
+            rt.stats().dfg_construction_us
+        };
+        assert!(run(true) < run(false));
+    }
+}

@@ -1,0 +1,147 @@
+//! Runtime activity accounting — the Table 5 breakdown.
+
+use serde::{Deserialize, Serialize};
+
+/// Time and count accounting for one mini-batch execution.
+///
+/// The `*_us` fields are model-derived times (see
+/// [`crate::device::DeviceModel`]); the count fields are exact observations.
+/// `host_wall_us` is real measured wall-clock time of the host-side work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeStats {
+    /// Host time constructing DFG nodes, µs.
+    pub dfg_construction_us: f64,
+    /// Host time spent in the scheduler, µs.
+    pub scheduling_us: f64,
+    /// Host↔device memory transfer time, µs.
+    pub memcpy_us: f64,
+    /// Device busy time in kernels (including gather kernels), µs.
+    pub kernel_time_us: f64,
+    /// CUDA-API-style time: launch overheads + transfer calls, µs.
+    pub cuda_api_us: f64,
+    /// Host time in fiber context switches, µs.
+    pub fiber_us: f64,
+
+    /// DFG nodes constructed.
+    pub nodes: u64,
+    /// Batched kernel launches.
+    pub kernel_launches: u64,
+    /// Explicit gather copies.
+    pub gather_copies: u64,
+    /// Bytes moved by explicit gathers.
+    pub gather_bytes: u64,
+    /// Gathers skipped because operands were contiguous.
+    pub contiguous_hits: u64,
+    /// Host↔device transfer operations.
+    pub memcpy_ops: u64,
+    /// Bytes moved host↔device.
+    pub memcpy_bytes: u64,
+    /// Total floating-point work executed.
+    pub flops: u64,
+    /// DFG flushes (sync points + the final drain).
+    pub flushes: u64,
+    /// Fiber suspensions.
+    pub fiber_switches: u64,
+
+    /// High-water mark of simulated device memory, in `f32` elements.
+    pub device_peak_elements: u64,
+    /// Measured host wall-clock time, µs.
+    pub host_wall_us: f64,
+    /// Measured wall-clock time of unbatched-program execution (the
+    /// interpreter or AOT code driving DFG construction), µs.  This is where
+    /// the Relay-VM-vs-AOT gap of Table 7 lives.
+    pub program_host_us: f64,
+}
+
+impl RuntimeStats {
+    /// Total modeled latency: host overheads + device time, µs.
+    ///
+    /// Host and device work are serialized here (the paper's models are
+    /// latency-bound at these batch sizes; asynchronous overlap is already
+    /// reflected in the per-activity constants).
+    pub fn total_us(&self) -> f64 {
+        self.dfg_construction_us
+            + self.scheduling_us
+            + self.memcpy_us
+            + self.kernel_time_us
+            + self.cuda_api_us
+            + self.fiber_us
+    }
+
+    /// Total modeled latency in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_us() / 1000.0
+    }
+
+    /// Modeled latency plus the *measured* host cost of executing the
+    /// unbatched program (used by the VM-vs-AOT comparison, where the
+    /// difference is real interpretation overhead rather than a model).
+    pub fn total_with_host_us(&self) -> f64 {
+        self.total_us() + self.program_host_us
+    }
+
+    /// Accumulates another run's statistics (for averaging across repeats).
+    pub fn merge(&mut self, o: &RuntimeStats) {
+        self.dfg_construction_us += o.dfg_construction_us;
+        self.scheduling_us += o.scheduling_us;
+        self.memcpy_us += o.memcpy_us;
+        self.kernel_time_us += o.kernel_time_us;
+        self.cuda_api_us += o.cuda_api_us;
+        self.fiber_us += o.fiber_us;
+        self.nodes += o.nodes;
+        self.kernel_launches += o.kernel_launches;
+        self.gather_copies += o.gather_copies;
+        self.gather_bytes += o.gather_bytes;
+        self.contiguous_hits += o.contiguous_hits;
+        self.memcpy_ops += o.memcpy_ops;
+        self.memcpy_bytes += o.memcpy_bytes;
+        self.flops += o.flops;
+        self.flushes += o.flushes;
+        self.fiber_switches += o.fiber_switches;
+        self.device_peak_elements = self.device_peak_elements.max(o.device_peak_elements);
+        self.host_wall_us += o.host_wall_us;
+        self.program_host_us += o.program_host_us;
+    }
+
+    /// Divides all quantities by `n` (averaging after [`RuntimeStats::merge`]).
+    pub fn scaled(&self, n: f64) -> RuntimeStats {
+        RuntimeStats {
+            dfg_construction_us: self.dfg_construction_us / n,
+            scheduling_us: self.scheduling_us / n,
+            memcpy_us: self.memcpy_us / n,
+            kernel_time_us: self.kernel_time_us / n,
+            cuda_api_us: self.cuda_api_us / n,
+            fiber_us: self.fiber_us / n,
+            nodes: (self.nodes as f64 / n) as u64,
+            kernel_launches: (self.kernel_launches as f64 / n) as u64,
+            gather_copies: (self.gather_copies as f64 / n) as u64,
+            gather_bytes: (self.gather_bytes as f64 / n) as u64,
+            contiguous_hits: (self.contiguous_hits as f64 / n) as u64,
+            memcpy_ops: (self.memcpy_ops as f64 / n) as u64,
+            memcpy_bytes: (self.memcpy_bytes as f64 / n) as u64,
+            flops: (self.flops as f64 / n) as u64,
+            flushes: (self.flushes as f64 / n) as u64,
+            fiber_switches: (self.fiber_switches as f64 / n) as u64,
+            device_peak_elements: self.device_peak_elements,
+            host_wall_us: self.host_wall_us / n,
+            program_host_us: self.program_host_us / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_merge() {
+        let mut a = RuntimeStats { kernel_time_us: 100.0, scheduling_us: 10.0, ..Default::default() };
+        let b = RuntimeStats { kernel_time_us: 50.0, nodes: 7, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.kernel_time_us, 150.0);
+        assert_eq!(a.nodes, 7);
+        assert!((a.total_us() - 160.0).abs() < 1e-9);
+        let avg = a.scaled(2.0);
+        assert_eq!(avg.kernel_time_us, 75.0);
+    }
+}

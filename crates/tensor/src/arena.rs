@@ -1,0 +1,511 @@
+//! Arena-allocated simulated device memory.
+//!
+//! The paper's runtime arena-allocates tensors on the GPU and batches
+//! CPU↔GPU transfers (§D.3).  [`DeviceMem`] reproduces that structure on the
+//! host: a single bump-allocated `f32` buffer standing in for accelerator
+//! memory, with explicit byte accounting for uploads, downloads, gathers and
+//! copies.  The byte counters feed the simulated accelerator's memory-cost
+//! terms, and the fixed capacity lets the benchmark harness reproduce the
+//! paper's out-of-memory configurations (DyNet Berxit at batch 64, Table 4).
+
+use std::fmt;
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// A handle to a tensor resident in [`DeviceMem`].
+///
+/// Handles are plain offset+shape descriptors — cheap to copy and safe to
+/// store in dataflow-graph nodes.  A handle is invalidated by
+/// [`DeviceMem::reset`]; using a stale handle returns
+/// [`TensorError::StaleHandle`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DeviceTensor {
+    offset: usize,
+    shape: Shape,
+    generation: u64,
+}
+
+impl DeviceTensor {
+    /// Element offset of the tensor within the arena.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// Reinterprets this handle under a new shape of equal volume without
+    /// touching memory (zero-cost view, used for reshape).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ReshapeNumel`] on a volume mismatch.
+    pub fn reshaped(&self, shape: &Shape) -> Result<DeviceTensor> {
+        if shape.numel() != self.shape.numel() {
+            return Err(TensorError::ReshapeNumel { from: self.shape.clone(), to: shape.clone() });
+        }
+        Ok(DeviceTensor { offset: self.offset, shape: shape.clone(), generation: self.generation })
+    }
+}
+
+/// Transfer and allocation statistics for a [`DeviceMem`].
+///
+/// These are the raw inputs to the Table 5 activity breakdown ("Mem. copy
+/// time") in the benchmark harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Bytes copied host → device (`upload`).
+    pub upload_bytes: u64,
+    /// Bytes copied device → host (`download`).
+    pub download_bytes: u64,
+    /// Bytes moved device → device by explicit gathers.
+    pub gather_bytes: u64,
+    /// Number of explicit gather copies performed.
+    pub gather_ops: u64,
+    /// Gathers skipped because operands were already contiguous.
+    pub contiguous_hits: u64,
+    /// Number of host→device transfer *operations* (each models one
+    /// `cudaMemcpy` call; batching transfers reduces this count).
+    pub upload_ops: u64,
+    /// Live allocation high-water mark, in elements.
+    pub peak_elements: u64,
+}
+
+impl MemStats {
+    /// Total bytes moved across all categories.
+    pub fn total_bytes(&self) -> u64 {
+        self.upload_bytes + self.download_bytes + self.gather_bytes
+    }
+}
+
+/// Bump-allocated simulated device memory.
+///
+/// ```
+/// use acrobat_tensor::{DeviceMem, Tensor};
+///
+/// let mut mem = DeviceMem::new(1 << 20);
+/// let t = mem.upload(&Tensor::ones(&[2, 2]))?;
+/// assert_eq!(mem.read(&t)?, &[1.0; 4]);
+/// # Ok::<(), acrobat_tensor::TensorError>(())
+/// ```
+pub struct DeviceMem {
+    buf: Vec<f32>,
+    top: usize,
+    generation: u64,
+    stats: MemStats,
+}
+
+impl fmt::Debug for DeviceMem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeviceMem")
+            .field("capacity", &self.buf.len())
+            .field("top", &self.top)
+            .field("generation", &self.generation)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl DeviceMem {
+    /// Creates an arena holding `capacity` `f32` elements.
+    pub fn new(capacity: usize) -> Self {
+        DeviceMem { buf: vec![0.0; capacity], top: 0, generation: 0, stats: MemStats::default() }
+    }
+
+    /// Creates an arena with a byte capacity (rounded down to whole `f32`s).
+    pub fn with_capacity_bytes(bytes: usize) -> Self {
+        DeviceMem::new(bytes / std::mem::size_of::<f32>())
+    }
+
+    /// Elements currently allocated.
+    pub fn used(&self) -> usize {
+        self.top
+    }
+
+    /// Total capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Transfer/allocation statistics accumulated since construction (or the
+    /// last [`DeviceMem::take_stats`]).
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Returns the accumulated statistics and zeroes the counters.
+    pub fn take_stats(&mut self) -> MemStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Releases all allocations.  Outstanding [`DeviceTensor`] handles become
+    /// stale.  Statistics are preserved.
+    pub fn reset(&mut self) {
+        self.top = 0;
+        self.generation += 1;
+    }
+
+    /// Allocates an uninitialized (zeroed) tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DeviceOom`] when the arena is exhausted —
+    /// allocation never grows the buffer, so memory-pressure experiments are
+    /// reproducible.
+    pub fn alloc(&mut self, shape: &Shape) -> Result<DeviceTensor> {
+        let n = shape.numel();
+        if self.top + n > self.buf.len() {
+            return Err(TensorError::DeviceOom {
+                requested: n * std::mem::size_of::<f32>(),
+                available: (self.buf.len() - self.top) * std::mem::size_of::<f32>(),
+            });
+        }
+        let offset = self.top;
+        self.top += n;
+        self.stats.peak_elements = self.stats.peak_elements.max(self.top as u64);
+        self.buf[offset..offset + n].fill(0.0);
+        Ok(DeviceTensor { offset, shape: shape.clone(), generation: self.generation })
+    }
+
+    fn check(&self, t: &DeviceTensor) -> Result<()> {
+        if t.generation != self.generation {
+            return Err(TensorError::StaleHandle);
+        }
+        debug_assert!(t.offset + t.numel() <= self.top);
+        Ok(())
+    }
+
+    /// Copies a host tensor into the arena, counting one transfer operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DeviceOom`] when the arena is exhausted.
+    pub fn upload(&mut self, t: &Tensor) -> Result<DeviceTensor> {
+        let dt = self.alloc(t.shape())?;
+        self.buf[dt.offset..dt.offset + dt.numel()].copy_from_slice(t.data());
+        self.stats.upload_bytes += t.shape().byte_size() as u64;
+        self.stats.upload_ops += 1;
+        Ok(dt)
+    }
+
+    /// Uploads several host tensors as one batched transfer (models the
+    /// paper's batched CPU→GPU memcpys, §D.3: many tensors, one transfer op).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DeviceOom`] when the arena is exhausted.
+    pub fn upload_batched(&mut self, tensors: &[&Tensor]) -> Result<Vec<DeviceTensor>> {
+        let mut out = Vec::with_capacity(tensors.len());
+        for t in tensors {
+            let dt = self.alloc(t.shape())?;
+            self.buf[dt.offset..dt.offset + dt.numel()].copy_from_slice(t.data());
+            self.stats.upload_bytes += t.shape().byte_size() as u64;
+            out.push(dt);
+        }
+        if !tensors.is_empty() {
+            self.stats.upload_ops += 1;
+        }
+        Ok(out)
+    }
+
+    /// Copies a device tensor back to the host.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::StaleHandle`] for handles from before a reset.
+    pub fn download(&mut self, t: &DeviceTensor) -> Result<Tensor> {
+        self.check(t)?;
+        self.stats.download_bytes += t.shape().byte_size() as u64;
+        Tensor::from_vec(self.buf[t.offset..t.offset + t.numel()].to_vec(), t.shape().dims())
+    }
+
+    /// Borrows the tensor's elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::StaleHandle`] for handles from before a reset.
+    pub fn read(&self, t: &DeviceTensor) -> Result<&[f32]> {
+        self.check(t)?;
+        Ok(&self.buf[t.offset..t.offset + t.numel()])
+    }
+
+    /// Mutably borrows the tensor's elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::StaleHandle`] for handles from before a reset.
+    pub fn write(&mut self, t: &DeviceTensor) -> Result<&mut [f32]> {
+        self.check(t)?;
+        Ok(&mut self.buf[t.offset..t.offset + t.numel()])
+    }
+
+    /// Splits the arena into the region below `at` (shared, read-only) and
+    /// the region starting at `at` (exclusive).
+    ///
+    /// Kernel executors use this to read input tensors while writing freshly
+    /// allocated outputs: bump allocation guarantees outputs sit above all
+    /// previously allocated inputs.
+    pub fn split_at_mut(&mut self, at: usize) -> (&[f32], &mut [f32]) {
+        let (lo, hi) = self.buf.split_at_mut(at);
+        (lo, hi)
+    }
+
+    pub(crate) fn make_handle(&self, offset: usize, shape: Shape) -> DeviceTensor {
+        DeviceTensor { offset, shape, generation: self.generation }
+    }
+
+    /// Whether `tensors` form one contiguous ascending run of equal-shaped
+    /// tensors (in which case an explicit gather can be skipped — exactly the
+    /// "already contiguous in memory" case the paper describes in §7.3).
+    pub fn is_contiguous_run(&self, tensors: &[&DeviceTensor]) -> bool {
+        if tensors.is_empty() {
+            return true;
+        }
+        let shape = tensors[0].shape();
+        let n = shape.numel();
+        let mut expect = tensors[0].offset;
+        for t in tensors.iter() {
+            if t.shape() != shape || t.offset != expect || t.generation != self.generation {
+                return false;
+            }
+            expect += n;
+        }
+        true
+    }
+
+    /// Gathers `tensors` (equal shapes) into one contiguous allocation.
+    ///
+    /// If they already form a contiguous run, no copy happens and the result
+    /// is a view; otherwise elements are copied and
+    /// [`MemStats::gather_bytes`] is charged.  The boolean reports whether a
+    /// copy was performed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyBatch`] for an empty input,
+    /// [`TensorError::BatchShape`] if shapes differ, and
+    /// [`TensorError::DeviceOom`] if staging space cannot be allocated.
+    pub fn gather(&mut self, tensors: &[&DeviceTensor]) -> Result<(DeviceTensor, bool)> {
+        if tensors.is_empty() {
+            return Err(TensorError::EmptyBatch);
+        }
+        let shape = tensors[0].shape().clone();
+        for t in tensors.iter() {
+            self.check(t)?;
+            if t.shape() != &shape {
+                return Err(TensorError::BatchShape {
+                    op: "gather",
+                    first: shape.clone(),
+                    other: t.shape().clone(),
+                });
+            }
+        }
+        let n = shape.numel();
+        let batched_shape = batched_shape(&shape, tensors.len());
+        if self.is_contiguous_run(tensors) {
+            self.stats.contiguous_hits += 1;
+            return Ok((self.make_handle(tensors[0].offset, batched_shape), false));
+        }
+        let staging = self.alloc(&batched_shape)?;
+        for (i, t) in tensors.iter().enumerate() {
+            let (lo, hi) = self.buf.split_at_mut(staging.offset);
+            hi[i * n..(i + 1) * n].copy_from_slice(&lo[t.offset..t.offset + n]);
+        }
+        self.stats.gather_bytes += (tensors.len() * shape.byte_size()) as u64;
+        self.stats.gather_ops += 1;
+        Ok((staging, true))
+    }
+
+    /// Splits a contiguous batched tensor into `batch` per-instance handles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] if the leading extent is not
+    /// `batch`.
+    pub fn scatter_views(&self, batched: &DeviceTensor, batch: usize) -> Result<Vec<DeviceTensor>> {
+        self.check(batched)?;
+        let dims = batched.shape().dims();
+        if dims.is_empty() || !dims[0].is_multiple_of(batch) {
+            return Err(TensorError::DataLength { got: dims.first().copied().unwrap_or(0), expected: batch });
+        }
+        let inner = instance_shape(batched.shape(), batch);
+        let n = inner.numel();
+        Ok((0..batch)
+            .map(|i| self.make_handle(batched.offset + i * n, inner.clone()))
+            .collect())
+    }
+}
+
+/// Shape of a batch of `batch` instances of `shape`, stacked on a new or
+/// existing leading axis.
+pub fn batched_shape(shape: &Shape, batch: usize) -> Shape {
+    let mut dims = Vec::with_capacity(shape.rank() + 1);
+    dims.push(batch);
+    dims.extend_from_slice(shape.dims());
+    Shape::from(dims)
+}
+
+/// Inverse of [`batched_shape`]: per-instance shape of a stacked batch.
+pub fn instance_shape(batched: &Shape, batch: usize) -> Shape {
+    let dims = batched.dims();
+    debug_assert!(!dims.is_empty());
+    if dims[0] == batch {
+        Shape::new(&dims[1..])
+    } else {
+        // Leading axis folded multiple instances (e.g. concat): divide it.
+        let mut out = dims.to_vec();
+        out[0] /= batch;
+        Shape::from(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upload_read_download_roundtrip() {
+        let mut mem = DeviceMem::new(1024);
+        let host = Tensor::from_fn(&[2, 3], |i| i as f32);
+        let dev = mem.upload(&host).unwrap();
+        assert_eq!(mem.read(&dev).unwrap(), host.data());
+        let back = mem.download(&dev).unwrap();
+        assert_eq!(back, host);
+        assert_eq!(mem.stats().upload_bytes, 24);
+        assert_eq!(mem.stats().download_bytes, 24);
+        assert_eq!(mem.stats().upload_ops, 1);
+    }
+
+    #[test]
+    fn batched_upload_counts_one_op() {
+        let mut mem = DeviceMem::new(1024);
+        let a = Tensor::ones(&[4]);
+        let b = Tensor::zeros(&[4]);
+        let handles = mem.upload_batched(&[&a, &b]).unwrap();
+        assert_eq!(handles.len(), 2);
+        assert_eq!(mem.stats().upload_ops, 1);
+        assert_eq!(mem.stats().upload_bytes, 32);
+    }
+
+    #[test]
+    fn oom_is_reported() {
+        let mut mem = DeviceMem::new(4);
+        assert!(mem.alloc(&Shape::new(&[4])).is_ok());
+        let err = mem.alloc(&Shape::new(&[1])).unwrap_err();
+        assert!(matches!(err, TensorError::DeviceOom { .. }));
+    }
+
+    #[test]
+    fn reset_invalidates_handles() {
+        let mut mem = DeviceMem::new(16);
+        let t = mem.upload(&Tensor::ones(&[2])).unwrap();
+        mem.reset();
+        assert!(matches!(mem.read(&t), Err(TensorError::StaleHandle)));
+        assert_eq!(mem.used(), 0);
+        // New allocations work again.
+        assert!(mem.alloc(&Shape::new(&[16])).is_ok());
+    }
+
+    #[test]
+    fn contiguous_run_detection() {
+        let mut mem = DeviceMem::new(64);
+        let a = mem.upload(&Tensor::ones(&[4])).unwrap();
+        let b = mem.upload(&Tensor::ones(&[4])).unwrap();
+        let c = mem.upload(&Tensor::ones(&[4])).unwrap();
+        assert!(mem.is_contiguous_run(&[&a, &b, &c]));
+        assert!(!mem.is_contiguous_run(&[&a, &c]));
+        assert!(!mem.is_contiguous_run(&[&b, &a]));
+        let d = mem.upload(&Tensor::ones(&[2])).unwrap();
+        assert!(!mem.is_contiguous_run(&[&c, &d]), "shape mismatch breaks the run");
+    }
+
+    #[test]
+    fn gather_contiguous_skips_copy() {
+        let mut mem = DeviceMem::new(64);
+        let a = mem.upload(&Tensor::fill(&[2], 1.0)).unwrap();
+        let b = mem.upload(&Tensor::fill(&[2], 2.0)).unwrap();
+        let (g, copied) = mem.gather(&[&a, &b]).unwrap();
+        assert!(!copied);
+        assert_eq!(g.shape().dims(), &[2, 2]);
+        assert_eq!(mem.read(&g).unwrap(), &[1.0, 1.0, 2.0, 2.0]);
+        assert_eq!(mem.stats().gather_bytes, 0);
+        assert_eq!(mem.stats().contiguous_hits, 1);
+    }
+
+    #[test]
+    fn gather_scattered_copies() {
+        let mut mem = DeviceMem::new(64);
+        let a = mem.upload(&Tensor::fill(&[2], 1.0)).unwrap();
+        let _gap = mem.upload(&Tensor::fill(&[3], 9.0)).unwrap();
+        let b = mem.upload(&Tensor::fill(&[2], 2.0)).unwrap();
+        let (g, copied) = mem.gather(&[&a, &b]).unwrap();
+        assert!(copied);
+        assert_eq!(mem.read(&g).unwrap(), &[1.0, 1.0, 2.0, 2.0]);
+        assert_eq!(mem.stats().gather_bytes, 16);
+        assert_eq!(mem.stats().gather_ops, 1);
+    }
+
+    #[test]
+    fn gather_order_matters() {
+        let mut mem = DeviceMem::new(64);
+        let a = mem.upload(&Tensor::fill(&[1], 1.0)).unwrap();
+        let b = mem.upload(&Tensor::fill(&[1], 2.0)).unwrap();
+        // Reversed order is NOT a contiguous run and must copy.
+        let (g, copied) = mem.gather(&[&b, &a]).unwrap();
+        assert!(copied);
+        assert_eq!(mem.read(&g).unwrap(), &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn gather_rejects_mixed_shapes_and_empty() {
+        let mut mem = DeviceMem::new(64);
+        let a = mem.upload(&Tensor::ones(&[2])).unwrap();
+        let b = mem.upload(&Tensor::ones(&[3])).unwrap();
+        assert!(matches!(mem.gather(&[&a, &b]), Err(TensorError::BatchShape { .. })));
+        assert!(matches!(mem.gather(&[]), Err(TensorError::EmptyBatch)));
+    }
+
+    #[test]
+    fn scatter_views_partition() {
+        let mut mem = DeviceMem::new(64);
+        let batched = mem.upload(&Tensor::from_fn(&[3, 2], |i| i as f32)).unwrap();
+        let views = mem.scatter_views(&batched, 3).unwrap();
+        assert_eq!(views.len(), 3);
+        assert_eq!(mem.read(&views[1]).unwrap(), &[2.0, 3.0]);
+        assert_eq!(views[2].shape().dims(), &[2]);
+    }
+
+    #[test]
+    fn reshaped_view_is_zero_cost() {
+        let mut mem = DeviceMem::new(64);
+        let t = mem.upload(&Tensor::from_fn(&[2, 3], |i| i as f32)).unwrap();
+        let v = t.reshaped(&Shape::new(&[3, 2])).unwrap();
+        assert_eq!(v.offset(), t.offset());
+        assert_eq!(mem.read(&v).unwrap(), mem.read(&t).unwrap());
+        assert!(t.reshaped(&Shape::new(&[4])).is_err());
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut mem = DeviceMem::new(64);
+        mem.alloc(&Shape::new(&[10])).unwrap();
+        mem.reset();
+        mem.alloc(&Shape::new(&[5])).unwrap();
+        assert_eq!(mem.stats().peak_elements, 10);
+    }
+
+    #[test]
+    fn batched_instance_shape_roundtrip() {
+        let s = Shape::new(&[1, 8]);
+        let b = batched_shape(&s, 4);
+        assert_eq!(b.dims(), &[4, 1, 8]);
+        assert_eq!(instance_shape(&b, 4), s);
+    }
+}

@@ -1,0 +1,354 @@
+//! Batched kernel execution.
+//!
+//! A *batched kernel* executes one [`PrimOp`] for `B` dataflow-graph nodes in
+//! a single launch.  Each kernel argument is either **shared** (the same
+//! device tensor for every instance — typically a model parameter, as
+//! identified by ACROBAT's taint analysis, §5.1) or **batched** (one device
+//! tensor per instance).
+//!
+//! Batched arguments can be consumed in two ways, which is the heart of the
+//! paper's §5.2 comparison:
+//!
+//! * [`BatchMode::ExplicitGather`] — DyNet-style: scattered operands are
+//!   first copied into a contiguous staging buffer (charging
+//!   [`crate::MemStats::gather_bytes`]) and the kernel then reads densely.
+//!   When operands already form a contiguous run the copy is skipped, exactly
+//!   as the paper notes for iterative models in §7.3.
+//! * [`BatchMode::GatherFused`] — ACROBAT-style: the kernel reads each
+//!   instance through an offset table (indirect accesses, no copy).  The
+//!   extra indirection is charged by the accelerator cost model in
+//!   `acrobat-runtime`, not here.
+//!
+//! Both modes produce bit-identical results; property tests in
+//! `tests/batch_equivalence.rs` enforce this.
+
+use crate::arena::batched_shape;
+use crate::ops::{self, RawInput};
+use crate::{DeviceMem, DeviceTensor, PrimOp, Result, Shape, TensorError};
+
+/// How batched arguments are accessed by a batched kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BatchMode {
+    /// Copy scattered operands into contiguous staging first (DyNet-style).
+    ExplicitGather,
+    /// Read scattered operands in place through an offset table
+    /// (ACROBAT-style gather-operator fusion).
+    GatherFused,
+}
+
+/// One argument of a batched kernel call.
+#[derive(Debug, Clone)]
+pub enum BatchArg {
+    /// The same tensor for every instance in the batch.
+    Shared(DeviceTensor),
+    /// One tensor per instance (`len == batch`).
+    Batched(Vec<DeviceTensor>),
+}
+
+/// Cost-relevant observations from one batched kernel launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Kernel launches performed (always 1 for a batched call).
+    pub launches: u64,
+    /// Bytes moved by explicit gathers in this call.
+    pub gather_bytes: u64,
+    /// Explicit gather copies performed.
+    pub gather_copies: u64,
+    /// Gathers skipped because operands were contiguous.
+    pub contiguous_hits: u64,
+    /// Operand instances read through the indirection table (gather-fused
+    /// scattered reads; drives the indirection term of the cost model).
+    pub indirect_reads: u64,
+}
+
+impl BatchStats {
+    /// Accumulates another launch's statistics into this one.
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.launches += other.launches;
+        self.gather_bytes += other.gather_bytes;
+        self.gather_copies += other.gather_copies;
+        self.contiguous_hits += other.contiguous_hits;
+        self.indirect_reads += other.indirect_reads;
+    }
+}
+
+/// Executes `op` once, unbatched, on device tensors.
+///
+/// The sequential baselines (PyTorch-style eager execution, and DyNet's
+/// fallback for operators its vendor libraries cannot batch) use this path.
+///
+/// # Errors
+///
+/// Propagates shape inference, arena and kernel errors.
+pub fn run_prim(mem: &mut DeviceMem, op: &PrimOp, inputs: &[&DeviceTensor]) -> Result<DeviceTensor> {
+    let shapes: Vec<&Shape> = inputs.iter().map(|t| t.shape()).collect();
+    let out_shape = ops::infer_shape(op, &shapes)?;
+    // Reshape/copy-free view when possible.
+    if matches!(op, PrimOp::Reshape { .. }) {
+        return inputs[0].reshaped(&out_shape);
+    }
+    let out = mem.alloc(&out_shape)?;
+    let (lo, hi) = mem.split_at_mut(out.offset());
+    let raw: Vec<RawInput<'_>> = inputs
+        .iter()
+        .map(|t| (&lo[t.offset()..t.offset() + t.numel()], t.shape()))
+        .collect();
+    ops::execute_raw(op, &raw, &mut hi[..out_shape.numel()])?;
+    Ok(out)
+}
+
+/// Executes a batched kernel launch: `op` applied to `batch` instances.
+///
+/// Returns the per-instance output handles (views into one contiguous output
+/// allocation — downstream batches over these outputs hit the contiguous
+/// fast path) and the launch statistics.
+///
+/// # Errors
+///
+/// Returns [`TensorError::EmptyBatch`] for `batch == 0`,
+/// [`TensorError::BatchShape`] when instances disagree on shapes, plus any
+/// shape-inference, arena or kernel error.
+pub fn run_batched_prim(
+    mem: &mut DeviceMem,
+    op: &PrimOp,
+    args: &[BatchArg],
+    batch: usize,
+    mode: BatchMode,
+) -> Result<(Vec<DeviceTensor>, BatchStats)> {
+    if batch == 0 {
+        return Err(TensorError::EmptyBatch);
+    }
+    let mut stats = BatchStats { launches: 1, ..BatchStats::default() };
+
+    // Validate batched args and determine per-instance input shapes.
+    let mut instance_shapes: Vec<Shape> = Vec::with_capacity(args.len());
+    for arg in args {
+        match arg {
+            BatchArg::Shared(t) => instance_shapes.push(t.shape().clone()),
+            BatchArg::Batched(ts) => {
+                if ts.len() != batch {
+                    return Err(TensorError::Arity {
+                        op: op.name(),
+                        got: ts.len(),
+                        expected: batch,
+                    });
+                }
+                let first = ts[0].shape().clone();
+                for t in ts {
+                    if t.shape() != &first {
+                        return Err(TensorError::BatchShape {
+                            op: op.name(),
+                            first,
+                            other: t.shape().clone(),
+                        });
+                    }
+                }
+                instance_shapes.push(first);
+            }
+        }
+    }
+    let shape_refs: Vec<&Shape> = instance_shapes.iter().collect();
+    let out_shape = ops::infer_shape(op, &shape_refs)?;
+    let out_numel = out_shape.numel();
+
+    // Resolve each argument to a per-instance offset table.
+    enum Resolved {
+        Shared(DeviceTensor),
+        Offsets(Vec<usize>, Shape),
+    }
+    let mut resolved: Vec<Resolved> = Vec::with_capacity(args.len());
+    for arg in args {
+        match arg {
+            BatchArg::Shared(t) => resolved.push(Resolved::Shared(t.clone())),
+            BatchArg::Batched(ts) => {
+                let shape = ts[0].shape().clone();
+                match mode {
+                    BatchMode::GatherFused => {
+                        stats.indirect_reads += ts.len() as u64;
+                        resolved.push(Resolved::Offsets(
+                            ts.iter().map(|t| t.offset()).collect(),
+                            shape,
+                        ));
+                    }
+                    BatchMode::ExplicitGather => {
+                        let before = mem.stats();
+                        let refs: Vec<&DeviceTensor> = ts.iter().collect();
+                        let (staging, copied) = mem.gather(&refs)?;
+                        let after = mem.stats();
+                        if copied {
+                            stats.gather_bytes += after.gather_bytes - before.gather_bytes;
+                            stats.gather_copies += 1;
+                        } else {
+                            stats.contiguous_hits += 1;
+                        }
+                        let n = shape.numel();
+                        resolved.push(Resolved::Offsets(
+                            (0..batch).map(|i| staging.offset() + i * n).collect(),
+                            shape,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Allocate one contiguous output for the whole batch (this is what makes
+    // consumers of this kernel see contiguous operands).
+    let out_batched = mem.alloc(&batched_shape(&out_shape, batch))?;
+    let out_base = out_batched.offset();
+    let (lo, hi) = mem.split_at_mut(out_base);
+    for b in 0..batch {
+        let raw: Vec<RawInput<'_>> = resolved
+            .iter()
+            .map(|r| match r {
+                Resolved::Shared(t) => (&lo[t.offset()..t.offset() + t.numel()], t.shape()),
+                Resolved::Offsets(offs, shape) => {
+                    (&lo[offs[b]..offs[b] + shape.numel()], shape)
+                }
+            })
+            .collect();
+        ops::execute_raw(op, &raw, &mut hi[b * out_numel..(b + 1) * out_numel])?;
+    }
+
+    let outs = (0..batch)
+        .map(|b| mem.make_handle(out_base + b * out_numel, out_shape.clone()))
+        .collect();
+    Ok((outs, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    fn setup() -> (DeviceMem, DeviceTensor, Vec<DeviceTensor>) {
+        let mut mem = DeviceMem::new(4096);
+        let w = mem.upload(&Tensor::from_fn(&[2, 2], |i| (i + 1) as f32)).unwrap();
+        // Interleave pads so the xs are NOT contiguous.
+        let mut xs = Vec::new();
+        for b in 0..3 {
+            let x = mem.upload(&Tensor::fill(&[1, 2], b as f32 + 1.0)).unwrap();
+            let _pad = mem.alloc(&Shape::new(&[3])).unwrap();
+            xs.push(x);
+        }
+        (mem, w, xs)
+    }
+
+    #[test]
+    fn run_prim_matches_host_execute() {
+        let mut mem = DeviceMem::new(256);
+        let a = Tensor::from_fn(&[2, 3], |i| i as f32);
+        let b = Tensor::fill(&[2, 3], 2.0);
+        let da = mem.upload(&a).unwrap();
+        let db = mem.upload(&b).unwrap();
+        let out = run_prim(&mut mem, &PrimOp::Mul, &[&da, &db]).unwrap();
+        let host = crate::execute(&PrimOp::Mul, &[&a, &b]).unwrap();
+        assert_eq!(mem.read(&out).unwrap(), host.data());
+    }
+
+    #[test]
+    fn run_prim_reshape_is_view() {
+        let mut mem = DeviceMem::new(256);
+        let t = mem.upload(&Tensor::from_fn(&[2, 3], |i| i as f32)).unwrap();
+        let used = mem.used();
+        let r = run_prim(&mut mem, &PrimOp::Reshape { shape: Shape::new(&[3, 2]) }, &[&t]).unwrap();
+        assert_eq!(mem.used(), used, "reshape allocates nothing");
+        assert_eq!(r.offset(), t.offset());
+    }
+
+    #[test]
+    fn fused_and_gathered_agree() {
+        let (mut mem, w, xs) = setup();
+        let args = vec![
+            BatchArg::Batched(xs.clone()),
+            BatchArg::Shared(w.clone()),
+        ];
+        let (fused, fstats) =
+            run_batched_prim(&mut mem, &PrimOp::MatMul, &args, 3, BatchMode::GatherFused).unwrap();
+        let (gathered, gstats) =
+            run_batched_prim(&mut mem, &PrimOp::MatMul, &args, 3, BatchMode::ExplicitGather)
+                .unwrap();
+        for (f, g) in fused.iter().zip(&gathered) {
+            assert_eq!(mem.read(f).unwrap(), mem.read(g).unwrap());
+        }
+        assert_eq!(fstats.gather_bytes, 0);
+        assert_eq!(fstats.indirect_reads, 3);
+        assert!(gstats.gather_bytes > 0, "scattered operands must be copied");
+        assert_eq!(gstats.gather_copies, 1);
+    }
+
+    #[test]
+    fn batched_matches_sequential_unbatched() {
+        let (mut mem, w, xs) = setup();
+        let args = vec![BatchArg::Batched(xs.clone()), BatchArg::Shared(w.clone())];
+        let (batched, _) =
+            run_batched_prim(&mut mem, &PrimOp::MatMul, &args, 3, BatchMode::GatherFused).unwrap();
+        for (x, b) in xs.iter().zip(&batched) {
+            let seq = run_prim(&mut mem, &PrimOp::MatMul, &[x, &w]).unwrap();
+            assert_eq!(mem.read(&seq).unwrap(), mem.read(b).unwrap());
+        }
+    }
+
+    #[test]
+    fn outputs_are_contiguous() {
+        let (mut mem, w, xs) = setup();
+        let args = vec![BatchArg::Batched(xs), BatchArg::Shared(w)];
+        let (outs, _) =
+            run_batched_prim(&mut mem, &PrimOp::MatMul, &args, 3, BatchMode::GatherFused).unwrap();
+        let refs: Vec<&DeviceTensor> = outs.iter().collect();
+        assert!(mem.is_contiguous_run(&refs));
+        // A downstream explicit-gather launch over these outputs skips the copy.
+        let args2 = vec![BatchArg::Batched(outs)];
+        let (_, stats2) =
+            run_batched_prim(&mut mem, &PrimOp::Relu, &args2, 3, BatchMode::ExplicitGather)
+                .unwrap();
+        assert_eq!(stats2.gather_copies, 0);
+        assert_eq!(stats2.contiguous_hits, 1);
+    }
+
+    #[test]
+    fn batch_size_mismatch_rejected() {
+        let (mut mem, w, xs) = setup();
+        let args = vec![BatchArg::Batched(xs), BatchArg::Shared(w)];
+        assert!(run_batched_prim(&mut mem, &PrimOp::MatMul, &args, 2, BatchMode::GatherFused)
+            .is_err());
+        assert!(matches!(
+            run_batched_prim(&mut mem, &PrimOp::MatMul, &args, 0, BatchMode::GatherFused),
+            Err(TensorError::EmptyBatch)
+        ));
+    }
+
+    #[test]
+    fn mixed_instance_shapes_rejected() {
+        let mut mem = DeviceMem::new(256);
+        let a = mem.upload(&Tensor::ones(&[2])).unwrap();
+        let b = mem.upload(&Tensor::ones(&[3])).unwrap();
+        let args = vec![BatchArg::Batched(vec![a, b])];
+        assert!(matches!(
+            run_batched_prim(&mut mem, &PrimOp::Relu, &args, 2, BatchMode::GatherFused),
+            Err(TensorError::BatchShape { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_input_fill_batches() {
+        let mut mem = DeviceMem::new(256);
+        let op = PrimOp::Fill { value: 7.0, shape: Shape::new(&[1, 3]) };
+        let (outs, stats) = run_batched_prim(&mut mem, &op, &[], 4, BatchMode::GatherFused).unwrap();
+        assert_eq!(outs.len(), 4);
+        assert_eq!(stats.launches, 1);
+        for o in &outs {
+            assert_eq!(mem.read(o).unwrap(), &[7.0; 3]);
+        }
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = BatchStats { launches: 1, gather_bytes: 16, ..Default::default() };
+        let b = BatchStats { launches: 2, indirect_reads: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.launches, 3);
+        assert_eq!(a.gather_bytes, 16);
+        assert_eq!(a.indirect_reads, 5);
+    }
+}

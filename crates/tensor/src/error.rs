@@ -1,0 +1,137 @@
+use std::fmt;
+
+use crate::Shape;
+
+/// Errors produced by tensor construction and kernel execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The flat data length does not match the product of the shape extents.
+    DataLength {
+        /// Length of the provided buffer.
+        got: usize,
+        /// Length implied by the shape.
+        expected: usize,
+    },
+    /// Two shapes that were required to match (or broadcast) do not.
+    ShapeMismatch {
+        /// Operation name for context.
+        op: &'static str,
+        /// Left-hand shape.
+        lhs: Shape,
+        /// Right-hand shape.
+        rhs: Shape,
+    },
+    /// An operator received the wrong number of inputs.
+    Arity {
+        /// Operation name for context.
+        op: &'static str,
+        /// Number of inputs received.
+        got: usize,
+        /// Number of inputs expected.
+        expected: usize,
+    },
+    /// A rank other than the supported one was supplied.
+    Rank {
+        /// Operation name for context.
+        op: &'static str,
+        /// The offending shape.
+        shape: Shape,
+        /// Expected rank.
+        expected: usize,
+    },
+    /// An axis argument is out of range for the operand rank.
+    Axis {
+        /// Operation name for context.
+        op: &'static str,
+        /// Requested axis.
+        axis: usize,
+        /// Operand rank.
+        rank: usize,
+    },
+    /// A slice range falls outside the operand extent.
+    SliceRange {
+        /// Requested start.
+        start: usize,
+        /// Requested length.
+        len: usize,
+        /// Extent along the sliced axis.
+        extent: usize,
+    },
+    /// Reshape target has a different element count than the source.
+    ReshapeNumel {
+        /// Source shape.
+        from: Shape,
+        /// Target shape.
+        to: Shape,
+    },
+    /// The simulated device memory arena is exhausted.
+    ///
+    /// Used to reproduce the paper's out-of-memory behaviour (the DyNet
+    /// Berxit configuration at batch size 64 is killed by OOM in Table 4).
+    DeviceOom {
+        /// Bytes requested by the failing allocation.
+        requested: usize,
+        /// Bytes remaining in the arena.
+        available: usize,
+    },
+    /// A device tensor handle refers to a different arena generation.
+    ///
+    /// Raised when a handle created before [`crate::DeviceMem::reset`] is
+    /// used afterwards.
+    StaleHandle,
+    /// Batched execution was invoked with inconsistent per-instance shapes.
+    BatchShape {
+        /// Operation name for context.
+        op: &'static str,
+        /// First conflicting shape.
+        first: Shape,
+        /// Second conflicting shape.
+        other: Shape,
+    },
+    /// Batched execution received an empty batch.
+    EmptyBatch,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::DataLength { got, expected } => {
+                write!(f, "data length {got} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs} and {rhs}")
+            }
+            TensorError::Arity { op, got, expected } => {
+                write!(f, "{op}: expected {expected} inputs, got {got}")
+            }
+            TensorError::Rank { op, shape, expected } => {
+                write!(f, "{op}: expected rank {expected}, got shape {shape}")
+            }
+            TensorError::Axis { op, axis, rank } => {
+                write!(f, "{op}: axis {axis} out of range for rank {rank}")
+            }
+            TensorError::SliceRange { start, len, extent } => {
+                write!(f, "slice [{start}, {start}+{len}) out of range for extent {extent}")
+            }
+            TensorError::ReshapeNumel { from, to } => {
+                write!(f, "cannot reshape {from} to {to}: element counts differ")
+            }
+            TensorError::DeviceOom { requested, available } => {
+                write!(
+                    f,
+                    "simulated device out of memory: requested {requested} bytes, {available} available"
+                )
+            }
+            TensorError::StaleHandle => {
+                write!(f, "device tensor handle is stale (arena was reset)")
+            }
+            TensorError::BatchShape { op, first, other } => {
+                write!(f, "{op}: batch mixes instance shapes {first} and {other}")
+            }
+            TensorError::EmptyBatch => write!(f, "batched kernel invoked with an empty batch"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

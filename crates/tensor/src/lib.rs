@@ -1,0 +1,54 @@
+//! CPU tensor substrate for the ACROBAT reproduction.
+//!
+//! The ACROBAT paper generates CUDA kernels through TVM; this crate is the
+//! stand-in substrate: a small, fully self-contained tensor library that the
+//! rest of the workspace builds batched execution on top of.  It provides
+//!
+//! * [`Shape`] — dense row-major shapes with stride arithmetic,
+//! * [`Tensor`] — owned host tensors (model weights, inputs, references),
+//! * [`DeviceMem`] / [`DeviceTensor`] — an arena-allocated simulated device
+//!   memory with explicit byte accounting for uploads, gathers and copies,
+//! * [`PrimOp`] — the primitive tensor operators the frontend language can
+//!   invoke, with shape inference, FLOP counting and a reference executor,
+//! * [`batch`] — batched kernel execution in the two styles the paper
+//!   compares: *explicit gather* (DyNet-style: copy scattered operands into a
+//!   contiguous staging buffer, then run a dense batched kernel) and *gather
+//!   fusion* (ACROBAT-style: the kernel reads operands through an
+//!   offset-indirection table, §5.2 of the paper).
+//!
+//! Numerical results of the two batched paths are bit-identical; their cost
+//! difference (bytes moved, kernel launches) is surfaced through
+//! [`batch::BatchStats`] and consumed by the simulated accelerator in
+//! `acrobat-runtime`.
+//!
+//! # Example
+//!
+//! ```
+//! use acrobat_tensor::{Tensor, PrimOp, execute};
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::from_vec(vec![0.5; 4], &[2, 2])?;
+//! let out = execute(&PrimOp::Add, &[&a, &b])?;
+//! assert_eq!(out.data(), &[1.5, 2.5, 3.5, 4.5]);
+//! # Ok::<(), acrobat_tensor::TensorError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod arena;
+pub mod batch;
+mod error;
+pub mod ops;
+mod shape;
+mod tensor;
+
+pub use arena::{DeviceMem, DeviceTensor, MemStats};
+pub use batch::{BatchMode, BatchStats};
+pub use error::TensorError;
+pub use ops::{execute, execute_into, execute_slices, flops, infer_shape, PrimOp};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Result alias for fallible tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

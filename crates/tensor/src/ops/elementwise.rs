@@ -1,0 +1,99 @@
+//! Unary and binary elementwise kernels with lightweight broadcasting.
+
+use super::RawInput;
+use crate::Result;
+
+/// Applies `f` to every element of the input.
+pub(crate) fn unary(input: RawInput<'_>, out: &mut [f32], f: impl Fn(f32) -> f32) -> Result<()> {
+    debug_assert_eq!(input.0.len(), out.len());
+    for (o, &x) in out.iter_mut().zip(input.0) {
+        *o = f(x);
+    }
+    Ok(())
+}
+
+/// Applies `f` pairwise, broadcasting either operand per
+/// [`crate::Shape::broadcast`].
+pub(crate) fn binary(
+    lhs: RawInput<'_>,
+    rhs: RawInput<'_>,
+    out: &mut [f32],
+    f: impl Fn(f32, f32) -> f32,
+) -> Result<()> {
+    let out_shape = lhs.1.broadcast(rhs.1)?;
+    debug_assert_eq!(out.len(), out_shape.numel());
+    let lmap = lhs.1.broadcast_index(&out_shape);
+    let rmap = rhs.1.broadcast_index(&out_shape);
+    // Fast path: both operands already have the output shape.
+    if lhs.0.len() == out.len() && rhs.0.len() == out.len() {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = f(lhs.0[i], rhs.0[i]);
+        }
+        return Ok(());
+    }
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = f(lhs.0[lmap.map(i)], rhs.0[rmap.map(i)]);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{execute, PrimOp, Tensor};
+
+    #[test]
+    fn unary_ops() {
+        let x = Tensor::from_vec(vec![-2.0, 0.0, 2.0], &[3]).unwrap();
+        assert_eq!(execute(&PrimOp::Relu, &[&x]).unwrap().data(), &[0.0, 0.0, 2.0]);
+        assert_eq!(execute(&PrimOp::Neg, &[&x]).unwrap().data(), &[2.0, 0.0, -2.0]);
+        let s = execute(&PrimOp::Sigmoid, &[&x]).unwrap();
+        assert!((s.data()[1] - 0.5).abs() < 1e-6);
+        assert!(s.data()[0] < 0.5 && s.data()[2] > 0.5);
+        let t = execute(&PrimOp::Tanh, &[&x]).unwrap();
+        assert!((t.data()[2] - (2.0f32).tanh()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binary_same_shape() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![4.0, 3.0, 2.0, 1.0], &[2, 2]).unwrap();
+        assert_eq!(execute(&PrimOp::Add, &[&a, &b]).unwrap().data(), &[5.0; 4]);
+        assert_eq!(execute(&PrimOp::Sub, &[&a, &b]).unwrap().data(), &[-3.0, -1.0, 1.0, 3.0]);
+        assert_eq!(execute(&PrimOp::Mul, &[&a, &b]).unwrap().data(), &[4.0, 6.0, 6.0, 4.0]);
+        assert_eq!(execute(&PrimOp::Maximum, &[&a, &b]).unwrap().data(), &[4.0, 3.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn binary_row_broadcast() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let bias = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[1, 3]).unwrap();
+        let out = execute(&PrimOp::Add, &[&a, &bias]).unwrap();
+        assert_eq!(out.data(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+        // Broadcast is symmetric.
+        let out2 = execute(&PrimOp::Add, &[&bias, &a]).unwrap();
+        assert_eq!(out.data(), out2.data());
+    }
+
+    #[test]
+    fn binary_col_broadcast() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let col = Tensor::from_vec(vec![1.0, 2.0], &[2, 1]).unwrap();
+        let out = execute(&PrimOp::Mul, &[&a, &col]).unwrap();
+        assert_eq!(out.data(), &[1.0, 2.0, 3.0, 8.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn binary_scalar_broadcast() {
+        let a = Tensor::from_vec(vec![2.0, 4.0], &[2]).unwrap();
+        let s = Tensor::scalar(2.0);
+        assert_eq!(execute(&PrimOp::Div, &[&a, &s]).unwrap().data(), &[1.0, 2.0]);
+        assert_eq!(execute(&PrimOp::Div, &[&s, &a]).unwrap().data(), &[1.0, 0.5]);
+    }
+
+    #[test]
+    fn binary_shape_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        assert!(execute(&PrimOp::Add, &[&a, &b]).is_err());
+    }
+}

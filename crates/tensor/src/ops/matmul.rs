@@ -1,0 +1,93 @@
+//! Matrix-multiplication kernel.
+
+use super::RawInput;
+use crate::{Result, Shape, TensorError};
+
+/// Shape rule: `[m, k] × [k, n] → [m, n]`, with rank-1 operands promoted to a
+/// single row on the left.
+pub(crate) fn infer(lhs: &Shape, rhs: &Shape) -> Result<Shape> {
+    let (m, k) = lhs.as_matrix()?;
+    let (k2, n) = rhs.as_matrix()?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch { op: "matmul", lhs: lhs.clone(), rhs: rhs.clone() });
+    }
+    if lhs.rank() <= 1 && rhs.rank() <= 1 {
+        // vector × vector is not meaningful under this rule; reject rank-1 rhs.
+        return Err(TensorError::Rank { op: "matmul", shape: rhs.clone(), expected: 2 });
+    }
+    if rhs.rank() != 2 {
+        return Err(TensorError::Rank { op: "matmul", shape: rhs.clone(), expected: 2 });
+    }
+    Ok(if lhs.rank() <= 1 { Shape::new(&[n]) } else { Shape::new(&[m, n]) })
+}
+
+/// Straightforward i-k-j matrix multiply; cache-friendly for the row-major
+/// layouts used throughout.
+pub(crate) fn matmul(lhs: RawInput<'_>, rhs: RawInput<'_>, out: &mut [f32]) -> Result<()> {
+    let (m, k) = lhs.1.as_matrix()?;
+    let (_, n) = rhs.1.as_matrix()?;
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    for i in 0..m {
+        let a_row = &lhs.0[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &a) in a_row.iter().enumerate() {
+            let b_row = &rhs.0[kk * n..(kk + 1) * n];
+            for (o, &b) in o_row.iter_mut().zip(b_row) {
+                *o += a * b;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{execute, PrimOp, Shape, Tensor};
+
+    #[test]
+    fn infer_shapes() {
+        let a = Shape::new(&[2, 3]);
+        let b = Shape::new(&[3, 4]);
+        assert_eq!(super::infer(&a, &b).unwrap(), Shape::new(&[2, 4]));
+        let v = Shape::new(&[3]);
+        assert_eq!(super::infer(&v, &b).unwrap(), Shape::new(&[4]));
+        assert!(super::infer(&a, &Shape::new(&[4, 3])).is_err());
+        assert!(super::infer(&a, &v).is_err());
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let eye = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        let out = execute(&PrimOp::MatMul, &[&a, &eye]).unwrap();
+        assert_eq!(out.data(), a.data());
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        // [1 2; 3 4] x [5 6; 7 8] = [19 22; 43 50]
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let out = execute(&PrimOp::MatMul, &[&a, &b]).unwrap();
+        assert_eq!(out.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::from_fn(&[1, 3], |i| (i + 1) as f32); // [1 2 3]
+        let b = Tensor::from_fn(&[3, 2], |i| i as f32); // [0 1; 2 3; 4 5]
+        let out = execute(&PrimOp::MatMul, &[&a, &b]).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 2]);
+        assert_eq!(out.data(), &[16.0, 22.0]);
+    }
+
+    #[test]
+    fn matmul_vector_lhs() {
+        let v = Tensor::from_vec(vec![1.0, 1.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let out = execute(&PrimOp::MatMul, &[&v, &b]).unwrap();
+        assert_eq!(out.shape().dims(), &[2]);
+        assert_eq!(out.data(), &[4.0, 6.0]);
+    }
+}

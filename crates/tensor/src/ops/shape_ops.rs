@@ -1,0 +1,197 @@
+//! Memory-layout operators: concat, transpose, reshape, slice.
+
+use super::RawInput;
+use crate::{Result, Shape, TensorError};
+
+pub(crate) fn infer_concat(inputs: &[&Shape], axis: usize) -> Result<Shape> {
+    let first = inputs[0];
+    if axis >= first.rank().max(1) {
+        return Err(TensorError::Axis { op: "concat", axis, rank: first.rank() });
+    }
+    let mut dims = first.dims().to_vec();
+    for other in &inputs[1..] {
+        if other.rank() != first.rank() {
+            return Err(TensorError::ShapeMismatch {
+                op: "concat",
+                lhs: first.clone(),
+                rhs: (*other).clone(),
+            });
+        }
+        for (d, (a, b)) in first.dims().iter().zip(other.dims()).enumerate() {
+            if d != axis && a != b {
+                return Err(TensorError::ShapeMismatch {
+                    op: "concat",
+                    lhs: first.clone(),
+                    rhs: (*other).clone(),
+                });
+            }
+        }
+        dims[axis] += other.dim(axis);
+    }
+    Ok(Shape::from(dims))
+}
+
+pub(crate) fn infer_transpose(input: &Shape) -> Result<Shape> {
+    let (m, n) = input.as_matrix()?;
+    if input.rank() != 2 {
+        return Err(TensorError::Rank { op: "transpose", shape: input.clone(), expected: 2 });
+    }
+    Ok(Shape::new(&[n, m]))
+}
+
+pub(crate) fn infer_reshape(input: &Shape, target: &Shape) -> Result<Shape> {
+    if input.numel() != target.numel() {
+        return Err(TensorError::ReshapeNumel { from: input.clone(), to: target.clone() });
+    }
+    Ok(target.clone())
+}
+
+pub(crate) fn infer_slice(input: &Shape, axis: usize, start: usize, len: usize) -> Result<Shape> {
+    if axis >= input.rank() {
+        return Err(TensorError::Axis { op: "slice", axis, rank: input.rank() });
+    }
+    let extent = input.dim(axis);
+    if start + len > extent || len == 0 {
+        return Err(TensorError::SliceRange { start, len, extent });
+    }
+    let mut dims = input.dims().to_vec();
+    dims[axis] = len;
+    Ok(Shape::from(dims))
+}
+
+pub(crate) fn concat(inputs: &[RawInput<'_>], axis: usize, out: &mut [f32]) -> Result<()> {
+    let shapes: Vec<&Shape> = inputs.iter().map(|(_, s)| *s).collect();
+    let out_shape = infer_concat(&shapes, axis)?;
+    let strides = out_shape.strides();
+    // Number of "outer" blocks before the concat axis.
+    let outer: usize = out_shape.dims()[..axis].iter().product::<usize>().max(1);
+    let out_block = if axis < strides.len() { strides[axis] * out_shape.dim(axis) } else { 1 };
+    let mut axis_offset = 0usize;
+    for (data, shape) in inputs {
+        let in_strides = shape.strides();
+        let in_block = if axis < in_strides.len() { in_strides[axis] * shape.dim(axis) } else { 1 };
+        let axis_stride = strides[axis];
+        for o in 0..outer {
+            let src = &data[o * in_block..(o + 1) * in_block];
+            let dst_start = o * out_block + axis_offset * axis_stride;
+            out[dst_start..dst_start + in_block].copy_from_slice(src);
+        }
+        axis_offset += shape.dim(axis);
+    }
+    Ok(())
+}
+
+pub(crate) fn transpose(input: RawInput<'_>, out: &mut [f32]) -> Result<()> {
+    let (m, n) = input.1.as_matrix()?;
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = input.0[i * n + j];
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn slice(
+    input: RawInput<'_>,
+    axis: usize,
+    start: usize,
+    len: usize,
+    out: &mut [f32],
+) -> Result<()> {
+    let shape = input.1;
+    let strides = shape.strides();
+    let outer: usize = shape.dims()[..axis].iter().product::<usize>().max(1);
+    let axis_stride = strides[axis];
+    let in_block = axis_stride * shape.dim(axis);
+    let out_block = axis_stride * len;
+    for o in 0..outer {
+        let src_start = o * in_block + start * axis_stride;
+        out[o * out_block..(o + 1) * out_block]
+            .copy_from_slice(&input.0[src_start..src_start + out_block]);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{execute, PrimOp, Tensor};
+
+    #[test]
+    fn concat_axis0() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[1, 2]).unwrap();
+        let c = Tensor::from_vec(vec![5.0, 6.0], &[1, 2]).unwrap();
+        let out = execute(&PrimOp::Concat { axis: 0 }, &[&a, &b, &c]).unwrap();
+        assert_eq!(out.shape().dims(), &[3, 2]);
+        assert_eq!(out.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_axis1() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 5.0, 6.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 7.0], &[2, 1]).unwrap();
+        let out = execute(&PrimOp::Concat { axis: 1 }, &[&a, &b]).unwrap();
+        assert_eq!(out.shape().dims(), &[2, 3]);
+        assert_eq!(out.data(), &[1.0, 2.0, 3.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn concat_shape_errors() {
+        let a = Tensor::zeros(&[1, 2]);
+        let b = Tensor::zeros(&[1, 3]);
+        assert!(execute(&PrimOp::Concat { axis: 0 }, &[&a, &b]).is_err());
+        assert!(execute(&PrimOp::Concat { axis: 5 }, &[&a, &a]).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_fn(&[2, 3], |i| i as f32);
+        let t = execute(&PrimOp::Transpose, &[&a]).unwrap();
+        assert_eq!(t.shape().dims(), &[3, 2]);
+        assert_eq!(t.data(), &[0.0, 3.0, 1.0, 4.0, 2.0, 5.0]);
+        let back = execute(&PrimOp::Transpose, &[&t]).unwrap();
+        assert_eq!(back.data(), a.data());
+    }
+
+    #[test]
+    fn slice_axis1() {
+        let a = Tensor::from_fn(&[2, 4], |i| i as f32);
+        let s = execute(&PrimOp::Slice { axis: 1, start: 1, len: 2 }, &[&a]).unwrap();
+        assert_eq!(s.shape().dims(), &[2, 2]);
+        assert_eq!(s.data(), &[1.0, 2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn slice_axis0() {
+        let a = Tensor::from_fn(&[3, 2], |i| i as f32);
+        let s = execute(&PrimOp::Slice { axis: 0, start: 2, len: 1 }, &[&a]).unwrap();
+        assert_eq!(s.shape().dims(), &[1, 2]);
+        assert_eq!(s.data(), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn slice_out_of_range() {
+        let a = Tensor::zeros(&[2, 2]);
+        assert!(execute(&PrimOp::Slice { axis: 1, start: 1, len: 2 }, &[&a]).is_err());
+        assert!(execute(&PrimOp::Slice { axis: 1, start: 0, len: 0 }, &[&a]).is_err());
+    }
+
+    #[test]
+    fn reshape_op() {
+        let a = Tensor::from_fn(&[2, 3], |i| i as f32);
+        let r = execute(
+            &PrimOp::Reshape { shape: crate::Shape::new(&[3, 2]) },
+            &[&a],
+        )
+        .unwrap();
+        assert_eq!(r.shape().dims(), &[3, 2]);
+        assert_eq!(r.data(), a.data());
+    }
+
+    #[test]
+    fn fill_op() {
+        let out = execute(&PrimOp::Fill { value: 2.5, shape: crate::Shape::new(&[2, 2]) }, &[])
+            .unwrap();
+        assert_eq!(out.data(), &[2.5; 4]);
+    }
+}

@@ -1,0 +1,313 @@
+//! Batch execution driver: runs a compiled model over a mini-batch.
+//!
+//! The driver owns the full lifecycle the paper's Fig. 1 runtime half
+//! describes: upload weights and instance inputs (batched transfers),
+//! execute the unbatched program for every instance — sequentially when the
+//! model has no tensor-dependent control flow, concurrently on fibers when
+//! it does (§4.2) — flushing the DFG at sync points, then drain the final
+//! DFG and download the results.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use acrobat_analysis::AnalysisResult;
+use acrobat_ir::{ExprKind, ParamKind};
+use acrobat_runtime::{Runtime, RuntimeStats};
+use acrobat_tensor::Tensor;
+
+use crate::aot::AotBackend;
+use crate::interp::VmBackend;
+use crate::session::{ExecCtx, Session, VmError};
+use crate::value::{InputValue, OutputValue, TensorRef, Value};
+
+/// Which execution backend to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Relay-VM-style tree-walking interpreter (the §E.2 baseline).
+    Vm,
+    /// AOT-compiled execution (ACROBAT's default).
+    Aot,
+}
+
+enum BackendImpl {
+    Vm(VmBackend),
+    Aot(AotBackend),
+}
+
+/// A ready-to-run model: session plus backend.
+pub struct Executable {
+    /// The shared session.
+    pub session: Arc<Session>,
+    backend: BackendImpl,
+}
+
+impl std::fmt::Debug for Executable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executable")
+            .field(
+                "backend",
+                &match self.backend {
+                    BackendImpl::Vm(_) => "vm",
+                    BackendImpl::Aot(_) => "aot",
+                },
+            )
+            .finish()
+    }
+}
+
+/// Result of one mini-batch run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Per-instance outputs of `@main`.
+    pub outputs: Vec<OutputValue>,
+    /// Runtime statistics for the batch.
+    pub stats: RuntimeStats,
+}
+
+/// Whether the module contains tensor-dependent control flow.
+pub fn module_has_sync(module: &acrobat_ir::Module) -> bool {
+    module.functions.values().any(|f| {
+        let mut found = false;
+        acrobat_ir::ast::visit_exprs(&f.body, &mut |e| {
+            if matches!(e.kind, ExprKind::Sync { .. }) {
+                found = true;
+            }
+        });
+        found
+    })
+}
+
+impl Executable {
+    /// Builds an executable from analysis results and a configured runtime.
+    ///
+    /// Fiber mode is enabled automatically for the AOT backend when the
+    /// model has tensor-dependent control flow; the VM backend always runs
+    /// sequentially (as the paper's Relay-VM baseline does).
+    ///
+    /// # Errors
+    ///
+    /// Propagates AOT lowering errors.
+    pub fn new(
+        analysis: Arc<AnalysisResult>,
+        runtime: Runtime,
+        kind: BackendKind,
+        seed: u64,
+    ) -> Result<Executable, VmError> {
+        let fiber_mode = kind == BackendKind::Aot && module_has_sync(&analysis.module);
+        let session = Session::new(analysis.clone(), runtime, seed, fiber_mode);
+        let backend = match kind {
+            BackendKind::Vm => BackendImpl::Vm(VmBackend::new(Arc::new(analysis.module.clone()))),
+            BackendKind::Aot => {
+                BackendImpl::Aot(AotBackend::compile(&analysis.module, &session)?)
+            }
+        };
+        Ok(Executable { session: Arc::new(session), backend })
+    }
+
+    /// Runs one mini-batch.
+    ///
+    /// `params` binds every `$`-parameter of `@main` by name; `instances`
+    /// provides, per instance, the `%`-parameter values in declaration
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Input`] for missing/mismatched bindings and
+    /// propagates runtime errors (including simulated device OOM).
+    pub fn run(
+        &self,
+        params: &BTreeMap<String, Tensor>,
+        instances: &[Vec<InputValue>],
+    ) -> Result<RunResult, VmError> {
+        let session = &*self.session;
+        let main = session.analysis.module.functions.get("main").expect("main exists");
+
+        // Reset and upload weights (outside the per-batch accounting, as
+        // weights persist across mini-batches in a serving system).
+        let mut param_values: BTreeMap<String, Value> = BTreeMap::new();
+        {
+            let mut rt = session.runtime.lock();
+            rt.reset();
+            for p in &main.params {
+                if p.kind == ParamKind::Model {
+                    let host = params.get(&p.name).ok_or_else(|| {
+                        VmError::Input(format!("missing model parameter ${}", p.name))
+                    })?;
+                    let dev = rt.mem_mut().upload(host)?;
+                    let vid = rt.ready_value(dev);
+                    param_values
+                        .insert(p.name.clone(), Value::Tensor(TensorRef::ready(vid)));
+                }
+            }
+        }
+
+        // Upload all instance input tensors as one batched transfer.
+        let input_count = main.params.iter().filter(|p| p.kind == ParamKind::Input).count();
+        let mut all_tensors: Vec<&Tensor> = Vec::new();
+        for (i, inst) in instances.iter().enumerate() {
+            if inst.len() != input_count {
+                return Err(VmError::Input(format!(
+                    "instance {i} provides {} inputs, @main expects {input_count}",
+                    inst.len()
+                )));
+            }
+            for v in inst {
+                v.tensors(&mut all_tensors);
+            }
+        }
+        let mut ids = {
+            let mut rt = session.runtime.lock();
+            rt.upload_inputs(&all_tensors)?.into_iter()
+        };
+        let mut instance_args: Vec<Vec<Value>> = Vec::with_capacity(instances.len());
+        for inst in instances {
+            let mut args = Vec::with_capacity(main.params.len());
+            let mut inputs = inst.iter();
+            for p in &main.params {
+                match p.kind {
+                    ParamKind::Model => args.push(param_values[&p.name].clone()),
+                    ParamKind::Input => {
+                        let iv = inputs.next().expect("arity checked");
+                        args.push(convert_input(iv, session, &mut ids));
+                    }
+                }
+            }
+            instance_args.push(args);
+        }
+
+        // Execute all instances.
+        let exec_start = std::time::Instant::now();
+        let switches_before = session.hub.switch_count();
+        let mut results: Vec<Value> = Vec::with_capacity(instance_args.len());
+        // Model recursion depth is input-dependent (long sequences, deep
+        // trees), so execution threads get a generous stack — the AOT-to-C++
+        // path in the paper likewise relies on native recursion.
+        const FIBER_STACK: usize = 64 << 20;
+        if session.fiber_mode {
+            let slots: Vec<parking_lot::Mutex<Option<Result<Value, VmError>>>> =
+                instance_args.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for (i, args) in instance_args.into_iter().enumerate() {
+                    session.hub.register();
+                    let slot = &slots[i];
+                    let backend = &self.backend;
+                    std::thread::Builder::new()
+                        .stack_size(FIBER_STACK)
+                        .spawn_scoped(scope, move || {
+                            let mut ctx = ExecCtx::new(i, session.seed, session.hoist_base);
+                            let r = match backend {
+                                BackendImpl::Vm(b) => b.run_instance(session, &mut ctx, args),
+                                BackendImpl::Aot(b) => b.run_instance(session, &mut ctx, args),
+                            };
+                            *slot.lock() = Some(r);
+                            session.hub.finish();
+                        })
+                        .expect("spawn fiber");
+                }
+                session.hub.drive(|| {
+                    let mut rt = session.runtime.lock();
+                    if let Err(e) = rt.flush() {
+                        drop(rt);
+                        session.poison(e.to_string());
+                    }
+                });
+            });
+            for slot in slots {
+                let r = slot.into_inner().expect("fiber wrote its result")?;
+                results.push(r);
+            }
+        } else {
+            let backend = &self.backend;
+            let sequential = std::thread::scope(|scope| {
+                std::thread::Builder::new()
+                    .stack_size(FIBER_STACK)
+                    .spawn_scoped(scope, move || -> Result<Vec<Value>, VmError> {
+                        let mut out = Vec::with_capacity(instance_args.len());
+                        for (i, args) in instance_args.into_iter().enumerate() {
+                            let mut ctx = ExecCtx::new(i, session.seed, session.hoist_base);
+                            let r = match backend {
+                                BackendImpl::Vm(b) => b.run_instance(session, &mut ctx, args),
+                                BackendImpl::Aot(b) => b.run_instance(session, &mut ctx, args),
+                            }?;
+                            out.push(r);
+                        }
+                        Ok(out)
+                    })
+                    .expect("spawn executor")
+                    .join()
+                    .expect("executor panicked")
+            })?;
+            results = sequential;
+        }
+        // Drain remaining work.
+        {
+            let mut rt = session.runtime.lock();
+            rt.flush()?;
+            rt.charge_fiber_switches(session.hub.switch_count() - switches_before);
+        }
+        let program_host_us = exec_start.elapsed().as_secs_f64() * 1e6;
+
+        // Download outputs.
+        let mut outputs = Vec::with_capacity(results.len());
+        for v in results {
+            outputs.push(convert_output(&v, session)?);
+        }
+
+        let mut stats = {
+            let rt = session.runtime.lock();
+            *rt.stats()
+        };
+        // Program host time excludes time spent inside flush (measured
+        // separately as host_wall_us).
+        stats.program_host_us = (program_host_us - stats.host_wall_us).max(0.0);
+        Ok(RunResult { outputs, stats })
+    }
+}
+
+fn convert_input(
+    v: &InputValue,
+    session: &Session,
+    ids: &mut std::vec::IntoIter<acrobat_runtime::ValueId>,
+) -> Value {
+    match v {
+        InputValue::Tensor(_) => {
+            Value::Tensor(TensorRef::ready(ids.next().expect("uploaded tensor id")))
+        }
+        InputValue::Int(x) => Value::Int(*x),
+        InputValue::Float(x) => Value::Float(*x),
+        InputValue::Bool(x) => Value::Bool(*x),
+        InputValue::Tuple(parts) => Value::Tuple(Arc::new(
+            parts.iter().map(|p| convert_input(p, session, ids)).collect(),
+        )),
+        InputValue::Adt { ctor, fields } => Value::Adt {
+            tag: session.ctors.tag(ctor),
+            fields: Arc::new(fields.iter().map(|f| convert_input(f, session, ids)).collect()),
+        },
+    }
+}
+
+fn convert_output(v: &Value, session: &Session) -> Result<OutputValue, VmError> {
+    Ok(match v {
+        Value::Tensor(r) => {
+            let vid = r
+                .get()
+                .ok_or_else(|| VmError::Input("dangling tensor in output".into()))?;
+            let mut rt = session.runtime.lock();
+            OutputValue::Tensor(rt.download(vid)?)
+        }
+        Value::Int(x) => OutputValue::Int(*x),
+        Value::Float(x) => OutputValue::Float(*x),
+        Value::Bool(x) => OutputValue::Bool(*x),
+        Value::BoxedScalar(t) => OutputValue::Float(t.item()? as f64),
+        Value::Tuple(parts) => OutputValue::Tuple(
+            parts.iter().map(|p| convert_output(p, session)).collect::<Result<_, _>>()?,
+        ),
+        Value::Adt { tag, fields } => OutputValue::Adt {
+            ctor: session.ctors.name(*tag).to_string(),
+            fields: fields.iter().map(|f| convert_output(f, session)).collect::<Result<_, _>>()?,
+        },
+        Value::Closure(_) => {
+            return Err(VmError::Input("closure escaped as a model output".into()))
+        }
+    })
+}

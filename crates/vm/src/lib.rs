@@ -1,0 +1,33 @@
+//! Execution backends for ACROBAT programs.
+//!
+//! Two backends execute the (analyzed) frontend program, reproducing the
+//! paper's §E.2 comparison:
+//!
+//! * [`interp::VmBackend`] — a Relay-VM-style interpreter: boxed scalars,
+//!   name-resolved environments, per-node dispatch.  Slow on
+//!   control-flow-heavy models, exactly like the paper's Relay VM baseline
+//!   (Table 7).
+//! * [`aot::AotBackend`] — the AOT-compiled path (§D.2): the program is
+//!   lowered at compile time to slot-resolved code with native scalars,
+//!   compiled-in inline depth computation, ghost-operator bumps and phase
+//!   boundaries, and fiber-based concurrency for tensor-dependent control
+//!   flow (§4.2).
+//!
+//! Both backends drive the same lazy-DFG session ([`session::Session`]);
+//! batching behaviour is identical, so measured differences isolate
+//! program-execution overhead.
+//!
+//! The top-level entry point is [`Executable`]: build with
+//! [`Executable::new`], run mini-batches with [`Executable::run`].
+
+#![deny(missing_docs)]
+
+pub mod aot;
+pub mod driver;
+pub mod interp;
+pub mod session;
+pub mod value;
+
+pub use driver::{module_has_sync, BackendKind, Executable, RunResult};
+pub use session::{ExecCtx, Session, VmError};
+pub use value::{InputValue, OutputValue, TensorRef, Value};

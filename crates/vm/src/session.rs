@@ -1,0 +1,429 @@
+//! Execution session: the machinery shared by both backends.
+//!
+//! A [`Session`] owns the runtime (behind a mutex — fibers share it) and the
+//! analysis results; an [`ExecCtx`] is the per-fiber execution state holding
+//! the *inline depth counter* of §4.1, the program-phase counter, the
+//! per-instance pseudo-random stream (§E.1) and the open fusion-group
+//! accumulators.
+//!
+//! The central entry point is [`Session::exec_op_site`]: called by an
+//! executor whenever the unbatched program invokes a tensor operator.  It
+//! does **not** execute anything — it records the operator's arguments into
+//! its fusion group and, when the group's last site executes, emits one DFG
+//! node via `Runtime::add_unit` (this is the lazy DFG construction of §2.2,
+//! at the granularity the static analysis chose).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+use acrobat_analysis::blocks::BlockId;
+use acrobat_analysis::fusion::GroupId;
+use acrobat_analysis::AnalysisResult;
+use acrobat_ir::ExprId;
+use acrobat_runtime::{FiberHub, Runtime};
+use acrobat_tensor::{DeviceTensor, TensorError};
+use parking_lot::Mutex;
+
+use crate::value::{TensorRef, Value};
+
+/// Errors produced during model execution.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum VmError {
+    /// Tensor/runtime failure.
+    Tensor(TensorError),
+    /// The backend does not support a required feature (e.g. the Relay-VM
+    /// backend and tensor-dependent control flow).
+    Unsupported(String),
+    /// Malformed inputs.
+    Input(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Tensor(e) => write!(f, "tensor error: {e}"),
+            VmError::Unsupported(s) => write!(f, "unsupported: {s}"),
+            VmError::Input(s) => write!(f, "bad input: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<TensorError> for VmError {
+    fn from(e: TensorError) -> Self {
+        VmError::Tensor(e)
+    }
+}
+
+/// Module-wide constructor tags (name → dense id) plus arities.
+#[derive(Debug, Clone, Default)]
+pub struct CtorTable {
+    by_name: BTreeMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl CtorTable {
+    /// Builds the table from a module's ADTs.
+    pub fn build(module: &acrobat_ir::Module) -> CtorTable {
+        let mut t = CtorTable::default();
+        for adt in module.adts.values() {
+            for c in &adt.ctors {
+                let tag = t.names.len() as u32;
+                t.by_name.insert(c.name.clone(), tag);
+                t.names.push(c.name.clone());
+            }
+        }
+        t
+    }
+
+    /// Tag of a constructor name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown names (prevented by type checking).
+    pub fn tag(&self, name: &str) -> u32 {
+        self.by_name[name]
+    }
+
+    /// Name of a tag.
+    pub fn name(&self, tag: u32) -> &str {
+        &self.names[tag as usize]
+    }
+}
+
+/// A seeded splitmix64 stream (the paper uses pre-determined seeds so
+/// pseudo-random control flow is identical across frameworks, §E.1).
+#[derive(Debug, Clone)]
+pub struct Prng(u64);
+
+impl Prng {
+    /// Seeds the stream for one instance.
+    pub fn new(seed: u64, instance: usize) -> Prng {
+        Prng(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(instance as u64 + 1))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[lo, hi]`.
+    pub fn next_range(&mut self, lo: i64, hi: i64) -> i64 {
+        let span = (hi - lo + 1) as u64;
+        lo + (self.next_u64() % span) as i64
+    }
+}
+
+/// A fusion group being accumulated for one dynamic block execution.
+#[derive(Debug, Default)]
+struct GroupAccum {
+    /// Recorded argument references, keyed by (site, argument index).
+    args: Vec<((ExprId, usize), TensorRef)>,
+    /// Result reference per executed site.
+    results: Vec<(ExprId, TensorRef)>,
+}
+
+/// Per-fiber execution state.
+#[derive(Debug)]
+pub struct ExecCtx {
+    /// Mini-batch instance index.
+    pub instance: usize,
+    /// Inline depth counter (§4.1).
+    pub depth: u64,
+    /// Program-phase counter (§4.1).
+    pub phase: u32,
+    /// Per-instance pseudo-random stream.
+    pub rng: Prng,
+    open: HashMap<GroupId, GroupAccum>,
+    current_block: Option<BlockId>,
+}
+
+impl ExecCtx {
+    /// Fresh context for an instance.
+    pub fn new(instance: usize, seed: u64, hoist_base: u64) -> ExecCtx {
+        ExecCtx {
+            instance,
+            depth: hoist_base,
+            phase: 0,
+            rng: Prng::new(seed, instance),
+            open: HashMap::new(),
+            current_block: None,
+        }
+    }
+
+    /// Forks a child context for `parallel`/`map` branches: same depth
+    /// origin, same instance, independent group state.
+    pub fn fork(&self) -> ExecCtx {
+        ExecCtx {
+            instance: self.instance,
+            depth: self.depth,
+            phase: self.phase,
+            rng: self.rng.clone(),
+            open: HashMap::new(),
+            current_block: None,
+        }
+    }
+}
+
+/// The shared execution session for one compiled model.
+pub struct Session {
+    /// Static-analysis results (module, site info, hoisting, phases,
+    /// ghosts).
+    pub analysis: Arc<AnalysisResult>,
+    /// The dynamic-batching runtime (shared with fibers).
+    pub runtime: Mutex<Runtime>,
+    /// Fiber coordination (used when the model has tensor-dependent control
+    /// flow).
+    pub hub: FiberHub,
+    /// Whether fibers are active (TDC present and backend supports them).
+    pub fiber_mode: bool,
+    /// Constructor tags.
+    pub ctors: CtorTable,
+    /// Random seed for the batch.
+    pub seed: u64,
+    /// First dynamic depth (above all statically hoisted depths, so a
+    /// dynamic consumer never shares a depth bucket with a hoisted
+    /// producer).
+    pub hoist_base: u64,
+    hoist_index: BTreeMap<ExprId, u64>,
+    /// A flush failure (e.g. device OOM) that fibers must observe instead of
+    /// waiting forever.
+    poison: Mutex<Option<String>>,
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("fiber_mode", &self.fiber_mode)
+            .field("seed", &self.seed)
+            .field("hoist_base", &self.hoist_base)
+            .finish()
+    }
+}
+
+impl Session {
+    /// Builds a session over analysis results and a configured runtime.
+    pub fn new(analysis: Arc<AnalysisResult>, runtime: Runtime, seed: u64, fiber_mode: bool) -> Session {
+        // Static depths for hoisted sites: their order of appearance.
+        let mut hoist_index = BTreeMap::new();
+        for (i, site) in analysis.hoisted.iter().enumerate() {
+            hoist_index.insert(*site, i as u64);
+        }
+        let hoist_base = hoist_index.len() as u64;
+        let ctors = CtorTable::build(&analysis.module);
+        Session {
+            analysis,
+            runtime: Mutex::new(runtime),
+            hub: FiberHub::new(),
+            fiber_mode,
+            ctors,
+            seed,
+            hoist_base,
+            hoist_index,
+            poison: Mutex::new(None),
+        }
+    }
+
+    /// Records a fatal flush failure; fibers observe it at their next sync.
+    pub fn poison(&self, msg: String) {
+        let mut p = self.poison.lock();
+        if p.is_none() {
+            *p = Some(msg);
+        }
+    }
+
+    /// The recorded failure, if any.
+    pub fn poisoned(&self) -> Option<String> {
+        self.poison.lock().clone()
+    }
+
+    /// Executes (records) one tensor-operator call site.
+    ///
+    /// `args` are the evaluated operand values.  Returns the site's (lazy)
+    /// tensor result.
+    pub fn exec_op_site(&self, ctx: &mut ExecCtx, site: ExprId, args: &[Value]) -> Value {
+        let info = self.analysis.site_info[&site];
+        let accum = ctx.open.entry(info.group).or_default();
+        for (i, a) in args.iter().enumerate() {
+            accum.args.push(((site, i), a.as_tensor().clone()));
+        }
+        let result = TensorRef::pending();
+        accum.results.push((site, result.clone()));
+        if info.closes_group {
+            self.close_group(ctx, info.group, info.block, info.closes_block);
+        }
+        Value::Tensor(result)
+    }
+
+    fn close_group(&self, ctx: &mut ExecCtx, group: GroupId, block: BlockId, closes_block: bool) {
+        let accum = ctx.open.remove(&group).expect("open group");
+        let mut rt = self.runtime.lock();
+        // Bindings are per group (several groups may share one deduplicated
+        // kernel program).
+        let bindings: Vec<(ExprId, usize)> =
+            rt.library().bindings_for_group(group).to_vec();
+        let output_sites: Vec<ExprId> = rt.library().outputs_for_group(group).to_vec();
+        let mut arg_ids = Vec::with_capacity(bindings.len());
+        for binding in &bindings {
+            let r = accum
+                .args
+                .iter()
+                .find(|(k, _)| k == binding)
+                .map(|(_, r)| r)
+                .unwrap_or_else(|| panic!("missing kernel input binding {binding:?}"));
+            let vid = r.get().unwrap_or_else(|| {
+                panic!("fusion invariant violated: input {binding:?} not materialized")
+            });
+            arg_ids.push(vid);
+        }
+
+        // Depth: statically hoisted groups use their static depth and do not
+        // advance the dynamic counter (§B.1); everything else takes the
+        // inline counter and bumps it.
+        let all_hoisted =
+            accum.results.iter().all(|(s, _)| self.hoist_index.contains_key(s));
+        let depth = if all_hoisted {
+            self.hoist_index[&accum.results[0].0]
+        } else {
+            let d = ctx.depth;
+            ctx.depth += 1;
+            d
+        };
+
+        let unit_head = ctx.current_block != Some(block);
+        ctx.current_block = if closes_block { None } else { Some(block) };
+
+        let outs = rt.add_unit(group, ctx.instance, depth, ctx.phase, arg_ids, unit_head);
+        if rt.options().eager {
+            // PyTorch-style eager execution: every operator runs immediately
+            // as its own launch — no auto-batching (§E.3 baseline).
+            rt.flush().expect("eager flush failed");
+        }
+        drop(rt);
+
+        // Fill the escaping results.
+        for (site, vid) in output_sites.iter().zip(outs) {
+            let (_, r) = accum
+                .results
+                .iter()
+                .find(|(s, _)| s == site)
+                .expect("output site recorded");
+            r.set(vid);
+        }
+    }
+
+    /// Forces a tensor value: blocks (fiber mode) or flushes (sequential)
+    /// until it is materialized.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush errors.
+    pub fn force(&self, r: &TensorRef) -> Result<DeviceTensor, VmError> {
+        loop {
+            if let Some(msg) = self.poisoned() {
+                return Err(VmError::Input(format!("runtime poisoned: {msg}")));
+            }
+            if let Some(vid) = r.get() {
+                let mut rt = self.runtime.lock();
+                if let Some(t) = rt.tensor(vid) {
+                    return Ok(t.clone());
+                }
+                if !self.fiber_mode {
+                    rt.flush()?;
+                    continue;
+                }
+            } else if !self.fiber_mode {
+                panic!("tensor forced before its fusion group closed");
+            }
+            // Fiber mode: suspend until the driver flushes.
+            self.hub.wait_for_flush();
+        }
+    }
+
+    /// Reads the single element of a forced tensor (`item`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush/read errors.
+    pub fn item(&self, r: &TensorRef) -> Result<f64, VmError> {
+        let t = self.force(r)?;
+        let mut rt = self.runtime.lock();
+        let v = rt.mem_mut().read(&t)?[0] as f64;
+        Ok(v)
+    }
+
+    /// `sample(%t)`: forces the tensor, then draws from the instance's
+    /// pseudo-random stream (§E.1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush errors.
+    pub fn sample(&self, ctx: &mut ExecCtx, r: &TensorRef) -> Result<f64, VmError> {
+        let _ = self.force(r)?;
+        Ok(ctx.rng.next_f64())
+    }
+
+    /// Applies a ghost-operator padding after a conditional branch (§B.3).
+    pub fn apply_ghosts(&self, ctx: &mut ExecCtx, branch: ExprId) {
+        if let Some(&bumps) = self.analysis.ghosts.get(&branch) {
+            ctx.depth += bumps as u64;
+        }
+    }
+
+    /// Crosses a program-phase boundary: later work schedules strictly after
+    /// all earlier phases (§4.1); the depth counter restarts.
+    pub fn bump_phase(&self, ctx: &mut ExecCtx) {
+        ctx.phase += 1;
+        ctx.depth = self.hoist_base;
+    }
+
+    /// Whether a `let` site is a phase boundary.
+    pub fn is_phase_boundary(&self, let_site: ExprId) -> bool {
+        self.analysis.phase_boundaries.contains(&let_site)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prng_deterministic_and_distinct_per_instance() {
+        let mut a = Prng::new(42, 0);
+        let mut b = Prng::new(42, 0);
+        let mut c = Prng::new(42, 1);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+        for _ in 0..100 {
+            let f = a.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            let r = a.next_range(20, 40);
+            assert!((20..=40).contains(&r));
+        }
+    }
+
+    #[test]
+    fn ctor_table_tags() {
+        let m = acrobat_ir::parse_module(
+            "type Tree[a] { Leaf(a), Node(Tree[a], Tree[a]) }
+             def @main(%x: Int) -> Int { %x }",
+        )
+        .unwrap();
+        let t = CtorTable::build(&m);
+        assert_ne!(t.tag("Nil"), t.tag("Cons"));
+        assert_eq!(t.name(t.tag("Leaf")), "Leaf");
+        assert_eq!(t.name(t.tag("Node")), "Node");
+    }
+}

@@ -1,0 +1,313 @@
+//! Runtime values shared by both execution backends.
+//!
+//! Tensor values are *lazy*: a [`TensorRef`] names a DFG value that may not
+//! have been computed yet (dynamic batching defers kernel execution).  The
+//! reference is filled exactly once, when the producing fusion group's DFG
+//! node is created.
+//!
+//! Scalar representation is where the two backends differ, reproducing the
+//! paper's §D.2/§E.2 comparison: the AOT backend stores native
+//! [`Value::Int`]/[`Value::Float`]/[`Value::Bool`], while the Relay-VM-style
+//! interpreter boxes every scalar as a heap-allocated zero-dimensional
+//! tensor ([`Value::BoxedScalar`]) — exactly what Relay's VM does, and a
+//! major source of its control-flow overhead.
+
+use std::sync::{Arc, OnceLock};
+
+use acrobat_ir::Expr;
+use acrobat_runtime::ValueId;
+use acrobat_tensor::Tensor;
+
+/// A lazily-materialized tensor: a slot for the DFG value id, set once when
+/// the producing kernel node is built.
+#[derive(Debug, Clone, Default)]
+pub struct TensorRef(Arc<OnceLock<ValueId>>);
+
+impl TensorRef {
+    /// A reference that will be filled when its fusion group closes.
+    pub fn pending() -> TensorRef {
+        TensorRef::default()
+    }
+
+    /// A reference to an already-registered DFG value.
+    pub fn ready(v: ValueId) -> TensorRef {
+        let cell = OnceLock::new();
+        cell.set(v).expect("fresh cell");
+        TensorRef(Arc::new(cell))
+    }
+
+    /// The DFG value, if assigned.
+    pub fn get(&self) -> Option<ValueId> {
+        self.0.get().copied()
+    }
+
+    /// Assigns the DFG value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already assigned (fusion-group invariant violation).
+    pub fn set(&self, v: ValueId) {
+        self.0.set(v).expect("tensor reference assigned twice");
+    }
+}
+
+/// A closure value (Relay-VM backend only; the AOT backend compiles lambdas
+/// to functions with explicit captures).
+#[derive(Debug)]
+pub struct Closure {
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body expression (shared with the module).
+    pub body: Arc<Expr>,
+    /// Captured environment.
+    pub env: Vec<(String, Value)>,
+}
+
+/// A runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A (lazy) device tensor.
+    Tensor(TensorRef),
+    /// Native integer (AOT backend).
+    Int(i64),
+    /// Native float (AOT backend).
+    Float(f64),
+    /// Native boolean (AOT backend).
+    Bool(bool),
+    /// A scalar boxed as a heap-allocated zero-dim tensor (Relay-VM
+    /// backend; §D.2).
+    BoxedScalar(Arc<Tensor>),
+    /// Tuple.
+    Tuple(Arc<Vec<Value>>),
+    /// ADT value with a resolved constructor tag.
+    Adt {
+        /// Constructor tag (module-wide, see [`crate::session::CtorTable`]).
+        tag: u32,
+        /// Field values.
+        fields: Arc<Vec<Value>>,
+    },
+    /// Closure (VM backend only).
+    Closure(Arc<Closure>),
+}
+
+impl Value {
+    /// Extracts the tensor reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a tensor (type checking prevents this).
+    pub fn as_tensor(&self) -> &TensorRef {
+        match self {
+            Value::Tensor(t) => t,
+            other => panic!("expected tensor value, got {other:?}"),
+        }
+    }
+
+    /// Native integer view (unboxes and converts as needed).
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            Value::Float(v) => *v as i64,
+            Value::Bool(v) => i64::from(*v),
+            Value::BoxedScalar(t) => t.item().expect("boxed scalar") as i64,
+            other => panic!("expected int, got {other:?}"),
+        }
+    }
+
+    /// Native float view (unboxes and converts as needed).
+    pub fn as_float(&self) -> f64 {
+        match self {
+            Value::Float(v) => *v,
+            Value::Int(v) => *v as f64,
+            Value::Bool(v) => f64::from(u8::from(*v)),
+            Value::BoxedScalar(t) => t.item().expect("boxed scalar") as f64,
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    /// Native bool view (unboxes if needed; boxed scalars use 0.0/1.0).
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(v) => *v,
+            Value::Int(v) => *v != 0,
+            Value::BoxedScalar(t) => t.item().expect("boxed scalar") != 0.0,
+            other => panic!("expected bool, got {other:?}"),
+        }
+    }
+}
+
+/// Host-side description of one `@main` argument (per-instance input).
+#[derive(Debug, Clone, PartialEq)]
+pub enum InputValue {
+    /// A tensor.
+    Tensor(Tensor),
+    /// Integer scalar.
+    Int(i64),
+    /// Float scalar.
+    Float(f64),
+    /// Boolean scalar.
+    Bool(bool),
+    /// Tuple of inputs.
+    Tuple(Vec<InputValue>),
+    /// ADT value by constructor name.
+    Adt {
+        /// Constructor name (e.g. `Cons`).
+        ctor: String,
+        /// Field inputs.
+        fields: Vec<InputValue>,
+    },
+}
+
+impl InputValue {
+    /// Builds a `List[…]` from items.
+    pub fn list(items: Vec<InputValue>) -> InputValue {
+        let mut out = InputValue::Adt { ctor: "Nil".into(), fields: vec![] };
+        for item in items.into_iter().rev() {
+            out = InputValue::Adt { ctor: "Cons".into(), fields: vec![item, out] };
+        }
+        out
+    }
+
+    /// Collects every tensor in traversal order (used for batched uploads).
+    pub fn tensors<'a>(&'a self, out: &mut Vec<&'a Tensor>) {
+        match self {
+            InputValue::Tensor(t) => out.push(t),
+            InputValue::Tuple(parts) => {
+                for p in parts {
+                    p.tensors(out);
+                }
+            }
+            InputValue::Adt { fields, .. } => {
+                for f in fields {
+                    f.tensors(out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Host-side result of a model run: tensors downloaded, structure preserved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutputValue {
+    /// A downloaded tensor.
+    Tensor(Tensor),
+    /// Integer scalar.
+    Int(i64),
+    /// Float scalar.
+    Float(f64),
+    /// Boolean scalar.
+    Bool(bool),
+    /// Tuple of outputs.
+    Tuple(Vec<OutputValue>),
+    /// ADT value by constructor name.
+    Adt {
+        /// Constructor name.
+        ctor: String,
+        /// Field outputs.
+        fields: Vec<OutputValue>,
+    },
+}
+
+impl OutputValue {
+    /// Flattens a `List[…]` output into items; `None` if not a list.
+    pub fn into_list(self) -> Option<Vec<OutputValue>> {
+        let mut items = Vec::new();
+        let mut cur = self;
+        loop {
+            match cur {
+                OutputValue::Adt { ctor, mut fields } if ctor == "Cons" && fields.len() == 2 => {
+                    let tail = fields.pop().expect("cons tail");
+                    let head = fields.pop().expect("cons head");
+                    items.push(head);
+                    cur = tail;
+                }
+                OutputValue::Adt { ctor, .. } if ctor == "Nil" => return Some(items),
+                _ => return None,
+            }
+        }
+    }
+
+    /// All tensors in the output, in traversal order.
+    pub fn tensors(&self) -> Vec<&Tensor> {
+        let mut out = Vec::new();
+        fn walk<'a>(v: &'a OutputValue, out: &mut Vec<&'a Tensor>) {
+            match v {
+                OutputValue::Tensor(t) => out.push(t),
+                OutputValue::Tuple(parts) => parts.iter().for_each(|p| walk(p, out)),
+                OutputValue::Adt { fields, .. } => fields.iter().for_each(|f| walk(f, out)),
+                _ => {}
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_ref_set_once() {
+        let r = TensorRef::pending();
+        assert!(r.get().is_none());
+        r.set(ValueId(3));
+        assert_eq!(r.get(), Some(ValueId(3)));
+        let ready = TensorRef::ready(ValueId(9));
+        assert_eq!(ready.get(), Some(ValueId(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn tensor_ref_double_set_panics() {
+        let r = TensorRef::pending();
+        r.set(ValueId(1));
+        r.set(ValueId(2));
+    }
+
+    #[test]
+    fn boxed_scalar_views() {
+        let v = Value::BoxedScalar(Arc::new(Tensor::scalar(2.0)));
+        assert_eq!(v.as_int(), 2);
+        assert_eq!(v.as_float(), 2.0);
+        assert!(v.as_bool());
+    }
+
+    #[test]
+    fn input_list_roundtrip() {
+        let l = InputValue::list(vec![InputValue::Int(1), InputValue::Int(2)]);
+        match &l {
+            InputValue::Adt { ctor, fields } => {
+                assert_eq!(ctor, "Cons");
+                assert_eq!(fields[0], InputValue::Int(1));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn output_list_flatten() {
+        let o = OutputValue::Adt {
+            ctor: "Cons".into(),
+            fields: vec![
+                OutputValue::Int(1),
+                OutputValue::Adt { ctor: "Nil".into(), fields: vec![] },
+            ],
+        };
+        assert_eq!(o.into_list().unwrap(), vec![OutputValue::Int(1)]);
+        assert!(OutputValue::Int(3).into_list().is_none());
+    }
+
+    #[test]
+    fn input_tensor_collection() {
+        let t = Tensor::ones(&[2]);
+        let i = InputValue::Tuple(vec![
+            InputValue::Tensor(t.clone()),
+            InputValue::list(vec![InputValue::Tensor(t.clone())]),
+        ]);
+        let mut v = Vec::new();
+        i.tensors(&mut v);
+        assert_eq!(v.len(), 2);
+    }
+}

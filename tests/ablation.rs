@@ -1,0 +1,78 @@
+//! Workspace integration tests for the Fig. 5 ablation invariants: every
+//! optimization level produces identical numerical results, and the
+//! efficiency metrics move in the expected directions as optimizations
+//! accumulate.
+
+use acrobat_bench::suite;
+use acrobat_core::{compile, CompileOptions, OptLevel};
+use acrobat_models::ModelSize;
+use acrobat_tensor::Tensor;
+
+#[test]
+fn every_model_is_optimization_invariant() {
+    for spec in suite(ModelSize::Small, true) {
+        let batch = 4;
+        let instances = (spec.make_instances)(0xAB1, batch);
+        let mut reference: Option<Vec<Vec<Tensor>>> = None;
+        for level in OptLevel::ALL {
+            let mut options = CompileOptions::at_level(level);
+            options.seed = 0xAB1;
+            let model = compile(&spec.source, &options)
+                .unwrap_or_else(|e| panic!("{} {level:?}: {e}", spec.name));
+            let r = model
+                .run(&spec.params, &instances)
+                .unwrap_or_else(|e| panic!("{} {level:?}: {e}", spec.name));
+            let outs: Vec<Vec<Tensor>> =
+                r.outputs.iter().map(|o| (spec.flatten_output)(o)).collect();
+            match &reference {
+                None => reference = Some(outs),
+                Some(base) => {
+                    for (i, (a, b)) in base.iter().zip(&outs).enumerate() {
+                        assert_eq!(a.len(), b.len(), "{} {level:?} inst {i}", spec.name);
+                        for (x, y) in a.iter().zip(b) {
+                            assert!(
+                                x.allclose(y, 1e-4),
+                                "{} {level:?} inst {i}: optimization changed results",
+                                spec.name
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn full_optimizations_beat_none_on_overheads() {
+    for spec in suite(ModelSize::Small, true) {
+        let batch = 6;
+        let instances = (spec.make_instances)(0xAB2, batch);
+        let run = |level: OptLevel| {
+            let mut options = CompileOptions::at_level(level);
+            options.seed = 0xAB2;
+            compile(&spec.source, &options)
+                .unwrap()
+                .run(&spec.params, &instances)
+                .unwrap()
+                .stats
+        };
+        let none = run(OptLevel::None);
+        let full = run(OptLevel::Full);
+        assert!(
+            full.kernel_launches <= none.kernel_launches,
+            "{}: launches {} vs {}",
+            spec.name,
+            full.kernel_launches,
+            none.kernel_launches
+        );
+        assert!(
+            full.dfg_construction_us + full.scheduling_us
+                <= none.dfg_construction_us + none.scheduling_us + 1e-9,
+            "{}: host overheads should not grow with optimizations",
+            spec.name
+        );
+        // Gather fusion eliminates explicit gather traffic entirely.
+        assert_eq!(full.gather_bytes, 0, "{}: fused kernels never gather", spec.name);
+    }
+}

@@ -1,0 +1,64 @@
+//! Workspace integration tests: every evaluation model produces identical
+//! numerical results under ACROBAT (all optimizations, AOT backend, fibers
+//! where applicable) and under the DyNet-style baseline, using identical
+//! instances and identical seeded pseudo-random streams — the property the
+//! paper's §E.1 methodology depends on.
+
+use acrobat_bench::suite;
+use acrobat_models::testkit::check_acrobat_vs_dynet;
+use acrobat_models::ModelSize;
+
+#[test]
+fn treelstm_agrees() {
+    check_acrobat_vs_dynet(&suite(ModelSize::Small, true).remove(0), 6, 0xA1);
+}
+
+#[test]
+fn mvrnn_agrees() {
+    check_acrobat_vs_dynet(&suite(ModelSize::Small, true).remove(1), 6, 0xA2);
+}
+
+#[test]
+fn birnn_agrees() {
+    check_acrobat_vs_dynet(&suite(ModelSize::Small, true).remove(2), 6, 0xA3);
+}
+
+#[test]
+fn nestedrnn_agrees() {
+    check_acrobat_vs_dynet(&suite(ModelSize::Small, true).remove(3), 6, 0xA4);
+}
+
+#[test]
+fn drnn_agrees() {
+    check_acrobat_vs_dynet(&suite(ModelSize::Small, true).remove(4), 6, 0xA5);
+}
+
+#[test]
+fn berxit_agrees() {
+    check_acrobat_vs_dynet(&suite(ModelSize::Small, true).remove(5), 4, 0xA6);
+}
+
+#[test]
+fn stackrnn_agrees() {
+    check_acrobat_vs_dynet(&suite(ModelSize::Small, true).remove(6), 4, 0xA7);
+}
+
+#[test]
+fn vm_backend_agrees_with_aot_on_non_tdc_models() {
+    use acrobat_core::{compile, BackendKind, CompileOptions};
+    for (idx, batch) in [(0usize, 4usize), (1, 3), (2, 4)] {
+        let spec = suite(ModelSize::Small, true).remove(idx);
+        let instances = (spec.make_instances)(0xB0, batch);
+        let mut opts = CompileOptions::default();
+        opts.seed = 0xB0;
+        let aot = compile(&spec.source, &opts).unwrap().run(&spec.params, &instances).unwrap();
+        opts.backend = BackendKind::Vm;
+        let vm = compile(&spec.source, &opts).unwrap().run(&spec.params, &instances).unwrap();
+        for (a, b) in aot.outputs.iter().zip(&vm.outputs) {
+            let (ta, tb) = ((spec.flatten_output)(a), (spec.flatten_output)(b));
+            for (x, y) in ta.iter().zip(&tb) {
+                assert!(x.allclose(y, 1e-5), "{}: VM vs AOT", spec.name);
+            }
+        }
+    }
+}
