@@ -193,10 +193,8 @@ pub fn analyze_reuse(module: &Module) -> ReuseAnalysis {
         let nargs = bindings.iter().map(Vec::len).max().unwrap_or(0);
         let mut positions = Vec::new();
         for p in 0..nargs {
-            let ids: BTreeSet<&str> = bindings
-                .iter()
-                .filter_map(|b| b.get(p).and_then(|o| o.as_deref()))
-                .collect();
+            let ids: BTreeSet<&str> =
+                bindings.iter().filter_map(|b| b.get(p).and_then(|o| o.as_deref())).collect();
             if ids.len() >= 2 {
                 positions.push(p);
             }
@@ -206,10 +204,8 @@ pub fn analyze_reuse(module: &Module) -> ReuseAnalysis {
         }
     }
     for (func, positions) in &conflict_positions {
-        let keys: BTreeSet<String> = a.fn_bindings[func]
-            .iter()
-            .map(|b| restricted_key(b, positions))
-            .collect();
+        let keys: BTreeSet<String> =
+            a.fn_bindings[func].iter().map(|b| restricted_key(b, positions)).collect();
         if keys.len() >= 2 {
             result.conflicts.insert(func.clone(), keys);
         }
@@ -280,9 +276,7 @@ impl<'m> Analyzer<'m> {
         if let Some(hit) = self.memo.get(&key) {
             return hit.clone();
         }
-        if let Some((_, _, pending_args)) =
-            self.stack.iter().find(|(f, _, _)| f == name)
-        {
+        if let Some((_, _, pending_args)) = self.stack.iter().find(|(f, _, _)| f == name) {
             if self.stack.iter().any(|(f, k, _)| f == name && *k == canon) {
                 // Identical context: optimistic recursion result.
                 return AbsVal::Instance;
@@ -308,10 +302,7 @@ impl<'m> Analyzer<'m> {
             return AbsVal::Instance;
         }
         self.stack.push((name.to_string(), canon, args.to_vec()));
-        self.fn_bindings
-            .entry(name.to_string())
-            .or_default()
-            .insert(binding_vec(args));
+        self.fn_bindings.entry(name.to_string()).or_default().insert(binding_vec(args));
         let f = &self.module.functions[name];
         let mut env: HashMap<String, AbsVal> = HashMap::new();
         for (p, a) in f.params.iter().zip(args) {
@@ -411,8 +402,7 @@ impl<'m> Analyzer<'m> {
                         AbsVal::Inv(format!("op:{}({})", expr.id, ids.join(",")))
                     }
                     Callee::Global(name) => {
-                        self.call_sigs
-                            .insert(expr.id, (name.clone(), binding_vec(&arg_vals)));
+                        self.call_sigs.insert(expr.id, (name.clone(), binding_vec(&arg_vals)));
                         self.analyze_fn(name, &arg_vals)
                     }
                     Callee::Ctor(_) => {
@@ -441,9 +431,7 @@ impl<'m> Analyzer<'m> {
             ExprKind::Proj { tuple, index } => {
                 let tv = self.eval(tuple, env);
                 match tv {
-                    AbsVal::Tuple(parts) => {
-                        parts.get(*index).cloned().unwrap_or(AbsVal::Instance)
-                    }
+                    AbsVal::Tuple(parts) => parts.get(*index).cloned().unwrap_or(AbsVal::Instance),
                     other => other.flatten(),
                 }
             }
@@ -472,9 +460,7 @@ impl<'m> Analyzer<'m> {
                 let l = self.eval(lhs, env).flatten();
                 let r = self.eval(rhs, env).flatten();
                 match (l.inv_id(), r.inv_id()) {
-                    (Some(a), Some(b)) => {
-                        AbsVal::Inv(format!("sb:{}({a},{b})", op.symbol()))
-                    }
+                    (Some(a), Some(b)) => AbsVal::Inv(format!("sb:{}({a},{b})", op.symbol())),
                     _ => AbsVal::Instance,
                 }
             }

@@ -79,12 +79,8 @@ impl BlockMap {
 
 /// Discovers static blocks for every function of a type-checked module.
 pub fn find_blocks(module: &Module) -> BlockMap {
-    let mut finder = Finder {
-        blocks: Vec::new(),
-        current: None,
-        env: HashMap::new(),
-        escapes: BTreeMap::new(),
-    };
+    let mut finder =
+        Finder { blocks: Vec::new(), current: None, env: HashMap::new(), escapes: BTreeMap::new() };
     for f in module.functions.values() {
         finder.env.clear();
         finder.current = None;
@@ -175,9 +171,7 @@ impl Finder {
 
     fn walk(&mut self, expr: &Expr, func: &str) -> Source {
         match &expr.kind {
-            ExprKind::Var(name) => {
-                self.env.get(name).cloned().unwrap_or(Source::Var(name.clone()))
-            }
+            ExprKind::Var(name) => self.env.get(name).cloned().unwrap_or(Source::Var(name.clone())),
             ExprKind::IntLit(_)
             | ExprKind::FloatLit(_)
             | ExprKind::BoolLit(_)

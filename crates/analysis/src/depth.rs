@@ -78,11 +78,8 @@ pub fn hoistable_sites(module: &Module) -> BTreeSet<ExprId> {
 /// receive values derivable without executing any tensor operator (program
 /// inputs, parameters, constants, and structure thereof)?
 fn op_free_formals(module: &Module) -> HashMap<String, Vec<bool>> {
-    let mut flags: HashMap<String, Vec<bool>> = module
-        .functions
-        .iter()
-        .map(|(n, f)| (n.clone(), vec![true; f.params.len()]))
-        .collect();
+    let mut flags: HashMap<String, Vec<bool>> =
+        module.functions.iter().map(|(n, f)| (n.clone(), vec![true; f.params.len()])).collect();
     loop {
         let mut changed = false;
         for (name, f) in &module.functions {

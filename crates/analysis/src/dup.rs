@@ -66,9 +66,7 @@ pub fn duplicate_for_reuse(
         let original = module.functions[func].clone();
         let mut body = original.body.clone();
         refresh_ids(&mut body, &mut module);
-        retarget_calls(&mut body, &|_, callee| {
-            (callee == func).then(|| clone_name.clone())
-        });
+        retarget_calls(&mut body, &|_, callee| (callee == func).then(|| clone_name.clone()));
         new_fns.push(FnDef {
             name: clone_name.clone(),
             params: original.params.clone(),

@@ -52,22 +52,16 @@ pub fn estimate_frequencies(module: &Module) -> BTreeMap<ExprId, u64> {
         let snapshot = fn_weight.clone();
         for (name, f) in &module.functions {
             let Some(&w) = snapshot.get(name.as_str()) else { continue };
-            let body_weight = if recursive.contains(&name.as_str()) {
-                w.saturating_mul(NOMINAL_TRIP)
-            } else {
-                w
-            };
+            let body_weight =
+                if recursive.contains(&name.as_str()) { w.saturating_mul(NOMINAL_TRIP) } else { w };
             collect_calls(&f.body, name, body_weight, &mut fn_weight);
         }
     }
 
     for (name, f) in &module.functions {
         let Some(&w) = fn_weight.get(name.as_str()) else { continue };
-        let body_weight = if recursive.contains(&name.as_str()) {
-            w.saturating_mul(NOMINAL_TRIP)
-        } else {
-            w
-        };
+        let body_weight =
+            if recursive.contains(&name.as_str()) { w.saturating_mul(NOMINAL_TRIP) } else { w };
         record_sites(&f.body, body_weight, &mut out);
     }
     out

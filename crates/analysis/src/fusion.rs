@@ -264,11 +264,11 @@ fn vertical_pass(
         block.sites.iter().map(|s| is_heavy(&module.op_prims[&s.site])).collect();
     // Heavy budget per current root (a horizontal bundle counts as one).
     let mut budget: Vec<usize> = vec![0; n];
-    for i in 0..n {
+    for (i, &is_heavy_site) in heavy.iter().enumerate() {
         let r = uf.find(i);
         if horizontal_roots[r] {
             budget[r] = 1;
-        } else if heavy[i] {
+        } else if is_heavy_site {
             budget[r] += 1;
         }
     }
@@ -292,8 +292,7 @@ fn vertical_pass(
             let either_horizontal = horizontal_roots[ri] || horizontal_roots[rp];
             // One heavy unit per group; a horizontal bundle additionally
             // accepts heavy-free epilogues/prologues.
-            let ok = combined <= 1
-                || (either_horizontal && (budget[ri] == 0 || budget[rp] == 0));
+            let ok = combined <= 1 || (either_horizontal && (budget[ri] == 0 || budget[rp] == 0));
             if !ok {
                 continue;
             }
@@ -319,7 +318,8 @@ mod tests {
         plan_fusion(&m, b, opts, &BTreeSet::new())
     }
 
-    const CHAIN: &str = "def @main($w: Tensor[(2, 2)], $b: Tensor[(1, 2)], %x: Tensor[(1, 2)]) -> Tensor[(1, 2)] {
+    const CHAIN: &str =
+        "def @main($w: Tensor[(2, 2)], $b: Tensor[(1, 2)], %x: Tensor[(1, 2)]) -> Tensor[(1, 2)] {
         sigmoid(add($b, matmul(%x, $w)))
     }";
 
@@ -388,8 +388,7 @@ mod tests {
         let src = "def @main($wi: Tensor[(2, 2)], $wf: Tensor[(2, 2)], %x: Tensor[(1, 2)]) -> Tensor[(1, 2)] {
             add(sigmoid(matmul(%x, $wi)), sigmoid(matmul(%x, $wf)))
         }";
-        let mut opts = AnalysisOptions::default();
-        opts.horizontal_fusion = false;
+        let mut opts = AnalysisOptions { horizontal_fusion: false, ..Default::default() };
         let map = plan(src, opts);
         // add cannot fuse into either matmul group (it consumes both, each
         // single-use… it can fuse into ONE of them). Expect 2 groups.
@@ -398,10 +397,7 @@ mod tests {
         let map2 = plan(src, opts);
         assert!(
             map2.blocks[0].groups.len() < map.blocks[0].groups.len()
-                || map2.blocks[0]
-                    .groups
-                    .iter()
-                    .any(|g| g.kind == GroupKind::Horizontal),
+                || map2.blocks[0].groups.iter().any(|g| g.kind == GroupKind::Horizontal),
             "horizontal fusion reduces kernel count"
         );
     }

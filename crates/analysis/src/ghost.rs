@@ -29,8 +29,7 @@ pub fn ghost_insertions(module: &Module, blocks: &BlockMap) -> BTreeMap<ExprId, 
                 if let (Some(t), Some(l)) = (branch_units(then, blocks), branch_units(els, blocks))
                 {
                     if t != l {
-                        let (short, pad) =
-                            if t < l { (then.id, l - t) } else { (els.id, t - l) };
+                        let (short, pad) = if t < l { (then.id, l - t) } else { (els.id, t - l) };
                         out.insert(short, pad);
                     }
                 }
@@ -150,10 +149,12 @@ mod tests {
             }
         "#;
         let m = typeck::check_module(parse_module(src).unwrap()).unwrap();
-        let fused = plan_fusion(&m, find_blocks(&m), AnalysisOptions::default(), &Default::default());
+        let fused =
+            plan_fusion(&m, find_blocks(&m), AnalysisOptions::default(), &Default::default());
         let g = ghost_insertions(&m, &fused);
         assert_eq!(*g.values().next().unwrap(), 1);
-        let unfused = plan_fusion(&m, find_blocks(&m), AnalysisOptions::none(), &Default::default());
+        let unfused =
+            plan_fusion(&m, find_blocks(&m), AnalysisOptions::none(), &Default::default());
         let g2 = ghost_insertions(&m, &unfused);
         assert_eq!(*g2.values().next().unwrap(), 3);
     }

@@ -199,8 +199,7 @@ pub fn analyze(
     // recursion-carried ones, which would forfeit the hoist (the paper's
     // Listing 2 keeps `bias_dense` and `sigmoid_add_dense` as separate
     // fused kernels for exactly this reason).
-    let hoisted =
-        if options.hoisting { depth::hoistable_sites(&module) } else { BTreeSet::new() };
+    let hoisted = if options.hoisting { depth::hoistable_sites(&module) } else { BTreeSet::new() };
 
     // 3+4. Static blocks and fusion groups.
     let block_map = blocks::find_blocks(&module);

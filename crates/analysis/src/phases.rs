@@ -45,9 +45,7 @@ pub fn phase_boundaries(module: &Module) -> BTreeSet<ExprId> {
         let mut rep = false;
         acrobat_ir::ast::visit_exprs(e, &mut |x| match &x.kind {
             ExprKind::Map { .. } => rep = true,
-            ExprKind::Call { callee: Callee::Global(n), .. }
-                if recursive.contains(n.as_str()) =>
-            {
+            ExprKind::Call { callee: Callee::Global(n), .. } if recursive.contains(n.as_str()) => {
                 rep = true
             }
             _ => {}
@@ -74,8 +72,8 @@ pub fn phase_boundaries(module: &Module) -> BTreeSet<ExprId> {
             boundaries.insert(*let_id);
             continue;
         }
-        let later_work = stmts[i + 1..].iter().any(|(_, v)| has_tensor_work(v))
-            || has_tensor_work(tail);
+        let later_work =
+            stmts[i + 1..].iter().any(|(_, v)| has_tensor_work(v)) || has_tensor_work(tail);
         if is_repetitive(value) && later_work {
             boundaries.insert(*let_id);
         }

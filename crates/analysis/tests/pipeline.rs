@@ -49,18 +49,10 @@ fn rnn_pipeline_produces_all_artifacts() {
 
     // Every op site classified.
     for (site, prim) in &r.module.op_prims {
-        assert!(
-            r.arg_classes.contains_key(site),
-            "unclassified op site {site:?} ({prim})"
-        );
+        assert!(r.arg_classes.contains_key(site), "unclassified op site {site:?} ({prim})");
     }
     // Weight arguments shared, data arguments batched.
-    let shared = r
-        .arg_classes
-        .values()
-        .flatten()
-        .filter(|c| **c == ArgClass::Shared)
-        .count();
+    let shared = r.arg_classes.values().flatten().filter(|c| **c == ArgClass::Shared).count();
     assert!(shared >= 5, "params + biases should be shared, got {shared}");
 
     // The input linear transform is hoisted.
@@ -91,8 +83,7 @@ fn birnn_pipeline_duplicates_and_shares() {
     let r = analyze(m, AnalysisOptions::default()).unwrap();
 
     // @rnn was duplicated into two copies.
-    let rnn_copies =
-        r.module.functions.keys().filter(|n| n.starts_with("rnn__c")).count();
+    let rnn_copies = r.module.functions.keys().filter(|n| n.starts_with("rnn__c")).count();
     assert_eq!(rnn_copies, 2, "functions: {:?}", r.module.functions.keys());
     assert!(!r.module.functions.contains_key("rnn"));
 
@@ -111,8 +102,7 @@ fn birnn_pipeline_duplicates_and_shares() {
 #[test]
 fn duplication_disabled_keeps_single_copy() {
     let m = typeck::check_module(parse_module(BIRNN_PROGRAM).unwrap()).unwrap();
-    let mut opts = AnalysisOptions::default();
-    opts.duplication = false;
+    let opts = AnalysisOptions { duplication: false, ..Default::default() };
     let r = analyze(m, opts).unwrap();
     assert!(r.module.functions.contains_key("rnn"));
     // Without duplication the weight argument degrades to batched.
@@ -139,12 +129,6 @@ fn options_none_disables_everything() {
 
 #[test]
 fn no_main_is_an_error() {
-    let m = typeck::check_module(
-        parse_module("def @f(%x: Int) -> Int { %x }").unwrap(),
-    )
-    .unwrap();
-    assert!(matches!(
-        analyze(m, AnalysisOptions::default()),
-        Err(acrobat_ir::IrError::NoMain)
-    ));
+    let m = typeck::check_module(parse_module("def @f(%x: Int) -> Int { %x }").unwrap()).unwrap();
+    assert!(matches!(analyze(m, AnalysisOptions::default()), Err(acrobat_ir::IrError::NoMain)));
 }

@@ -139,7 +139,8 @@ mod tests {
         }
     "#;
 
-    const FEEDFORWARD: &str = "def @main($w: Tensor[(2, 2)], %x: Tensor[(1, 2)]) -> Tensor[(1, 2)] {
+    const FEEDFORWARD: &str =
+        "def @main($w: Tensor[(2, 2)], %x: Tensor[(1, 2)]) -> Tensor[(1, 2)] {
         relu(matmul(%x, $w))
     }";
 

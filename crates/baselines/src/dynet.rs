@@ -304,9 +304,8 @@ impl ComputationGraph {
     ///
     /// Propagates device and kernel errors.
     pub fn execute_pending(&mut self) -> Result<(), TensorError> {
-        let pending: Vec<NodeRef> = (0..self.nodes.len())
-            .filter(|&n| self.values[n].is_none())
-            .collect();
+        let pending: Vec<NodeRef> =
+            (0..self.nodes.len()).filter(|&n| self.values[n].is_none()).collect();
         if pending.is_empty() {
             return Ok(());
         }
@@ -395,11 +394,8 @@ impl ComputationGraph {
 
         if lanes == 1 {
             // Sequential (unbatched) vendor-kernel call.
-            let args: Vec<DeviceTensor> = node0
-                .args
-                .iter()
-                .map(|&a| self.values[a].clone().expect("ready"))
-                .collect();
+            let args: Vec<DeviceTensor> =
+                node0.args.iter().map(|&a| self.values[a].clone().expect("ready")).collect();
             let arg_refs: Vec<&DeviceTensor> = args.iter().collect();
             let out = run_prim(&mut self.mem, &node0.op, &arg_refs)?;
             self.charge_launch(&node0, lanes, 0, 0);
@@ -413,9 +409,8 @@ impl ComputationGraph {
         let mut args: Vec<BatchArg> = Vec::with_capacity(nargs);
         for j in 0..nargs {
             let first = self.values[self.nodes[batch[0]].args[j]].clone().expect("ready");
-            let shared = batch.iter().all(|&n| {
-                self.values[self.nodes[n].args[j]].as_ref() == Some(&first)
-            });
+            let shared =
+                batch.iter().all(|&n| self.values[self.nodes[n].args[j]].as_ref() == Some(&first));
             if shared {
                 args.push(BatchArg::Shared(first));
             } else {
@@ -442,11 +437,9 @@ impl ComputationGraph {
     }
 
     fn charge_launch(&mut self, node: &DyNode, lanes: usize, gather_bytes: u64, gathers: u64) {
-        let shapes: Vec<&Shape> =
-            node.args.iter().map(|&a| &self.nodes[a].shape).collect();
+        let shapes: Vec<&Shape> = node.args.iter().map(|&a| &self.nodes[a].shape).collect();
         let flops = acrobat_tensor::flops(&node.op, &shapes) * lanes as u64;
-        let in_bytes: u64 =
-            shapes.iter().map(|s| s.byte_size() as u64).sum::<u64>() * lanes as u64;
+        let in_bytes: u64 = shapes.iter().map(|s| s.byte_size() as u64).sum::<u64>() * lanes as u64;
         let out_bytes = node.shape.byte_size() as u64 * lanes as u64;
         let lstats = acrobat_codegen::KernelLaunchStats {
             launches: 1,
@@ -459,11 +452,9 @@ impl ComputationGraph {
         };
         self.stats.kernel_launches += 1;
         self.stats.flops += flops;
-        self.stats.kernel_time_us += self
-            .cfg
-            .device
-            .kernel_time_us(&lstats, Some(&self.schedule), lanes)
-            + self.cfg.device.gather_time_us(&lstats);
+        self.stats.kernel_time_us +=
+            self.cfg.device.kernel_time_us(&lstats, Some(&self.schedule), lanes)
+                + self.cfg.device.gather_time_us(&lstats);
         self.stats.cuda_api_us += self.cfg.device.launch_overhead_us
             + gathers as f64 * self.cfg.device.launch_overhead_us * 0.5;
     }

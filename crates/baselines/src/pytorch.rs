@@ -60,18 +60,19 @@ mod tests {
     #[test]
     fn eager_launches_one_kernel_per_op_per_instance() {
         let params = BTreeMap::from([("w".to_string(), Tensor::ones(&[2, 2]))]);
-        let instances: Vec<Vec<InputValue>> = (0..4)
-            .map(|i| vec![InputValue::Tensor(Tensor::fill(&[1, 2], i as f32))])
-            .collect();
+        let instances: Vec<Vec<InputValue>> =
+            (0..4).map(|i| vec![InputValue::Tensor(Tensor::fill(&[1, 2], i as f32))]).collect();
         let r = run(SRC, &params, &instances).unwrap();
         // 2 ops × 4 instances = 8 launches (vs 1–2 for ACROBAT).
         assert_eq!(r.stats.kernel_launches, 8);
         // Results are still correct.
         for (i, o) in r.outputs.iter().enumerate() {
             let x = Tensor::fill(&[1, 2], i as f32);
-            let mm =
-                acrobat_tensor::execute(&acrobat_tensor::PrimOp::MatMul, &[&x, &Tensor::ones(&[2, 2])])
-                    .unwrap();
+            let mm = acrobat_tensor::execute(
+                &acrobat_tensor::PrimOp::MatMul,
+                &[&x, &Tensor::ones(&[2, 2])],
+            )
+            .unwrap();
             let want = acrobat_tensor::execute(&acrobat_tensor::PrimOp::Relu, &[&mm]).unwrap();
             match o {
                 acrobat_vm::OutputValue::Tensor(t) => assert!(t.allclose(&want, 1e-6)),

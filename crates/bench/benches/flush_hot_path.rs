@@ -1,0 +1,82 @@
+//! Flush hot-path benchmark: scheduler planning cost on large synthetic
+//! DFGs, optimized implementations vs the straight transcriptions of the
+//! seed algorithms (`scheduler::reference`).
+//!
+//! The optimized side measures `plan_into` with a reused
+//! [`SchedulerScratch`] and [`Plan`] — exactly what `Runtime::flush` runs —
+//! so steady-state allocations are zero.  The reference side re-allocates
+//! its `BTreeMap`s per call, as the seed did.  Recorded output:
+//! `bench_results/flush_hot_path.txt`.
+
+use acrobat_codegen::KernelId;
+use acrobat_runtime::scheduler::{self, reference, Plan, SchedulerScratch};
+use acrobat_runtime::{Dfg, SchedulerKind};
+use acrobat_tensor::{DeviceMem, Tensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Chain-structured DFG of ~`nodes` nodes: `nodes / DEPTH` instances, each
+/// a 25-deep chain rotating over four kernels and two shared-operand
+/// signatures — the shape a batched RNN/TreeLSTM flush sees.
+fn synthetic_dfg(nodes: usize) -> Dfg {
+    const DEPTH: usize = 25;
+    let instances = nodes / DEPTH;
+    let mut mem = DeviceMem::new(1 << 22);
+    let mut dfg = Dfg::new();
+    let x = mem.upload(&Tensor::ones(&[4])).unwrap();
+    for i in 0..instances {
+        let mut v = dfg.ready_value(x.clone());
+        for d in 0..DEPTH {
+            let (_, o) =
+                dfg.add_node(KernelId((d % 4) as u32), i, d as u64, 0, (i % 2) as u64, vec![v], 1);
+            v = o[0];
+        }
+    }
+    dfg
+}
+
+const KINDS: [SchedulerKind; 3] =
+    [SchedulerKind::InlineDepth, SchedulerKind::DynamicDepth, SchedulerKind::Agenda];
+
+fn bench_size(c: &mut Criterion, nodes: usize, reference_agenda: bool) {
+    let dfg = synthetic_dfg(nodes);
+    let mut group = c.benchmark_group(format!("flush_hot_path_{}k", nodes / 1000));
+    for kind in KINDS {
+        group.bench_function(BenchmarkId::new("optimized", format!("{kind:?}")), |b| {
+            let mut scratch = SchedulerScratch::new();
+            let mut plan = Plan::default();
+            b.iter(|| {
+                scheduler::plan_into(kind, &dfg, &mut scratch, &mut plan);
+                std::hint::black_box(plan.num_batches())
+            });
+        });
+        if kind != SchedulerKind::Agenda || reference_agenda {
+            group.bench_function(BenchmarkId::new("reference", format!("{kind:?}")), |b| {
+                b.iter(|| std::hint::black_box(reference::plan(kind, &dfg).num_batches()));
+            });
+        } else {
+            // Reference agenda rescans every remaining node per round
+            // (O(rounds × n) BTree probes); at 100k nodes one call takes
+            // seconds, so it is measured at 10k only.
+            println!("flush_hot_path_{}k/reference/Agenda   skipped (quadratic)", nodes / 1000);
+        }
+    }
+    group.finish();
+}
+
+fn bench_10k(c: &mut Criterion) {
+    bench_size(c, 10_000, true);
+}
+
+fn bench_100k(c: &mut Criterion) {
+    bench_size(c, 100_000, false);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_10k, bench_100k
+}
+criterion_main!(benches);

@@ -71,7 +71,7 @@ fn bench_schedulers(c: &mut Criterion) {
     let dfg = chain_dfg(64, 20);
     for kind in [SchedulerKind::InlineDepth, SchedulerKind::DynamicDepth, SchedulerKind::Agenda] {
         group.bench_function(BenchmarkId::from_parameter(format!("{kind:?}")), |b| {
-            b.iter(|| std::hint::black_box(scheduler::plan(kind, &dfg).batches.len()));
+            b.iter(|| std::hint::black_box(scheduler::plan(kind, &dfg).num_batches()));
         });
     }
     group.finish();

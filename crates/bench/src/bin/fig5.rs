@@ -35,11 +35,12 @@ fn main() {
         eprintln!("done: {}", spec.name);
         rows.push(row);
     }
-    let headers: Vec<&str> = std::iter::once("Model")
-        .chain(OptLevel::ALL.iter().map(|l| l.label()))
-        .collect();
+    let headers: Vec<&str> =
+        std::iter::once("Model").chain(OptLevel::ALL.iter().map(|l| l.label())).collect();
     print_table(
-        &format!("Fig. 5: normalized execution time as optimizations accumulate (large, batch {batch})"),
+        &format!(
+            "Fig. 5: normalized execution time as optimizations accumulate (large, batch {batch})"
+        ),
         &headers,
         &rows,
     );

@@ -10,8 +10,8 @@ use acrobat_models::ModelSize;
 fn main() {
     let mut rows = Vec::new();
     for spec in suite(ModelSize::Small, true) {
-        let module = typeck::check_module(parse_module(&spec.source).expect("parse"))
-            .expect("typecheck");
+        let module =
+            typeck::check_module(parse_module(&spec.source).expect("parse")).expect("typecheck");
         let mut recursive = false;
         let mut tdc = false;
         let mut parallel = false;

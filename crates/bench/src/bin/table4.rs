@@ -25,12 +25,11 @@ fn main() {
         for spec in suite(size, quick) {
             for batch in BATCH_SIZES {
                 let batch = if quick { batch.min(8) } else { batch };
-                let mut options = CompileOptions::default();
+                let mut options = CompileOptions { ..Default::default() };
                 options.runtime.device_memory = device_memory;
                 let acrobat = run_acrobat(&spec, &options, batch, seed)
                     .unwrap_or_else(|e| panic!("{} acrobat: {e}", spec.name));
-                let dynet =
-                    run_dynet(&spec, Improvements::default(), device_memory, batch, seed);
+                let dynet = run_dynet(&spec, Improvements::default(), device_memory, batch, seed);
                 let (dynet_ms, speedup) = match &dynet {
                     Ok(m) => (ms(m.ms), format!("{:.2}", m.ms / acrobat.ms)),
                     Err(e) if e == "OOM" => ("-".into(), "-".into()),

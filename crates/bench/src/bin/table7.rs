@@ -27,9 +27,7 @@ fn main() {
                 let mut host = Vec::new();
                 let mut total = Vec::new();
                 for backend in [BackendKind::Vm, BackendKind::Aot] {
-                    let mut options = CompileOptions::default();
-                    options.backend = backend;
-                    options.seed = seed;
+                    let options = CompileOptions { backend, seed, ..Default::default() };
                     let model = compile(&spec.source, &options)
                         .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
                     // Warm up, then best-of-N for the measured host time.

@@ -24,7 +24,7 @@ fn main() {
                     .unwrap_or_else(|e| panic!("{} DN: {e}", spec.name));
                 let dnpp = run_dynet(&spec, Improvements::all(), mem, batch, seed)
                     .unwrap_or_else(|e| panic!("{} DN++: {e}", spec.name));
-                let mut opts = CompileOptions::default();
+                let mut opts = CompileOptions { ..Default::default() };
                 opts.runtime.device_memory = mem;
                 let ab = run_acrobat(&spec, &opts, batch, seed)
                     .unwrap_or_else(|e| panic!("{} AB: {e}", spec.name));

@@ -36,8 +36,7 @@ fn main() {
         for mode in [Mode::Uniform, Mode::Pgo, Mode::StaticEstimate] {
             let mut total = 0.0;
             for &ss in sched_seeds {
-                let mut options = CompileOptions::default();
-                options.seed = seed;
+                let mut options = CompileOptions { seed, ..Default::default() };
                 options.schedule.iterations = iters;
                 options.schedule.seed = ss;
                 let mut model = compile(&spec.source, &options).expect("compile");

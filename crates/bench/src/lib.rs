@@ -18,7 +18,9 @@ use std::collections::BTreeMap;
 
 use acrobat_baselines::dynet::{DynetConfig, DynetScheduler, Improvements};
 use acrobat_core::{compile, CompileOptions, RuntimeStats};
-use acrobat_models::{berxit, birnn, drnn, mvrnn, nestedrnn, stackrnn, treelstm, ModelSize, ModelSpec};
+use acrobat_models::{
+    berxit, birnn, drnn, mvrnn, nestedrnn, stackrnn, treelstm, ModelSize, ModelSpec,
+};
 use acrobat_vm::InputValue;
 
 /// A measured configuration result.
@@ -129,10 +131,7 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         line
     };
     println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
-    println!(
-        "|{}|",
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
-    );
+    println!("|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|"));
     for row in rows {
         println!("{}", fmt_row(row));
     }

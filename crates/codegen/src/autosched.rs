@@ -266,7 +266,11 @@ mod tests {
         let mut prio = BTreeMap::new();
         prio.insert(KernelId(0), 30u64);
         prio.insert(KernelId(1), 1u64);
-        autoschedule(&mut pgo, ScheduleOptions { iterations: 20, ..Default::default() }, Some(&prio));
+        autoschedule(
+            &mut pgo,
+            ScheduleOptions { iterations: 20, ..Default::default() },
+            Some(&prio),
+        );
         let hot_uniform = uniform.kernel(KernelId(0)).schedule.unwrap();
         let hot_pgo = pgo.kernel(KernelId(0)).schedule.unwrap();
         assert!(hot_pgo.iterations_spent > hot_uniform.iterations_spent);
@@ -277,7 +281,11 @@ mod tests {
     fn deterministic_per_seed() {
         let run = |seed| {
             let mut lib = library(TWO_KERNELS);
-            autoschedule(&mut lib, ScheduleOptions { iterations: 50, seed, ..Default::default() }, None);
+            autoschedule(
+                &mut lib,
+                ScheduleOptions { iterations: 50, seed, ..Default::default() },
+                None,
+            );
             lib.iter().map(|k| k.schedule.unwrap().quality).collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));

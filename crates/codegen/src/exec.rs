@@ -37,6 +37,44 @@ pub struct BatchedArgs {
     pub args: Vec<BatchedArg>,
 }
 
+impl BatchedArgs {
+    /// Borrowed view of the arguments (the owned form is a convenience
+    /// wrapper; execution happens on the borrowed form).
+    pub fn as_ref(&self) -> BatchedArgsRef<'_> {
+        BatchedArgsRef {
+            args: self
+                .args
+                .iter()
+                .map(|a| match a {
+                    BatchedArg::Shared(t) => BatchedArgRef::Shared(t),
+                    BatchedArg::Batched(ts) => BatchedArgRef::Batched(ts.iter().collect()),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Borrowed counterpart of [`BatchedArg`]: the launch reads tensor handles
+/// in place (e.g. straight out of a runtime's DFG value table) instead of
+/// cloning them.  Cloning a `DeviceTensor` heap-allocates its [`Shape`], so
+/// on the flush hot path — every argument of every lane of every batch —
+/// the borrowed form is what keeps binding allocation-free.
+#[derive(Debug, Clone)]
+pub enum BatchedArgRef<'a> {
+    /// One tensor for the whole batch (input slot is [`ArgClass::Shared`]).
+    Shared(&'a DeviceTensor),
+    /// One tensor per instance (slot is [`ArgClass::Batched`]).
+    Batched(Vec<&'a DeviceTensor>),
+}
+
+/// Borrowed argument vector of a launch, parallel to
+/// [`KernelProgram::inputs`].
+#[derive(Debug, Clone, Default)]
+pub struct BatchedArgsRef<'a> {
+    /// Arguments in [`KernelProgram::inputs`] order.
+    pub args: Vec<BatchedArgRef<'a>>,
+}
+
 /// Cost-relevant observations of one launch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KernelLaunchStats {
@@ -92,6 +130,24 @@ pub fn run_batched_kernel(
     batch: usize,
     mode: BatchMode,
 ) -> Result<(Vec<Vec<DeviceTensor>>, KernelLaunchStats), TensorError> {
+    run_batched_kernel_ref(mem, program, &args.as_ref(), batch, mode)
+}
+
+/// Borrowed-argument form of [`run_batched_kernel`] — the actual executor.
+/// Callers that already hold tensor handles elsewhere (a DFG value table)
+/// bind them by reference via [`bind_args_ref`] and avoid per-lane handle
+/// clones entirely.
+///
+/// # Errors
+///
+/// As for [`run_batched_kernel`].
+pub fn run_batched_kernel_ref(
+    mem: &mut DeviceMem,
+    program: &KernelProgram,
+    args: &BatchedArgsRef<'_>,
+    batch: usize,
+    mode: BatchMode,
+) -> Result<(Vec<Vec<DeviceTensor>>, KernelLaunchStats), TensorError> {
     if batch == 0 {
         return Err(TensorError::EmptyBatch);
     }
@@ -116,7 +172,7 @@ pub fn run_batched_kernel(
     let mut slots: Vec<Slot> = Vec::with_capacity(args.args.len());
     for (input, arg) in program.inputs.iter().zip(&args.args) {
         match (input.class, arg) {
-            (ArgClass::Shared, BatchedArg::Shared(t)) => {
+            (ArgClass::Shared, BatchedArgRef::Shared(t)) => {
                 if t.shape() != &input.shape {
                     return Err(TensorError::BatchShape {
                         op: "kernel",
@@ -127,7 +183,7 @@ pub fn run_batched_kernel(
                 stats.shared_bytes += t.shape().byte_size() as u64;
                 slots.push(Slot::Shared { offset: t.offset(), shape: t.shape().clone() });
             }
-            (ArgClass::Batched, BatchedArg::Batched(ts)) => {
+            (ArgClass::Batched, BatchedArgRef::Batched(ts)) => {
                 if ts.len() != batch {
                     return Err(TensorError::Arity {
                         op: "kernel",
@@ -159,8 +215,7 @@ pub fn run_batched_kernel(
                             vec![ts[0].offset(); batch]
                         } else {
                             let before = mem.stats();
-                            let refs: Vec<&DeviceTensor> = ts.iter().collect();
-                            let (staging, copied) = mem.gather(&refs)?;
+                            let (staging, copied) = mem.gather(ts)?;
                             if copied {
                                 stats.gather_bytes +=
                                     mem.stats().gather_bytes - before.gather_bytes;
@@ -177,7 +232,11 @@ pub fn run_batched_kernel(
             }
             (want, _) => {
                 return Err(TensorError::Arity {
-                    op: if want == ArgClass::Shared { "kernel shared slot" } else { "kernel batched slot" },
+                    op: if want == ArgClass::Shared {
+                        "kernel shared slot"
+                    } else {
+                        "kernel batched slot"
+                    },
                     got: 0,
                     expected: 1,
                 });
@@ -191,8 +250,7 @@ pub fn run_batched_kernel(
         out_handles.push(mem.alloc(&batched_shape(shape, batch))?);
         stats.output_bytes += (shape.byte_size() * batch) as u64;
     }
-    let split_at =
-        out_handles.first().map(|h| h.offset()).unwrap_or_else(|| mem.used());
+    let split_at = out_handles.first().map(|h| h.offset()).unwrap_or_else(|| mem.used());
 
     // Scratch registers for instruction results.
     let max_reg = program
@@ -219,8 +277,7 @@ pub fn run_batched_kernel(
                 Slot::Shared { offset, shape } => (*offset, shape.clone()),
                 Slot::PerLane { offsets, shape } => (offsets[lane], shape.clone()),
             };
-            input_views[input.reg.0 as usize] =
-                Some((&lo[offset..offset + shape.numel()], shape));
+            input_views[input.reg.0 as usize] = Some((&lo[offset..offset + shape.numel()], shape));
         }
         // Execute instructions into scratch.  Registers are SSA-style (the
         // destination is always fresh), so taking the output buffer out of
@@ -293,6 +350,28 @@ pub fn bind_args(program: &KernelProgram, per_lane: &[Vec<DeviceTensor>]) -> Bat
     BatchedArgs { args }
 }
 
+/// Borrow-binding counterpart of [`bind_args`]: `resolve(lane, slot)` hands
+/// back a reference to the tensor bound at that position, typically straight
+/// out of the caller's value table, so no handles are cloned.
+///
+/// For shared slots only lane 0 is resolved (all lanes hold the same tensor
+/// by construction — the taint analysis guarantees it).
+pub fn bind_args_ref<'a>(
+    program: &KernelProgram,
+    lanes: usize,
+    mut resolve: impl FnMut(usize, usize) -> &'a DeviceTensor,
+) -> BatchedArgsRef<'a> {
+    let mut args = Vec::with_capacity(program.inputs.len());
+    for (slot, input) in program.inputs.iter().enumerate() {
+        match input.class {
+            ArgClass::Shared => args.push(BatchedArgRef::Shared(resolve(0, slot))),
+            ArgClass::Batched => args
+                .push(BatchedArgRef::Batched((0..lanes).map(|lane| resolve(lane, slot)).collect())),
+        }
+    }
+    BatchedArgsRef { args }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,7 +435,8 @@ mod tests {
         assert_eq!(outs.len(), 1);
 
         for (l, host_x) in hosts.iter().enumerate() {
-            let mm = acrobat_tensor::execute(&acrobat_tensor::PrimOp::MatMul, &[host_x, &w]).unwrap();
+            let mm =
+                acrobat_tensor::execute(&acrobat_tensor::PrimOp::MatMul, &[host_x, &w]).unwrap();
             let ad = acrobat_tensor::execute(&acrobat_tensor::PrimOp::Add, &[&b, &mm]).unwrap();
             let sg = acrobat_tensor::execute(&acrobat_tensor::PrimOp::Sigmoid, &[&ad]).unwrap();
             let got = mem.download(&outs[0][l]).unwrap();
@@ -387,7 +467,8 @@ mod tests {
             lanes.push(lane);
         }
         let args = bind_args(program, &lanes);
-        let (f, fs) = run_batched_kernel(&mut mem, program, &args, batch, BatchMode::GatherFused).unwrap();
+        let (f, fs) =
+            run_batched_kernel(&mut mem, program, &args, batch, BatchMode::GatherFused).unwrap();
         let (g, gs) =
             run_batched_kernel(&mut mem, program, &args, batch, BatchMode::ExplicitGather).unwrap();
         for (a, b) in f[0].iter().zip(&g[0]) {
@@ -399,10 +480,42 @@ mod tests {
     }
 
     #[test]
-    fn batch_errors() {
+    fn ref_binding_matches_owned_binding() {
         let (_, lib) = compile(
-            "def @main(%x: Tensor[(1, 2)]) -> Tensor[(1, 2)] { relu(%x) }",
+            "def @main($w: Tensor[(2, 2)], %x: Tensor[(1, 2)]) -> Tensor[(1, 2)] {
+                relu(matmul(%x, $w))
+            }",
         );
+        let program = lib.kernel(crate::KernelId(0));
+        let mut mem = DeviceMem::new(1 << 16);
+        let w = mem.upload(&Tensor::from_fn(&[2, 2], |i| i as f32 - 1.0)).unwrap();
+        let batch = 3;
+        let mut lanes: Vec<Vec<DeviceTensor>> = Vec::new();
+        for l in 0..batch {
+            let x = mem.upload(&Tensor::fill(&[1, 2], l as f32)).unwrap();
+            mem.alloc(&acrobat_tensor::Shape::new(&[1 + l])).unwrap(); // scatter
+            let lane: Vec<DeviceTensor> = program
+                .inputs
+                .iter()
+                .map(|i| if i.class == ArgClass::Batched { x.clone() } else { w.clone() })
+                .collect();
+            lanes.push(lane);
+        }
+        let owned = bind_args(program, &lanes);
+        let (a, _) =
+            run_batched_kernel(&mut mem, program, &owned, batch, BatchMode::GatherFused).unwrap();
+        let refs = bind_args_ref(program, batch, |lane, slot| &lanes[lane][slot]);
+        let (b, _) =
+            run_batched_kernel_ref(&mut mem, program, &refs, batch, BatchMode::GatherFused)
+                .unwrap();
+        for (x, y) in a[0].iter().zip(&b[0]) {
+            assert_eq!(mem.read(x).unwrap(), mem.read(y).unwrap());
+        }
+    }
+
+    #[test]
+    fn batch_errors() {
+        let (_, lib) = compile("def @main(%x: Tensor[(1, 2)]) -> Tensor[(1, 2)] { relu(%x) }");
         let program = lib.kernel(crate::KernelId(0));
         let mut mem = DeviceMem::new(1 << 12);
         let args = BatchedArgs { args: vec![] };

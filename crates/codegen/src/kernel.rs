@@ -117,9 +117,7 @@ pub fn compile_group(
     let site_index = |site: ExprId| -> usize {
         block.sites.iter().position(|s| s.site == site).expect("site in block")
     };
-    let in_group = |idx: usize| -> bool {
-        group.sites.iter().any(|&s| site_index(s) == idx)
-    };
+    let in_group = |idx: usize| -> bool { group.sites.iter().any(|&s| site_index(s) == idx) };
 
     let mut inputs: Vec<KernelInput> = Vec::new();
     let mut instrs: Vec<KInstr> = Vec::new();
@@ -244,7 +242,8 @@ mod tests {
         (a, programs)
     }
 
-    const FUSED: &str = "def @main($w: Tensor[(4, 4)], $b: Tensor[(1, 4)], %x: Tensor[(1, 4)]) -> Tensor[(1, 4)] {
+    const FUSED: &str =
+        "def @main($w: Tensor[(4, 4)], $b: Tensor[(1, 4)], %x: Tensor[(1, 4)]) -> Tensor[(1, 4)] {
         sigmoid(add($b, matmul(%x, $w)))
     }";
 

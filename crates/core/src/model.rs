@@ -34,8 +34,7 @@ pub fn compile(source: &str, options: &CompileOptions) -> Result<Model, CompileE
     autoschedule(&mut library, options.schedule, None);
     let kernel_count = library.len();
     // Keep the runtime's coarsening flag in sync with the analysis flag.
-    let runtime_options =
-        RuntimeOptions { coarsen: options.analysis.coarsen, ..options.runtime };
+    let runtime_options = RuntimeOptions { coarsen: options.analysis.coarsen, ..options.runtime };
     let runtime = Runtime::new(library, options.device, runtime_options);
     let exe = Executable::new(analysis.clone(), runtime, options.backend, options.seed)?;
     Ok(Model { exe, analysis, options: options.clone(), kernel_count })
@@ -205,8 +204,7 @@ mod tests {
                 .run(&params, &instances)
                 .unwrap();
             for (a, b) in reference.outputs.iter().zip(&r.outputs) {
-                let (la, lb) =
-                    (a.clone().into_list().unwrap(), b.clone().into_list().unwrap());
+                let (la, lb) = (a.clone().into_list().unwrap(), b.clone().into_list().unwrap());
                 assert_eq!(la.len(), lb.len());
                 for (x, y) in la.iter().zip(&lb) {
                     let (tx, ty) = match (x, y) {
@@ -224,7 +222,7 @@ mod tests {
 
     #[test]
     fn pgo_improves_or_matches_quality() {
-        let mut options = CompileOptions::default();
+        let mut options = CompileOptions { ..Default::default() };
         options.schedule.iterations = 30;
         let mut model = compile(RNN, &options).unwrap();
         let (params, instances) = rnn_setup();

@@ -484,7 +484,10 @@ impl Module {
                         name: "Cons".into(),
                         fields: vec![
                             Type::Adt { name: "a".into(), args: vec![] },
-                            Type::Adt { name: "List".into(), args: vec![Type::Adt { name: "a".into(), args: vec![] }] },
+                            Type::Adt {
+                                name: "List".into(),
+                                args: vec![Type::Adt { name: "a".into(), args: vec![] }],
+                            },
                         ],
                     },
                 ],

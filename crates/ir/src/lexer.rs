@@ -373,7 +373,10 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("42 0.5 1e-3"), vec![Tok::Int(42), Tok::Float(0.5), Tok::Float(1e-3), Tok::Eof]);
+        assert_eq!(
+            toks("42 0.5 1e-3"),
+            vec![Tok::Int(42), Tok::Float(0.5), Tok::Float(1e-3), Tok::Eof]
+        );
     }
 
     #[test]

@@ -21,7 +21,11 @@ fn int_attr(attrs: &BTreeMap<String, AttrValue>, key: &str) -> Result<i64, Strin
     }
 }
 
-fn float_attr(attrs: &BTreeMap<String, AttrValue>, key: &str, default: Option<f64>) -> Result<f64, String> {
+fn float_attr(
+    attrs: &BTreeMap<String, AttrValue>,
+    key: &str,
+    default: Option<f64>,
+) -> Result<f64, String> {
     match attrs.get(key) {
         Some(AttrValue::Float(v)) => Ok(*v),
         Some(AttrValue::Int(v)) => Ok(*v as f64),
@@ -79,7 +83,9 @@ pub fn build_prim(name: &str, attrs: &BTreeMap<String, AttrValue>) -> Result<Pri
         "max_rows" => simple(PrimOp::MaxRows),
         "argmax_rows" => simple(PrimOp::ArgmaxRows),
         "softmax_rows" => simple(PrimOp::SoftmaxRows),
-        "layer_norm" => Ok(PrimOp::LayerNormRows { eps: float_attr(attrs, "eps", Some(1e-5))? as f32 }),
+        "layer_norm" => {
+            Ok(PrimOp::LayerNormRows { eps: float_attr(attrs, "eps", Some(1e-5))? as f32 })
+        }
         "concat" => Ok(PrimOp::Concat { axis: int_attr(attrs, "axis")? as usize }),
         "transpose" => simple(PrimOp::Transpose),
         "reshape" => Ok(PrimOp::Reshape { shape: shape_attr(attrs, "shape")? }),
@@ -102,10 +108,35 @@ pub fn build_prim(name: &str, attrs: &BTreeMap<String, AttrValue>) -> Result<Pri
 /// Returns `true` if `name` is a registered tensor operator.
 pub fn is_op(name: &str) -> bool {
     const NAMES: &[&str] = &[
-        "relu", "sigmoid", "tanh", "exp", "log", "neg", "sqrt", "gelu", "add", "sub", "mul",
-        "div", "maximum", "matmul", "dense", "sum_rows", "mean_rows", "max_rows", "argmax_rows",
-        "softmax_rows", "layer_norm", "concat", "transpose", "reshape", "slice", "fill", "zeros",
-        "ones", "copy",
+        "relu",
+        "sigmoid",
+        "tanh",
+        "exp",
+        "log",
+        "neg",
+        "sqrt",
+        "gelu",
+        "add",
+        "sub",
+        "mul",
+        "div",
+        "maximum",
+        "matmul",
+        "dense",
+        "sum_rows",
+        "mean_rows",
+        "max_rows",
+        "argmax_rows",
+        "softmax_rows",
+        "layer_norm",
+        "concat",
+        "transpose",
+        "reshape",
+        "slice",
+        "fill",
+        "zeros",
+        "ones",
+        "copy",
     ];
     NAMES.contains(&name)
 }

@@ -86,11 +86,7 @@ impl Parser {
 
     fn err(&self, msg: &str) -> IrError {
         let tok = &self.tokens[self.pos];
-        IrError::Parse {
-            line: tok.line,
-            col: tok.col,
-            msg: format!("{msg}, found {:?}", tok.tok),
-        }
+        IrError::Parse { line: tok.line, col: tok.col, msg: format!("{msg}, found {:?}", tok.tok) }
     }
 
     fn mk(&mut self, kind: ExprKind) -> Expr {
@@ -299,7 +295,11 @@ impl Parser {
             let value = self.parse_expr()?;
             self.expect(&Tok::Semi, "`;` after let")?;
             let body = self.parse_stmts()?;
-            return Ok(self.mk(ExprKind::Let { pat, value: Box::new(value), body: Box::new(body) }));
+            return Ok(self.mk(ExprKind::Let {
+                pat,
+                value: Box::new(value),
+                body: Box::new(body),
+            }));
         }
         if self.at(&Tok::KwPhase) && self.peek2() == &Tok::Semi {
             self.bump();
@@ -438,11 +438,15 @@ impl Parser {
     fn parse_unary(&mut self) -> Result<Expr> {
         if self.eat(&Tok::Minus) {
             let operand = self.parse_unary()?;
-            return Ok(self.mk(ExprKind::ScalarUn { op: ScalarUnOp::Neg, operand: Box::new(operand) }));
+            return Ok(
+                self.mk(ExprKind::ScalarUn { op: ScalarUnOp::Neg, operand: Box::new(operand) })
+            );
         }
         if self.eat(&Tok::Bang) {
             let operand = self.parse_unary()?;
-            return Ok(self.mk(ExprKind::ScalarUn { op: ScalarUnOp::Not, operand: Box::new(operand) }));
+            return Ok(
+                self.mk(ExprKind::ScalarUn { op: ScalarUnOp::Not, operand: Box::new(operand) })
+            );
         }
         self.parse_postfix()
     }
@@ -580,11 +584,8 @@ impl Parser {
                 let cond = self.parse_expr()?;
                 let then = self.parse_block()?;
                 self.expect(&Tok::KwElse, "`else`")?;
-                let els = if self.at(&Tok::KwIf) {
-                    self.parse_atom()?
-                } else {
-                    self.parse_block()?
-                };
+                let els =
+                    if self.at(&Tok::KwIf) { self.parse_atom()? } else { self.parse_block()? };
                 Ok(self.mk(ExprKind::If {
                     cond: Box::new(cond),
                     then: Box::new(then),
@@ -680,8 +681,7 @@ impl Parser {
                         if args.len() != 1 {
                             return Err(self.err(&format!("`{name}` takes exactly one argument")));
                         }
-                        let kind =
-                            if name == "item" { SyncKind::Item } else { SyncKind::Sample };
+                        let kind = if name == "item" { SyncKind::Item } else { SyncKind::Sample };
                         return Ok(self.mk(ExprKind::Sync {
                             kind,
                             tensor: Box::new(args.pop().expect("one arg")),
@@ -825,9 +825,7 @@ mod tests {
 
     #[test]
     fn op_attrs() {
-        let m = parse(
-            "def @main(%x: Tensor[(1, 4)]) -> Tensor[(1, 8)] { concat[axis=1](%x, %x) }",
-        );
+        let m = parse("def @main(%x: Tensor[(1, 4)]) -> Tensor[(1, 8)] { concat[axis=1](%x, %x) }");
         crate::ast::visit_exprs(&m.functions["main"].body, &mut |e| {
             if let ExprKind::Call { callee: Callee::Op { name, attrs }, .. } = &e.kind {
                 assert_eq!(name, "concat");
@@ -838,9 +836,7 @@ mod tests {
 
     #[test]
     fn sync_intrinsics() {
-        let m = parse(
-            "def @main(%x: Tensor[(1, 1)]) -> Bool { item(%x) > sample(%x) }",
-        );
+        let m = parse("def @main(%x: Tensor[(1, 1)]) -> Bool { item(%x) > sample(%x) }");
         let mut kinds = Vec::new();
         crate::ast::visit_exprs(&m.functions["main"].body, &mut |e| {
             if let ExprKind::Sync { kind, .. } = &e.kind {

@@ -312,9 +312,13 @@ mod tests {
         "#;
         let m1 = parse_module(src).unwrap();
         let printed = super::print_module(&m1);
-        let m2 = parse_module(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let m2 =
+            parse_module(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
         assert_eq!(m1.adts, m2.adts);
-        assert_eq!(m1.functions.keys().collect::<Vec<_>>(), m2.functions.keys().collect::<Vec<_>>());
+        assert_eq!(
+            m1.functions.keys().collect::<Vec<_>>(),
+            m2.functions.keys().collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -333,7 +337,8 @@ mod tests {
         "#;
         let m1 = parse_module(src).unwrap();
         let printed = super::print_module(&m1);
-        let m2 = parse_module(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let m2 =
+            parse_module(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
         assert_eq!(m1.functions.len(), m2.functions.len());
     }
 

@@ -209,16 +209,17 @@ impl<'a> Ctx<'a> {
     /// Instantiates an ADT constructor: returns (field types, adt type) with
     /// the ADT's type variables replaced by fresh unification variables.
     fn instantiate_ctor(&mut self, ctor_name: &str) -> Result<(Vec<Type>, Type)> {
-        let adt = self
-            .adts
-            .values()
-            .find(|a| a.ctors.iter().any(|c| c.name == ctor_name))
-            .ok_or_else(|| IrError::Unresolved { kind: "constructor", name: ctor_name.into() })?;
+        let adt =
+            self.adts.values().find(|a| a.ctors.iter().any(|c| c.name == ctor_name)).ok_or_else(
+                || IrError::Unresolved { kind: "constructor", name: ctor_name.into() },
+            )?;
         let mapping: HashMap<&str, Type> =
             adt.type_vars.iter().map(|v| (v.as_str(), self.fresh())).collect();
         fn subst_ty(t: &Type, mapping: &HashMap<&str, Type>) -> Type {
             match t {
-                Type::Adt { name, args } if args.is_empty() && mapping.contains_key(name.as_str()) => {
+                Type::Adt { name, args }
+                    if args.is_empty() && mapping.contains_key(name.as_str()) =>
+                {
                     mapping[name.as_str()].clone()
                 }
                 Type::Adt { name, args } => Type::Adt {
@@ -328,16 +329,12 @@ impl<'a> Ctx<'a> {
                 let mut covered: Vec<&str> = Vec::new();
                 let result = self.fresh();
                 for arm in arms.iter_mut() {
-                    let ctor = adt
-                        .ctors
-                        .iter()
-                        .find(|c| c.name == arm.ctor)
-                        .ok_or_else(|| {
-                            self.error(format!(
-                                "match arm `{}` is not a constructor of `{}`",
-                                arm.ctor, adt.name
-                            ))
-                        })?;
+                    let ctor = adt.ctors.iter().find(|c| c.name == arm.ctor).ok_or_else(|| {
+                        self.error(format!(
+                            "match arm `{}` is not a constructor of `{}`",
+                            arm.ctor, adt.name
+                        ))
+                    })?;
                     if covered.contains(&arm.ctor.as_str()) {
                         return Err(self.error(format!("duplicate match arm `{}`", arm.ctor)));
                     }
@@ -407,9 +404,8 @@ impl<'a> Ctx<'a> {
                             )));
                         }
                         for (i, (p, a)) in params.iter().zip(&arg_tys).enumerate() {
-                            self.unify(a, p).map_err(|e| {
-                                self.error(format!("argument {i} of @{name}: {e}"))
-                            })?;
+                            self.unify(a, p)
+                                .map_err(|e| self.error(format!("argument {i} of @{name}: {e}")))?;
                         }
                         ret
                     }
@@ -423,9 +419,8 @@ impl<'a> Ctx<'a> {
                             )));
                         }
                         for (i, (f, a)) in fields.iter().zip(&arg_tys).enumerate() {
-                            self.unify(a, f).map_err(|e| {
-                                self.error(format!("field {i} of `{name}`: {e}"))
-                            })?;
+                            self.unify(a, f)
+                                .map_err(|e| self.error(format!("field {i} of `{name}`: {e}")))?;
                         }
                         adt_ty
                     }
@@ -508,8 +503,7 @@ impl<'a> Ctx<'a> {
                 let fty = self.check(func, env)?;
                 let out = self.fresh();
                 let want = Type::Fn { params: vec![elem], ret: Box::new(out.clone()) };
-                self.unify(&fty, &want)
-                    .map_err(|e| self.error(format!("map function: {e}")))?;
+                self.unify(&fty, &want).map_err(|e| self.error(format!("map function: {e}")))?;
                 Type::list(out)
             }
             ExprKind::Parallel(parts) => {
@@ -575,15 +569,12 @@ impl<'a> Ctx<'a> {
                             Type::Int | Type::Float => operand,
                             Type::Var(_) => {
                                 // Default numeric literals to Int.
-                                self.unify(&operand, &Type::Int)
-                                    .map_err(|e| self.error(e))?;
+                                self.unify(&operand, &Type::Int).map_err(|e| self.error(e))?;
                                 Type::Int
                             }
                             other => {
-                                return Err(self.error(format!(
-                                    "`{}` is not defined on {other}",
-                                    op.symbol()
-                                )))
+                                return Err(self
+                                    .error(format!("`{}` is not defined on {other}", op.symbol())))
                             }
                         }
                     }
@@ -594,10 +585,8 @@ impl<'a> Ctx<'a> {
                                 self.unify(&operand, &Type::Int).map_err(|e| self.error(e))?;
                             }
                             other => {
-                                return Err(self.error(format!(
-                                    "`{}` is not defined on {other}",
-                                    op.symbol()
-                                )))
+                                return Err(self
+                                    .error(format!("`{}` is not defined on {other}", op.symbol())))
                             }
                         }
                         Type::Bool

@@ -74,13 +74,9 @@ fn all_evaluation_models_roundtrip() {
     for (name, src) in sources {
         let m1 = parse_module(&src).unwrap_or_else(|e| panic!("{name}: parse: {e}"));
         let printed = print_module(&m1);
-        let m2 = parse_module(&printed)
-            .unwrap_or_else(|e| panic!("{name}: reparse: {e}\n{printed}"));
-        assert_eq!(
-            print_module(&m2),
-            printed,
-            "{name}: printing is not a fixpoint"
-        );
+        let m2 =
+            parse_module(&printed).unwrap_or_else(|e| panic!("{name}: reparse: {e}\n{printed}"));
+        assert_eq!(print_module(&m2), printed, "{name}: printing is not a fixpoint");
         typeck::check_module(m2).unwrap_or_else(|e| panic!("{name}: typeck: {e}"));
     }
 }

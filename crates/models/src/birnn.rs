@@ -186,15 +186,9 @@ mod tests {
     fn duplication_fires_for_two_directions() {
         let spec = spec_with(4, 3);
         let model =
-            acrobat_core::compile(&spec.source, &acrobat_core::CompileOptions::default())
-                .unwrap();
-        let copies = model
-            .analysis()
-            .module
-            .functions
-            .keys()
-            .filter(|n| n.starts_with("rnn__c"))
-            .count();
+            acrobat_core::compile(&spec.source, &acrobat_core::CompileOptions::default()).unwrap();
+        let copies =
+            model.analysis().module.functions.keys().filter(|n| n.starts_with("rnn__c")).count();
         assert_eq!(copies, 2, "forward/backward @rnn duplicated");
     }
 }

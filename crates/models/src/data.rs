@@ -100,9 +100,7 @@ mod tests {
     fn tree_has_requested_leaves() {
         let mut rng = Prng::new(3, 1);
         for n in [1usize, 2, 7, 19] {
-            let t = random_tree(&mut rng, n, &mut |r| {
-                InputValue::Tensor(embedding(r, 4))
-            });
+            let t = random_tree(&mut rng, n, &mut |r| InputValue::Tensor(embedding(r, 4)));
             assert_eq!(tree_leaves(&t), n);
         }
     }

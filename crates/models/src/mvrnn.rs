@@ -206,8 +206,7 @@ mod tests {
             improvements: acrobat_baselines::dynet::Improvements::all(),
             ..Default::default()
         };
-        let improved =
-            (spec.dynet_run.as_ref().unwrap())(&improved_cfg, &instances, 0).unwrap();
+        let improved = (spec.dynet_run.as_ref().unwrap())(&improved_cfg, &instances, 0).unwrap();
         assert!(
             improved.1.kernel_launches < stock.1.kernel_launches,
             "DN++ batches activation products: {} vs {}",

@@ -172,10 +172,6 @@ mod tests {
     #[test]
     fn acrobat_and_dynet_agree() {
         // Tiny bounds keep the test fast while still nesting the loops.
-        check_acrobat_vs_dynet(
-            &spec_with(4, Bounds { inner: (2, 4), outer: (2, 3) }),
-            4,
-            0x2E57,
-        );
+        check_acrobat_vs_dynet(&spec_with(4, Bounds { inner: (2, 4), outer: (2, 3) }), 4, 0x2E57);
     }
 }

@@ -109,11 +109,7 @@ pub fn spec_with(d: usize) -> ModelSpec {
             run_dynet(cfg.clone(), &dynet_params, instances)
         })),
         flatten_output: all_tensors,
-        properties: Properties {
-            iterative: true,
-            tensor_dependent: true,
-            ..Default::default()
-        },
+        properties: Properties { iterative: true, tensor_dependent: true, ..Default::default() },
     }
 }
 

@@ -19,8 +19,7 @@ use crate::ModelSpec;
 pub fn check_acrobat_vs_dynet(spec: &ModelSpec, batch: usize, seed: u64) {
     let instances = (spec.make_instances)(seed, batch);
 
-    let mut options = CompileOptions::default();
-    options.seed = seed;
+    let options = CompileOptions { seed, ..Default::default() };
     let model = compile(&spec.source, &options)
         .unwrap_or_else(|e| panic!("{}: compile failed: {e}", spec.name));
     let acrobat = model
@@ -63,8 +62,7 @@ pub fn check_acrobat_vs_dynet(spec: &ModelSpec, batch: usize, seed: u64) {
 /// Panics on compile/run errors or non-finite outputs.
 pub fn check_acrobat_runs(spec: &ModelSpec, batch: usize, seed: u64) {
     let instances = (spec.make_instances)(seed, batch);
-    let mut options = CompileOptions::default();
-    options.seed = seed;
+    let options = CompileOptions { seed, ..Default::default() };
     let model = compile(&spec.source, &options)
         .unwrap_or_else(|e| panic!("{}: compile failed: {e}", spec.name));
     let result = model

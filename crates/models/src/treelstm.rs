@@ -230,18 +230,13 @@ mod tests {
     fn dynet_leaf_constants_hurt_stock() {
         let spec = spec_with(4, 3);
         let instances = (spec.make_instances)(0x11, 6);
-        let stock = (spec.dynet_run.as_ref().unwrap())(
-            &DynetConfig::default(),
-            &instances,
-            0x11,
-        )
-        .unwrap();
+        let stock =
+            (spec.dynet_run.as_ref().unwrap())(&DynetConfig::default(), &instances, 0x11).unwrap();
         let improved_cfg = DynetConfig {
             improvements: acrobat_baselines::dynet::Improvements::all(),
             ..Default::default()
         };
-        let improved =
-            (spec.dynet_run.as_ref().unwrap())(&improved_cfg, &instances, 0x11).unwrap();
+        let improved = (spec.dynet_run.as_ref().unwrap())(&improved_cfg, &instances, 0x11).unwrap();
         assert!(
             improved.1.kernel_launches < stock.1.kernel_launches,
             "DN++ reduces launches: {} vs {}",

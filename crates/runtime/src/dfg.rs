@@ -59,13 +59,59 @@ pub struct DfgNode {
     pub executed: bool,
 }
 
+/// Sentinel for "not in the pending set" in [`Dfg::pending_pos`].
+const NOT_PENDING: u32 = u32::MAX;
+
+/// Packs the inline grouping key `(phase, depth, kernel)` into one integer
+/// whose natural order is the lexicographic tuple order; `shared_sig` is
+/// kept alongside as the second key component.
+#[inline]
+pub(crate) fn inline_key(phase: u32, depth: u64, kernel: u32) -> u128 {
+    ((phase as u128) << 96) | ((depth as u128) << 32) | kernel as u128
+}
+
+/// One bucket of the incremental inline-scheduling index: every node whose
+/// `(phase, depth, kernel, shared_sig)` matches `key`, in creation order.
+#[derive(Debug, Default)]
+pub(crate) struct InlineBucket {
+    /// Packed `(inline_key, shared_sig)` grouping key.
+    pub(crate) key: (u128, u64),
+    /// Member nodes in creation order.  May contain already-executed
+    /// (stale) ids; they are pruned lazily on completion, and readers must
+    /// filter by pending-ness unless `pending == ids.len()`.
+    pub(crate) ids: Vec<NodeId>,
+    /// How many of `ids` are still pending.
+    pub(crate) pending: u32,
+}
+
 /// The dataflow graph plus its value table.
+///
+/// The pending set is index-mapped: `pending_pos[node]` stores the node's
+/// position inside `pending`, so completing a node is an O(1) swap-remove
+/// instead of the O(pending) `retain` scan the first implementation used
+/// (which made a flush O(n²) in the number of pending nodes).  The price is
+/// that `pending` is not order-stable across completions; schedulers that
+/// need creation (topological) order sort the ids, which `NodeId`'s
+/// monotonic assignment makes equivalent.
 #[derive(Debug, Default)]
 pub struct Dfg {
     nodes: Vec<DfgNode>,
     values: Vec<ValueState>,
     /// Nodes not yet executed.
     pending: Vec<NodeId>,
+    /// `pending_pos[id]` is the index of node `id` within `pending`, or
+    /// [`NOT_PENDING`].  Indexed by `NodeId` (node ids are dense).
+    pending_pos: Vec<u32>,
+    /// Inline-scheduling bucket index, maintained incrementally as nodes
+    /// are added: the inline grouping key is pure static metadata, so the
+    /// grouping work happens during DFG construction and the inline
+    /// scheduler's flush-time job degenerates to emitting the non-empty
+    /// buckets in key order (§4.1's "scheduling is a bucket lookup").
+    buckets: Vec<InlineBucket>,
+    /// Grouping key → index into `buckets`.
+    bucket_lookup: std::collections::HashMap<(u128, u64), u32>,
+    /// Per node, its bucket index (dense, parallel to `nodes`).
+    bucket_of: Vec<u32>,
 }
 
 impl Dfg {
@@ -112,7 +158,18 @@ impl Dfg {
             outputs: outputs.clone(),
             executed: false,
         });
+        debug_assert!(self.pending.len() < NOT_PENDING as usize, "pending set overflow");
+        self.pending_pos.push(self.pending.len() as u32);
         self.pending.push(id);
+        let key = (inline_key(phase, depth, kernel.0), shared_sig);
+        let bucket = *self.bucket_lookup.entry(key).or_insert_with(|| {
+            self.buckets.push(InlineBucket { key, ..Default::default() });
+            (self.buckets.len() - 1) as u32
+        });
+        let b = &mut self.buckets[bucket as usize];
+        b.ids.push(id);
+        b.pending += 1;
+        self.bucket_of.push(bucket);
         (id, outputs)
     }
 
@@ -126,7 +183,12 @@ impl Dfg {
         &self.nodes
     }
 
-    /// Ids of nodes not yet executed, in creation order.
+    /// Ids of nodes not yet executed.
+    ///
+    /// Between flushes (append-only periods) the slice is in creation
+    /// order; while completions are in flight the order is unspecified
+    /// because completion swap-removes.  Callers needing topological order
+    /// must sort (node ids increase in creation order).
     pub fn pending(&self) -> &[NodeId] {
         &self.pending
     }
@@ -165,6 +227,41 @@ impl Dfg {
             .all(|a| matches!(self.values[a.0 as usize], ValueState::Ready(_)))
     }
 
+    /// Removes `node` from the pending set in O(1) via swap-remove, and
+    /// keeps the bucket index's staleness bounded.
+    fn remove_pending(&mut self, node: NodeId) {
+        let pos = self.pending_pos[node.0 as usize];
+        debug_assert_ne!(pos, NOT_PENDING, "node not pending");
+        self.pending.swap_remove(pos as usize);
+        if let Some(&moved) = self.pending.get(pos as usize) {
+            self.pending_pos[moved.0 as usize] = pos;
+        }
+        self.pending_pos[node.0 as usize] = NOT_PENDING;
+
+        let b = &mut self.buckets[self.bucket_of[node.0 as usize] as usize];
+        b.pending -= 1;
+        // The executed id stays in `ids` (removal would be O(len)); readers
+        // filter.  A full flush drains whole buckets, so the common case
+        // frees everything at once; partial (eager) completions compact
+        // once a bucket is mostly stale, keeping scans amortized O(1).
+        if b.pending == 0 {
+            b.ids.clear();
+        } else if b.ids.len() >= 16 && b.ids.len() >= 2 * b.pending as usize {
+            let pending_pos = &self.pending_pos;
+            b.ids.retain(|id| pending_pos[id.0 as usize] != NOT_PENDING);
+        }
+    }
+
+    /// Whether `node` awaits execution.
+    pub(crate) fn is_pending(&self, node: NodeId) -> bool {
+        self.pending_pos[node.0 as usize] != NOT_PENDING
+    }
+
+    /// The incremental inline-scheduling bucket index.
+    pub(crate) fn inline_buckets(&self) -> &[InlineBucket] {
+        &self.buckets
+    }
+
     /// Marks a node executed, materializing its outputs.
     ///
     /// # Panics
@@ -179,7 +276,37 @@ impl Dfg {
         for (vid, t) in out_ids.into_iter().zip(outputs) {
             self.values[vid.0 as usize] = ValueState::Ready(t);
         }
-        self.pending.retain(|&p| p != node);
+        self.remove_pending(node);
+    }
+
+    /// Marks a whole batch executed in one pass, materializing every lane's
+    /// outputs.  `outputs[slot][lane]` is the tensor produced for
+    /// `batch[lane]`'s output `slot` — exactly the shape
+    /// `acrobat_codegen::exec::run_batched_kernel` returns, so the flush
+    /// path moves tensors straight into the value table without per-node
+    /// re-packing or handle clones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slot or lane counts disagree with the batch, or if any
+    /// node was already executed (internal errors).
+    pub fn complete_batch(&mut self, batch: &[NodeId], outputs: Vec<Vec<DeviceTensor>>) {
+        let slots = outputs.len();
+        for (slot, lanes) in outputs.into_iter().enumerate() {
+            assert_eq!(lanes.len(), batch.len(), "lane count mismatch at slot {slot}");
+            for (lane, t) in lanes.into_iter().enumerate() {
+                let node = &self.nodes[batch[lane].0 as usize];
+                let vid = node.outputs[slot];
+                self.values[vid.0 as usize] = ValueState::Ready(t);
+            }
+        }
+        for &id in batch {
+            let n = &mut self.nodes[id.0 as usize];
+            assert_eq!(n.outputs.len(), slots, "output arity mismatch");
+            assert!(!n.executed, "node executed twice");
+            n.executed = true;
+            self.remove_pending(id);
+        }
     }
 
     /// Total nodes ever created (the DFG-construction count in Table 5).
@@ -212,6 +339,48 @@ mod tests {
         assert!(dfg.args_ready(n2));
         assert_eq!(dfg.pending(), &[n2]);
         assert!(dfg.tensor(o1[0]).is_some());
+    }
+
+    #[test]
+    fn complete_batch_materializes_all_lanes() {
+        let mut mem = DeviceMem::new(256);
+        let mut dfg = Dfg::new();
+        let x = dfg.ready_value(mem.upload(&Tensor::ones(&[2])).unwrap());
+        let mut ids = Vec::new();
+        let mut outs = Vec::new();
+        for i in 0..4 {
+            let (n, o) = dfg.add_node(acrobat_codegen::KernelId(0), i, 0, 0, 0, vec![x], 1);
+            ids.push(n);
+            outs.push(o[0]);
+        }
+        assert_eq!(dfg.pending().len(), 4);
+        // Complete the middle two as one batch (slot-major outputs).
+        let lanes: Vec<DeviceTensor> =
+            (0..2).map(|i| mem.upload(&Tensor::fill(&[2], i as f32)).unwrap()).collect();
+        dfg.complete_batch(&[ids[1], ids[2]], vec![lanes]);
+        assert!(dfg.tensor(outs[1]).is_some());
+        assert!(dfg.tensor(outs[2]).is_some());
+        assert!(dfg.tensor(outs[0]).is_none());
+        let mut left: Vec<NodeId> = dfg.pending().to_vec();
+        left.sort_unstable();
+        assert_eq!(left, vec![ids[0], ids[3]]);
+
+        // Swap-removed set still completes correctly one by one.
+        let t = mem.upload(&Tensor::zeros(&[2])).unwrap();
+        dfg.complete_node(ids[3], vec![t.clone()]);
+        dfg.complete_node(ids[0], vec![t]);
+        assert!(!dfg.has_pending());
+    }
+
+    #[test]
+    #[should_panic(expected = "executed twice")]
+    fn double_batch_completion_panics() {
+        let mut mem = DeviceMem::new(64);
+        let mut dfg = Dfg::new();
+        let (n, _) = dfg.add_node(acrobat_codegen::KernelId(0), 0, 0, 0, 0, vec![], 1);
+        let t = mem.upload(&Tensor::ones(&[1])).unwrap();
+        dfg.complete_batch(&[n], vec![vec![t.clone()]]);
+        dfg.complete_batch(&[n], vec![vec![t]]);
     }
 
     #[test]

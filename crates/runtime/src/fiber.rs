@@ -188,8 +188,7 @@ mod tests {
                     7
                 }));
             }
-            let sum: i32 =
-                hub2.suspend_while(|| kids.into_iter().map(|k| k.join().unwrap()).sum());
+            let sum: i32 = hub2.suspend_while(|| kids.into_iter().map(|k| k.join().unwrap()).sum());
             hub2.finish();
             sum
         });

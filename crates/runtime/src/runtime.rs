@@ -2,7 +2,7 @@
 //! the simulated device together.
 
 use acrobat_analysis::fusion::GroupId;
-use acrobat_codegen::exec::{bind_args, run_batched_kernel};
+use acrobat_codegen::exec::{bind_args_ref, run_batched_kernel_ref};
 use acrobat_codegen::KernelLibrary;
 use acrobat_tensor::batch::BatchMode;
 use acrobat_tensor::{DeviceMem, DeviceTensor, Tensor, TensorError};
@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::device::DeviceModel;
 use crate::dfg::{Dfg, ValueId};
-use crate::scheduler::{self, SchedulerKind};
+use crate::scheduler::{self, Plan, SchedulerKind, SchedulerScratch};
 use crate::stats::RuntimeStats;
 
 /// Configuration of a runtime instance.
@@ -60,6 +60,11 @@ pub struct Runtime {
     units: u64,
     /// Per-kernel launch counts (PGO profile data).
     profile: std::collections::BTreeMap<acrobat_codegen::KernelId, u64>,
+    /// Scheduler working memory, reused across flushes so steady-state
+    /// planning performs no allocations.
+    sched_scratch: SchedulerScratch,
+    /// The current flush's plan, reused for the same reason.
+    plan_buf: Plan,
 }
 
 impl Runtime {
@@ -74,6 +79,8 @@ impl Runtime {
             stats: RuntimeStats::default(),
             units: 0,
             profile: Default::default(),
+            sched_scratch: SchedulerScratch::new(),
+            plan_buf: Plan::default(),
         }
     }
 
@@ -196,10 +203,7 @@ impl Runtime {
         if self.dfg.tensor(v).is_none() {
             self.flush()?;
         }
-        self.dfg
-            .tensor(v)
-            .cloned()
-            .ok_or(TensorError::StaleHandle)
+        self.dfg.tensor(v).cloned().ok_or(TensorError::StaleHandle)
     }
 
     /// Downloads a value to the host (forcing it first).
@@ -231,73 +235,72 @@ impl Runtime {
             return Ok(());
         }
         let wall = std::time::Instant::now();
-        let plan = scheduler::plan(self.options.scheduler, &self.dfg);
+        // Split borrows: the plan and its scratch, the DFG, the device memory
+        // and the library are distinct fields, letting batches bind argument
+        // tensors by reference out of the DFG value table while the executor
+        // holds the device memory mutably.
+        let Runtime {
+            library,
+            mem,
+            dfg,
+            model,
+            options,
+            stats,
+            units,
+            profile,
+            sched_scratch,
+            plan_buf,
+        } = self;
+        scheduler::plan_into(options.scheduler, dfg, sched_scratch, plan_buf);
 
         // Host scheduling cost: per elementary decision, scaled so that with
         // coarsening the inline scheduler pays per scheduling unit.
-        let per_decision = match self.options.scheduler {
-            SchedulerKind::InlineDepth => self.model.sched_inline_cost_us,
-            SchedulerKind::DynamicDepth => self.model.sched_dyn_depth_cost_us,
-            SchedulerKind::Agenda => self.model.sched_agenda_cost_us,
+        let per_decision = match options.scheduler {
+            SchedulerKind::InlineDepth => model.sched_inline_cost_us,
+            SchedulerKind::DynamicDepth => model.sched_dyn_depth_cost_us,
+            SchedulerKind::Agenda => model.sched_agenda_cost_us,
         };
-        let unit_ratio = if self.options.coarsen && self.dfg.node_count() > 0 {
-            (self.units as f64 / self.dfg.node_count() as f64).min(1.0)
+        let unit_ratio = if options.coarsen && dfg.node_count() > 0 {
+            (*units as f64 / dfg.node_count() as f64).min(1.0)
         } else {
             1.0
         };
-        self.stats.scheduling_us += plan.decisions as f64 * per_decision * unit_ratio;
+        stats.scheduling_us += plan_buf.decisions as f64 * per_decision * unit_ratio;
 
-        for batch in &plan.batches {
-            let kernel_id = self.dfg.node(batch[0]).kernel;
-            let program = self.library.kernel(kernel_id).clone();
+        let mode =
+            if options.gather_fusion { BatchMode::GatherFused } else { BatchMode::ExplicitGather };
+        for b in 0..plan_buf.num_batches() {
+            let batch = plan_buf.batch(b);
+            let kernel_id = dfg.node(batch[0]).kernel;
+            let program = library.kernel(kernel_id);
             let lanes = batch.len();
-            // Resolve arguments per lane.
-            let mut per_lane: Vec<Vec<DeviceTensor>> = Vec::with_capacity(lanes);
-            for &node_id in batch {
-                let node = self.dfg.node(node_id);
+            // Bind arguments by reference straight out of the DFG value
+            // table — no per-lane tensor-handle clones.
+            let args = bind_args_ref(program, lanes, |lane, slot| {
+                let node = dfg.node(batch[lane]);
                 debug_assert_eq!(node.kernel, kernel_id);
-                let mut lane = Vec::with_capacity(node.args.len());
-                for a in &node.args {
-                    let t = self
-                        .dfg
-                        .tensor(*a)
-                        .unwrap_or_else(|| panic!("scheduler produced unmet dependency"))
-                        .clone();
-                    lane.push(t);
-                }
-                per_lane.push(lane);
-            }
-            let args = bind_args(&program, &per_lane);
-            let mode = if self.options.gather_fusion {
-                BatchMode::GatherFused
-            } else {
-                BatchMode::ExplicitGather
-            };
-            let (outs, lstats) = run_batched_kernel(&mut self.mem, &program, &args, lanes, mode)?;
+                dfg.tensor(node.args[slot]).expect("scheduler produced unmet dependency")
+            });
+            let (outs, lstats) = run_batched_kernel_ref(mem, program, &args, lanes, mode)?;
 
             // Accounting.
-            self.stats.kernel_launches += lstats.launches;
+            stats.kernel_launches += lstats.launches;
             // PGO profiles count operator *invocations* (DFG nodes), not
             // batched launches — the paper prioritizes by execution
             // frequency (§D.1).
-            *self.profile.entry(kernel_id).or_default() += lanes as u64;
-            self.stats.flops += lstats.flops;
-            self.stats.gather_copies += lstats.gather_copies;
-            self.stats.gather_bytes += lstats.gather_bytes;
-            self.stats.contiguous_hits += lstats.contiguous_hits;
-            self.stats.kernel_time_us +=
-                self.model.kernel_time_us(&lstats, program.schedule.as_ref(), lanes)
-                    + self.model.gather_time_us(&lstats);
-            self.stats.cuda_api_us +=
-                lstats.launches as f64 * self.model.launch_overhead_us
-                    + lstats.gather_copies as f64 * self.model.launch_overhead_us * 0.5;
+            *profile.entry(kernel_id).or_default() += lanes as u64;
+            stats.flops += lstats.flops;
+            stats.gather_copies += lstats.gather_copies;
+            stats.gather_bytes += lstats.gather_bytes;
+            stats.contiguous_hits += lstats.contiguous_hits;
+            stats.kernel_time_us += model.kernel_time_us(&lstats, program.schedule.as_ref(), lanes)
+                + model.gather_time_us(&lstats);
+            stats.cuda_api_us += lstats.launches as f64 * model.launch_overhead_us
+                + lstats.gather_copies as f64 * model.launch_overhead_us * 0.5;
 
-            // Materialize outputs: outs[slot][lane].
-            for (lane_idx, &node_id) in batch.iter().enumerate() {
-                let node_outs: Vec<DeviceTensor> =
-                    outs.iter().map(|slot| slot[lane_idx].clone()).collect();
-                self.dfg.complete_node(node_id, node_outs);
-            }
+            // Materialize the whole batch in one pass: outs[slot][lane]
+            // moves straight into the value table.
+            dfg.complete_batch(batch, outs);
         }
         self.stats.flushes += 1;
         self.stats.device_peak_elements = self.mem.stats().peak_elements;
@@ -347,8 +350,7 @@ mod tests {
         let w = rt.mem_mut().upload(&w_host).unwrap();
         let wv = rt.ready_value(w);
 
-        let xs: Vec<Tensor> =
-            (0..4).map(|i| Tensor::fill(&[1, 2], i as f32 - 1.5)).collect();
+        let xs: Vec<Tensor> = (0..4).map(|i| Tensor::fill(&[1, 2], i as f32 - 1.5)).collect();
         let refs: Vec<&Tensor> = xs.iter().collect();
         let xvs = rt.upload_inputs(&refs).unwrap();
 
@@ -372,7 +374,8 @@ mod tests {
         assert_eq!(rt.stats().nodes, 4);
         for (x, o) in xs.iter().zip(&outs) {
             let got = rt.download(*o).unwrap();
-            let mm = acrobat_tensor::execute(&acrobat_tensor::PrimOp::MatMul, &[x, &w_host]).unwrap();
+            let mm =
+                acrobat_tensor::execute(&acrobat_tensor::PrimOp::MatMul, &[x, &w_host]).unwrap();
             let want = acrobat_tensor::execute(&acrobat_tensor::PrimOp::Relu, &[&mm]).unwrap();
             assert!(got.allclose(&want, 1e-6));
         }
@@ -408,10 +411,8 @@ mod tests {
     #[test]
     fn gather_fusion_toggle_changes_accounting_not_results() {
         let run = |fusion: bool| {
-            let (a, mut rt) = setup(
-                PROGRAM,
-                RuntimeOptions { gather_fusion: fusion, ..Default::default() },
-            );
+            let (a, mut rt) =
+                setup(PROGRAM, RuntimeOptions { gather_fusion: fusion, ..Default::default() });
             let group = a.blocks.blocks[0].groups[0].id;
             let w = rt.mem_mut().upload(&Tensor::from_fn(&[2, 2], |i| i as f32)).unwrap();
             let wv = rt.ready_value(w);
@@ -432,8 +433,7 @@ mod tests {
                 outs.push(rt.add_unit(group, i, 0, 0, args, true)[0]);
             }
             rt.flush().unwrap();
-            let results: Vec<Tensor> =
-                outs.iter().map(|o| rt.download(*o).unwrap()).collect();
+            let results: Vec<Tensor> = outs.iter().map(|o| rt.download(*o).unwrap()).collect();
             (results, rt.stats().gather_copies, rt.stats().gather_bytes)
         };
         let (r_fused, gc_fused, gb_fused) = run(true);
@@ -448,16 +448,11 @@ mod tests {
 
     #[test]
     fn oom_propagates() {
-        let (a, mut rt) = setup(
-            PROGRAM,
-            RuntimeOptions { device_memory: 16, ..Default::default() },
-        );
+        let (a, mut rt) =
+            setup(PROGRAM, RuntimeOptions { device_memory: 16, ..Default::default() });
         let _ = a;
         let big = Tensor::zeros(&[32]);
-        assert!(matches!(
-            rt.upload_inputs(&[&big]),
-            Err(TensorError::DeviceOom { .. })
-        ));
+        assert!(matches!(rt.upload_inputs(&[&big]), Err(TensorError::DeviceOom { .. })));
     }
 
     #[test]

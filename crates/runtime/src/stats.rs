@@ -135,7 +135,8 @@ mod tests {
 
     #[test]
     fn totals_and_merge() {
-        let mut a = RuntimeStats { kernel_time_us: 100.0, scheduling_us: 10.0, ..Default::default() };
+        let mut a =
+            RuntimeStats { kernel_time_us: 100.0, scheduling_us: 10.0, ..Default::default() };
         let b = RuntimeStats { kernel_time_us: 50.0, nodes: 7, ..Default::default() };
         a.merge(&b);
         assert_eq!(a.kernel_time_us, 150.0);

@@ -48,7 +48,7 @@ fn check_plan(dfg: &Dfg, kind: SchedulerKind) {
     let plan = scheduler::plan(kind, dfg);
     let mut done = std::collections::BTreeSet::new();
     let mut scheduled = 0usize;
-    for batch in &plan.batches {
+    for batch in plan.batches() {
         assert!(!batch.is_empty());
         let first = dfg.node(batch[0]);
         for &id in batch {
@@ -64,7 +64,7 @@ fn check_plan(dfg: &Dfg, kind: SchedulerKind) {
             }
         }
         for &id in batch {
-            done.insert(id);
+            assert!(done.insert(id), "{kind:?}: node scheduled twice");
             scheduled += 1;
         }
     }
@@ -84,6 +84,25 @@ proptest! {
         let dfg = random_dfg(n, kernels, &edges, &sigs);
         for kind in [SchedulerKind::InlineDepth, SchedulerKind::DynamicDepth, SchedulerKind::Agenda] {
             check_plan(&dfg, kind);
+        }
+    }
+
+    #[test]
+    fn optimized_schedulers_match_reference(
+        n in 1usize..60,
+        kernels in 1u32..6,
+        edges in proptest::collection::vec(0usize..64, 8..128),
+        sigs in proptest::collection::vec(0u64..8, 1..8),
+    ) {
+        // The optimized (sort-based / incremental) schedulers must produce
+        // the exact batch sequence of the straight transcriptions of the
+        // original algorithms, and charge identical decision counts.
+        let dfg = random_dfg(n, kernels, &edges, &sigs);
+        for kind in [SchedulerKind::InlineDepth, SchedulerKind::DynamicDepth, SchedulerKind::Agenda] {
+            let opt = scheduler::plan(kind, &dfg);
+            let refp = scheduler::reference::plan(kind, &dfg);
+            prop_assert_eq!(opt.to_batches(), refp.to_batches(), "{:?}: partitions differ", kind);
+            prop_assert_eq!(opt.decisions, refp.decisions, "{:?}: decisions differ", kind);
         }
     }
 

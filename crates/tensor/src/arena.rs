@@ -333,13 +333,14 @@ impl DeviceMem {
         self.check(batched)?;
         let dims = batched.shape().dims();
         if dims.is_empty() || !dims[0].is_multiple_of(batch) {
-            return Err(TensorError::DataLength { got: dims.first().copied().unwrap_or(0), expected: batch });
+            return Err(TensorError::DataLength {
+                got: dims.first().copied().unwrap_or(0),
+                expected: batch,
+            });
         }
         let inner = instance_shape(batched.shape(), batch);
         let n = inner.numel();
-        Ok((0..batch)
-            .map(|i| self.make_handle(batched.offset + i * n, inner.clone()))
-            .collect())
+        Ok((0..batch).map(|i| self.make_handle(batched.offset + i * n, inner.clone())).collect())
     }
 }
 

@@ -80,7 +80,11 @@ impl BatchStats {
 /// # Errors
 ///
 /// Propagates shape inference, arena and kernel errors.
-pub fn run_prim(mem: &mut DeviceMem, op: &PrimOp, inputs: &[&DeviceTensor]) -> Result<DeviceTensor> {
+pub fn run_prim(
+    mem: &mut DeviceMem,
+    op: &PrimOp,
+    inputs: &[&DeviceTensor],
+) -> Result<DeviceTensor> {
     let shapes: Vec<&Shape> = inputs.iter().map(|t| t.shape()).collect();
     let out_shape = ops::infer_shape(op, &shapes)?;
     // Reshape/copy-free view when possible.
@@ -89,10 +93,8 @@ pub fn run_prim(mem: &mut DeviceMem, op: &PrimOp, inputs: &[&DeviceTensor]) -> R
     }
     let out = mem.alloc(&out_shape)?;
     let (lo, hi) = mem.split_at_mut(out.offset());
-    let raw: Vec<RawInput<'_>> = inputs
-        .iter()
-        .map(|t| (&lo[t.offset()..t.offset() + t.numel()], t.shape()))
-        .collect();
+    let raw: Vec<RawInput<'_>> =
+        inputs.iter().map(|t| (&lo[t.offset()..t.offset() + t.numel()], t.shape())).collect();
     ops::execute_raw(op, &raw, &mut hi[..out_shape.numel()])?;
     Ok(out)
 }
@@ -202,17 +204,14 @@ pub fn run_batched_prim(
             .iter()
             .map(|r| match r {
                 Resolved::Shared(t) => (&lo[t.offset()..t.offset() + t.numel()], t.shape()),
-                Resolved::Offsets(offs, shape) => {
-                    (&lo[offs[b]..offs[b] + shape.numel()], shape)
-                }
+                Resolved::Offsets(offs, shape) => (&lo[offs[b]..offs[b] + shape.numel()], shape),
             })
             .collect();
         ops::execute_raw(op, &raw, &mut hi[b * out_numel..(b + 1) * out_numel])?;
     }
 
-    let outs = (0..batch)
-        .map(|b| mem.make_handle(out_base + b * out_numel, out_shape.clone()))
-        .collect();
+    let outs =
+        (0..batch).map(|b| mem.make_handle(out_base + b * out_numel, out_shape.clone())).collect();
     Ok((outs, stats))
 }
 
@@ -259,10 +258,7 @@ mod tests {
     #[test]
     fn fused_and_gathered_agree() {
         let (mut mem, w, xs) = setup();
-        let args = vec![
-            BatchArg::Batched(xs.clone()),
-            BatchArg::Shared(w.clone()),
-        ];
+        let args = vec![BatchArg::Batched(xs.clone()), BatchArg::Shared(w.clone())];
         let (fused, fstats) =
             run_batched_prim(&mut mem, &PrimOp::MatMul, &args, 3, BatchMode::GatherFused).unwrap();
         let (gathered, gstats) =
@@ -310,8 +306,9 @@ mod tests {
     fn batch_size_mismatch_rejected() {
         let (mut mem, w, xs) = setup();
         let args = vec![BatchArg::Batched(xs), BatchArg::Shared(w)];
-        assert!(run_batched_prim(&mut mem, &PrimOp::MatMul, &args, 2, BatchMode::GatherFused)
-            .is_err());
+        assert!(
+            run_batched_prim(&mut mem, &PrimOp::MatMul, &args, 2, BatchMode::GatherFused).is_err()
+        );
         assert!(matches!(
             run_batched_prim(&mut mem, &PrimOp::MatMul, &args, 0, BatchMode::GatherFused),
             Err(TensorError::EmptyBatch)
@@ -334,7 +331,8 @@ mod tests {
     fn zero_input_fill_batches() {
         let mut mem = DeviceMem::new(256);
         let op = PrimOp::Fill { value: 7.0, shape: Shape::new(&[1, 3]) };
-        let (outs, stats) = run_batched_prim(&mut mem, &op, &[], 4, BatchMode::GatherFused).unwrap();
+        let (outs, stats) =
+            run_batched_prim(&mut mem, &op, &[], 4, BatchMode::GatherFused).unwrap();
         assert_eq!(outs.len(), 4);
         assert_eq!(stats.launches, 1);
         for o in &outs {

@@ -9,7 +9,11 @@ pub(crate) fn infer(lhs: &Shape, rhs: &Shape) -> Result<Shape> {
     let (m, k) = lhs.as_matrix()?;
     let (k2, n) = rhs.as_matrix()?;
     if k != k2 {
-        return Err(TensorError::ShapeMismatch { op: "matmul", lhs: lhs.clone(), rhs: rhs.clone() });
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: lhs.clone(),
+            rhs: rhs.clone(),
+        });
     }
     if lhs.rank() <= 1 && rhs.rank() <= 1 {
         // vector × vector is not meaningful under this rule; reject rank-1 rhs.

@@ -166,9 +166,12 @@ impl PrimOp {
             | PrimOp::Reshape { .. }
             | PrimOp::Slice { .. }
             | PrimOp::Copy => Some(1),
-            PrimOp::Add | PrimOp::Sub | PrimOp::Mul | PrimOp::Div | PrimOp::Maximum | PrimOp::MatMul => {
-                Some(2)
-            }
+            PrimOp::Add
+            | PrimOp::Sub
+            | PrimOp::Mul
+            | PrimOp::Div
+            | PrimOp::Maximum
+            | PrimOp::MatMul => Some(2),
             PrimOp::Fill { .. } => Some(0),
             PrimOp::Concat { .. } => None,
         }
@@ -203,7 +206,11 @@ impl PrimOp {
     pub fn is_memory_op(&self) -> bool {
         matches!(
             self,
-            PrimOp::Concat { .. } | PrimOp::Transpose | PrimOp::Reshape { .. } | PrimOp::Slice { .. } | PrimOp::Copy
+            PrimOp::Concat { .. }
+                | PrimOp::Transpose
+                | PrimOp::Reshape { .. }
+                | PrimOp::Slice { .. }
+                | PrimOp::Copy
         )
     }
 }
@@ -230,10 +237,9 @@ impl PartialEq for PrimOp {
             (LayerNormRows { eps: a }, LayerNormRows { eps: b }) => a.to_bits() == b.to_bits(),
             (Concat { axis: a }, Concat { axis: b }) => a == b,
             (Reshape { shape: a }, Reshape { shape: b }) => a == b,
-            (
-                Slice { axis: a1, start: s1, len: l1 },
-                Slice { axis: a2, start: s2, len: l2 },
-            ) => a1 == a2 && s1 == s2 && l1 == l2,
+            (Slice { axis: a1, start: s1, len: l1 }, Slice { axis: a2, start: s2, len: l2 }) => {
+                a1 == a2 && s1 == s2 && l1 == l2
+            }
             (Fill { value: v1, shape: s1 }, Fill { value: v2, shape: s2 }) => {
                 v1.to_bits() == v2.to_bits() && s1 == s2
             }
@@ -305,7 +311,9 @@ pub fn infer_shape(op: &PrimOp, inputs: &[&Shape]) -> Result<Shape> {
         PrimOp::Concat { axis } => shape_ops::infer_concat(inputs, *axis),
         PrimOp::Transpose => shape_ops::infer_transpose(inputs[0]),
         PrimOp::Reshape { shape } => shape_ops::infer_reshape(inputs[0], shape),
-        PrimOp::Slice { axis, start, len } => shape_ops::infer_slice(inputs[0], *axis, *start, *len),
+        PrimOp::Slice { axis, start, len } => {
+            shape_ops::infer_slice(inputs[0], *axis, *start, *len)
+        }
         PrimOp::Fill { shape, .. } => Ok(shape.clone()),
     }
 }
@@ -333,8 +341,12 @@ pub fn flops(op: &PrimOp, inputs: &[&Shape]) -> u64 {
         PrimOp::SumRows | PrimOp::MeanRows | PrimOp::MaxRows | PrimOp::ArgmaxRows => {
             inputs[0].numel() as u64
         }
-        PrimOp::Concat { .. } | PrimOp::Transpose | PrimOp::Reshape { .. } | PrimOp::Slice { .. }
-        | PrimOp::Copy | PrimOp::Fill { .. } => 0,
+        PrimOp::Concat { .. }
+        | PrimOp::Transpose
+        | PrimOp::Reshape { .. }
+        | PrimOp::Slice { .. }
+        | PrimOp::Copy
+        | PrimOp::Fill { .. } => 0,
         _ => n,
     }
 }
@@ -490,10 +502,7 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(PrimOp::Concat { axis: 1 }.to_string(), "concat(axis=1)");
-        assert_eq!(
-            PrimOp::Slice { axis: 0, start: 2, len: 3 }.to_string(),
-            "slice(axis=0, 2..5)"
-        );
+        assert_eq!(PrimOp::Slice { axis: 0, start: 2, len: 3 }.to_string(), "slice(axis=0, 2..5)");
         assert_eq!(PrimOp::MatMul.to_string(), "matmul");
     }
 }

@@ -24,9 +24,9 @@ pub(crate) fn reduce(input: RawInput<'_>, out: &mut [f32], red: Reduction) -> Re
     let n = input.1.last_dim().max(1);
     let rows = input.1.rows();
     debug_assert_eq!(out.len(), rows);
-    for r in 0..rows {
+    for (r, slot) in out.iter_mut().enumerate().take(rows) {
         let row = &input.0[r * n..(r + 1) * n];
-        out[r] = match red {
+        *slot = match red {
             Reduction::Sum => row.iter().sum(),
             Reduction::Mean => row.iter().sum::<f32>() / n as f32,
             Reduction::Max => row.iter().copied().fold(f32::NEG_INFINITY, f32::max),

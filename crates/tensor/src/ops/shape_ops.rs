@@ -179,19 +179,15 @@ mod tests {
     #[test]
     fn reshape_op() {
         let a = Tensor::from_fn(&[2, 3], |i| i as f32);
-        let r = execute(
-            &PrimOp::Reshape { shape: crate::Shape::new(&[3, 2]) },
-            &[&a],
-        )
-        .unwrap();
+        let r = execute(&PrimOp::Reshape { shape: crate::Shape::new(&[3, 2]) }, &[&a]).unwrap();
         assert_eq!(r.shape().dims(), &[3, 2]);
         assert_eq!(r.data(), a.data());
     }
 
     #[test]
     fn fill_op() {
-        let out = execute(&PrimOp::Fill { value: 2.5, shape: crate::Shape::new(&[2, 2]) }, &[])
-            .unwrap();
+        let out =
+            execute(&PrimOp::Fill { value: 2.5, shape: crate::Shape::new(&[2, 2]) }, &[]).unwrap();
         assert_eq!(out.data(), &[2.5; 4]);
     }
 }

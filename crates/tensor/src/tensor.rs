@@ -127,12 +127,7 @@ impl Tensor {
                 rhs: other.shape.clone(),
             });
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max))
+        Ok(self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max))
     }
 
     /// Returns `true` if all elements are within `tol` of `other`.

@@ -180,15 +180,16 @@ impl AotProgram {
     /// Returns [`VmError::Unsupported`] for constructs the AOT backend does
     /// not lower (first-class closure calls outside `map`).
     pub fn compile(module: &Module, session: &Session) -> Result<AotProgram, VmError> {
-        let mut c = Compiler {
-            session,
-            fns: Vec::new(),
-            fn_index: BTreeMap::new(),
-        };
+        let mut c = Compiler { session, fns: Vec::new(), fn_index: BTreeMap::new() };
         // Pre-register indices so recursion and forward references resolve.
         for (i, name) in module.functions.keys().enumerate() {
             c.fn_index.insert(name.clone(), i);
-            c.fns.push(CodeFn { nslots: 0, nparams: 0, code: Code::ConstInt(0), name: name.clone() });
+            c.fns.push(CodeFn {
+                nslots: 0,
+                nparams: 0,
+                code: Code::ConstInt(0),
+                name: name.clone(),
+            });
         }
         for (name, f) in &module.functions {
             let idx = c.fn_index[name];
@@ -339,14 +340,11 @@ impl<'m> Compiler<'m> {
                 }
                 Code::MakeTuple(vs)
             }
-            ExprKind::Proj { tuple, index } => Code::Proj {
-                tuple: Box::new(self.compile_expr(tuple, scope)?),
-                index: *index,
-            },
+            ExprKind::Proj { tuple, index } => {
+                Code::Proj { tuple: Box::new(self.compile_expr(tuple, scope)?), index: *index }
+            }
             ExprKind::Lambda { .. } => {
-                return Err(VmError::Unsupported(
-                    "AOT lowering of a lambda outside `map`".into(),
-                ))
+                return Err(VmError::Unsupported("AOT lowering of a lambda outside `map`".into()))
             }
             ExprKind::Map { func, list } => {
                 let l = self.compile_expr(list, scope)?;
@@ -355,14 +353,14 @@ impl<'m> Compiler<'m> {
                 };
                 // Lambda lifting: free variables become extra parameters.
                 let mut free = Vec::new();
-                collect_free_vars(body, &params.iter().map(|p| p.name.clone()).collect::<Vec<_>>(), &mut free);
+                collect_free_vars(
+                    body,
+                    &params.iter().map(|p| p.name.clone()).collect::<Vec<_>>(),
+                    &mut free,
+                );
                 let captures: Vec<u16> = free
                     .iter()
-                    .map(|n| {
-                        scope
-                            .lookup(n)
-                            .unwrap_or_else(|| panic!("capture %{n} not in scope"))
-                    })
+                    .map(|n| scope.lookup(n).unwrap_or_else(|| panic!("capture %{n} not in scope")))
                     .collect();
                 let mut lscope = Scope::default();
                 for p in params {
@@ -394,14 +392,12 @@ impl<'m> Compiler<'m> {
                 lhs: Box::new(self.compile_expr(lhs, scope)?),
                 rhs: Box::new(self.compile_expr(rhs, scope)?),
             },
-            ExprKind::ScalarUn { op, operand } => Code::ScalarUn {
-                op: *op,
-                operand: Box::new(self.compile_expr(operand, scope)?),
-            },
-            ExprKind::Sync { kind, tensor } => Code::Sync {
-                kind: *kind,
-                tensor: Box::new(self.compile_expr(tensor, scope)?),
-            },
+            ExprKind::ScalarUn { op, operand } => {
+                Code::ScalarUn { op: *op, operand: Box::new(self.compile_expr(operand, scope)?) }
+            }
+            ExprKind::Sync { kind, tensor } => {
+                Code::Sync { kind: *kind, tensor: Box::new(self.compile_expr(tensor, scope)?) }
+            }
         })
     }
 }
@@ -410,10 +406,9 @@ impl<'m> Compiler<'m> {
 fn collect_free_vars(body: &Expr, bound: &[String], out: &mut Vec<String>) {
     fn walk(e: &Expr, bound: &mut Vec<String>, out: &mut Vec<String>) {
         match &e.kind {
-            ExprKind::Var(n)
-                if !bound.contains(n) && !out.contains(n) => {
-                    out.push(n.clone());
-                }
+            ExprKind::Var(n) if !bound.contains(n) && !out.contains(n) => {
+                out.push(n.clone());
+            }
             ExprKind::Let { pat, value, body } => {
                 walk(value, bound, out);
                 let mark = bound.len();
@@ -558,8 +553,7 @@ impl AotBackend {
                     Value::Bool(b) => b,
                     other => panic!("non-bool condition {other:?}"),
                 };
-                let (taken, ghosts) =
-                    if c { (then, *ghost_then) } else { (els, *ghost_els) };
+                let (taken, ghosts) = if c { (then, *ghost_then) } else { (els, *ghost_els) };
                 let r = self.exec(taken, frame, session, ctx)?;
                 ctx.depth += ghosts as u64;
                 r
@@ -570,10 +564,8 @@ impl AotBackend {
                     Value::Adt { tag, fields } => (*tag, fields.clone()),
                     other => panic!("match on {other:?}"),
                 };
-                let (_, slots, body) = arms
-                    .iter()
-                    .find(|(t, _, _)| *t == tag)
-                    .expect("exhaustive match (typeck)");
+                let (_, slots, body) =
+                    arms.iter().find(|(t, _, _)| *t == tag).expect("exhaustive match (typeck)");
                 for (slot, f) in slots.iter().zip(fields.iter()) {
                     frame[*slot as usize] = f.clone();
                 }
@@ -593,12 +585,10 @@ impl AotBackend {
                 }
                 Value::Tuple(Arc::new(vs))
             }
-            Code::Proj { tuple, index } => {
-                match self.exec(tuple, frame, session, ctx)? {
-                    Value::Tuple(parts) => parts[*index].clone(),
-                    other => panic!("projection on {other:?}"),
-                }
-            }
+            Code::Proj { tuple, index } => match self.exec(tuple, frame, session, ctx)? {
+                Value::Tuple(parts) => parts[*index].clone(),
+                other => panic!("projection on {other:?}"),
+            },
             Code::MakeAdt { tag, fields } => {
                 let mut vs = Vec::with_capacity(fields.len());
                 for f in fields {
@@ -637,14 +627,12 @@ impl AotBackend {
                     .into_iter()
                     .map(|item| {
                         let captured = captured.clone();
-                        Box::new(
-                            move |this: &AotBackend, session: &Session, ctx: &mut ExecCtx| {
-                                let mut argv = Vec::with_capacity(1 + captured.len());
-                                argv.push(item);
-                                argv.extend(captured);
-                                this.call(func, argv, session, ctx)
-                            },
-                        ) as Job<'_>
+                        Box::new(move |this: &AotBackend, session: &Session, ctx: &mut ExecCtx| {
+                            let mut argv = Vec::with_capacity(1 + captured.len());
+                            argv.push(item);
+                            argv.extend(captured);
+                            this.call(func, argv, session, ctx)
+                        }) as Job<'_>
                     })
                     .collect();
                 let results = self.run_branches(session, ctx, jobs)?;
@@ -661,12 +649,10 @@ impl AotBackend {
                     .iter()
                     .map(|part| {
                         let snapshot: Vec<Value> = frame.clone();
-                        Box::new(
-                            move |this: &AotBackend, session: &Session, ctx: &mut ExecCtx| {
-                                let mut fr = snapshot;
-                                this.exec(part, &mut fr, session, ctx)
-                            },
-                        ) as Job<'_>
+                        Box::new(move |this: &AotBackend, session: &Session, ctx: &mut ExecCtx| {
+                            let mut fr = snapshot;
+                            this.exec(part, &mut fr, session, ctx)
+                        }) as Job<'_>
                     })
                     .collect();
                 let results = self.run_branches(session, ctx, jobs)?;

@@ -97,9 +97,7 @@ impl Executable {
         let session = Session::new(analysis.clone(), runtime, seed, fiber_mode);
         let backend = match kind {
             BackendKind::Vm => BackendImpl::Vm(VmBackend::new(Arc::new(analysis.module.clone()))),
-            BackendKind::Aot => {
-                BackendImpl::Aot(AotBackend::compile(&analysis.module, &session)?)
-            }
+            BackendKind::Aot => BackendImpl::Aot(AotBackend::compile(&analysis.module, &session)?),
         };
         Ok(Executable { session: Arc::new(session), backend })
     }
@@ -135,8 +133,7 @@ impl Executable {
                     })?;
                     let dev = rt.mem_mut().upload(host)?;
                     let vid = rt.ready_value(dev);
-                    param_values
-                        .insert(p.name.clone(), Value::Tensor(TensorRef::ready(vid)));
+                    param_values.insert(p.name.clone(), Value::Tensor(TensorRef::ready(vid)));
                 }
             }
         }
@@ -276,9 +273,9 @@ fn convert_input(
         InputValue::Int(x) => Value::Int(*x),
         InputValue::Float(x) => Value::Float(*x),
         InputValue::Bool(x) => Value::Bool(*x),
-        InputValue::Tuple(parts) => Value::Tuple(Arc::new(
-            parts.iter().map(|p| convert_input(p, session, ids)).collect(),
-        )),
+        InputValue::Tuple(parts) => {
+            Value::Tuple(Arc::new(parts.iter().map(|p| convert_input(p, session, ids)).collect()))
+        }
         InputValue::Adt { ctor, fields } => Value::Adt {
             tag: session.ctors.tag(ctor),
             fields: Arc::new(fields.iter().map(|f| convert_input(f, session, ids)).collect()),
@@ -289,9 +286,7 @@ fn convert_input(
 fn convert_output(v: &Value, session: &Session) -> Result<OutputValue, VmError> {
     Ok(match v {
         Value::Tensor(r) => {
-            let vid = r
-                .get()
-                .ok_or_else(|| VmError::Input("dangling tensor in output".into()))?;
+            let vid = r.get().ok_or_else(|| VmError::Input("dangling tensor in output".into()))?;
             let mut rt = session.runtime.lock();
             OutputValue::Tensor(rt.download(vid)?)
         }

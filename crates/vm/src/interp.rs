@@ -69,8 +69,7 @@ impl VmBackend {
             .functions
             .get(name)
             .unwrap_or_else(|| panic!("unknown function @{name} (typeck admitted it)"));
-        let mut env: Env =
-            f.params.iter().map(|p| p.name.clone()).zip(args).collect();
+        let mut env: Env = f.params.iter().map(|p| p.name.clone()).zip(args).collect();
         self.eval(&f.body, &mut env, session, ctx)
     }
 
@@ -166,10 +165,9 @@ impl VmBackend {
                         Ok(session.exec_op_site(ctx, expr.id, &argv))
                     }
                     Callee::Global(name) => self.call(name, argv, session, ctx),
-                    Callee::Ctor(name) => Ok(Value::Adt {
-                        tag: session.ctors.tag(name),
-                        fields: Arc::new(argv),
-                    }),
+                    Callee::Ctor(name) => {
+                        Ok(Value::Adt { tag: session.ctors.tag(name), fields: Arc::new(argv) })
+                    }
                     Callee::Var(name) => {
                         let f = Self::lookup(env, name);
                         match f {

@@ -215,7 +215,12 @@ impl fmt::Debug for Session {
 
 impl Session {
     /// Builds a session over analysis results and a configured runtime.
-    pub fn new(analysis: Arc<AnalysisResult>, runtime: Runtime, seed: u64, fiber_mode: bool) -> Session {
+    pub fn new(
+        analysis: Arc<AnalysisResult>,
+        runtime: Runtime,
+        seed: u64,
+        fiber_mode: bool,
+    ) -> Session {
         // Static depths for hoisted sites: their order of appearance.
         let mut hoist_index = BTreeMap::new();
         for (i, site) in analysis.hoisted.iter().enumerate() {
@@ -272,8 +277,7 @@ impl Session {
         let mut rt = self.runtime.lock();
         // Bindings are per group (several groups may share one deduplicated
         // kernel program).
-        let bindings: Vec<(ExprId, usize)> =
-            rt.library().bindings_for_group(group).to_vec();
+        let bindings: Vec<(ExprId, usize)> = rt.library().bindings_for_group(group).to_vec();
         let output_sites: Vec<ExprId> = rt.library().outputs_for_group(group).to_vec();
         let mut arg_ids = Vec::with_capacity(bindings.len());
         for binding in &bindings {
@@ -292,8 +296,7 @@ impl Session {
         // Depth: statically hoisted groups use their static depth and do not
         // advance the dynamic counter (§B.1); everything else takes the
         // inline counter and bumps it.
-        let all_hoisted =
-            accum.results.iter().all(|(s, _)| self.hoist_index.contains_key(s));
+        let all_hoisted = accum.results.iter().all(|(s, _)| self.hoist_index.contains_key(s));
         let depth = if all_hoisted {
             self.hoist_index[&accum.results[0].0]
         } else {
@@ -315,11 +318,8 @@ impl Session {
 
         // Fill the escaping results.
         for (site, vid) in output_sites.iter().zip(outs) {
-            let (_, r) = accum
-                .results
-                .iter()
-                .find(|(s, _)| s == site)
-                .expect("output site recorded");
+            let (_, r) =
+                accum.results.iter().find(|(s, _)| s == site).expect("output site recorded");
             r.set(vid);
         }
     }

@@ -35,9 +35,8 @@ const SIMPLE: &str = "def @main($w: Tensor[(2, 2)], %x: Tensor[(1, 2)]) -> Tenso
 fn simple_model_correct_on_both_backends() {
     let w = Tensor::from_vec(vec![1.0, -1.0, 2.0, 0.5], &[2, 2]).unwrap();
     let params = BTreeMap::from([("w".to_string(), w.clone())]);
-    let instances: Vec<Vec<InputValue>> = (0..4)
-        .map(|i| vec![InputValue::Tensor(Tensor::fill(&[1, 2], i as f32 - 1.0))])
-        .collect();
+    let instances: Vec<Vec<InputValue>> =
+        (0..4).map(|i| vec![InputValue::Tensor(Tensor::fill(&[1, 2], i as f32 - 1.0))]).collect();
 
     for kind in [BackendKind::Aot, BackendKind::Vm] {
         let exe = build(SIMPLE, kind, AnalysisOptions::default());
@@ -139,8 +138,7 @@ fn rnn_matches_reference_and_backends_agree() {
                 })
                 .collect();
             let reference = rnn_reference(&params, &host_inputs);
-            let got: Vec<Tensor> =
-                list.iter().map(|o| out_tensor(o).clone()).collect();
+            let got: Vec<Tensor> = list.iter().map(|o| out_tensor(o).clone()).collect();
             for (g, r) in got.iter().zip(&reference) {
                 assert!(g.allclose(r, 1e-5), "{kind:?} inst {inst}: {g:?} vs {r:?}");
             }
@@ -203,10 +201,7 @@ fn vm_slower_than_aot_on_host_execution() {
     };
     let a = best(&aot);
     let v = best(&vm);
-    assert!(
-        v > a,
-        "VM ({v:.1}µs) should be slower than AOT ({a:.1}µs) on host execution"
-    );
+    assert!(v > a, "VM ({v:.1}µs) should be slower than AOT ({a:.1}µs) on host execution");
 }
 
 const TDC: &str = r#"
@@ -225,13 +220,10 @@ const TDC: &str = r#"
 
 #[test]
 fn tensor_dependent_control_flow_with_fibers() {
-    let params = BTreeMap::from([(
-        "w".to_string(),
-        Tensor::from_fn(&[2, 2], |i| (i as f32 - 1.5) * 0.4),
-    )]);
-    let instances: Vec<Vec<InputValue>> = (0..8)
-        .map(|i| vec![InputValue::Tensor(Tensor::fill(&[1, 2], 0.1 * i as f32))])
-        .collect();
+    let params =
+        BTreeMap::from([("w".to_string(), Tensor::from_fn(&[2, 2], |i| (i as f32 - 1.5) * 0.4))]);
+    let instances: Vec<Vec<InputValue>> =
+        (0..8).map(|i| vec![InputValue::Tensor(Tensor::fill(&[1, 2], 0.1 * i as f32))]).collect();
     let exe = build(TDC, BackendKind::Aot, AnalysisOptions::default());
     assert!(exe.session.fiber_mode, "TDC model must use fibers");
     let result = exe.run(&params, &instances).unwrap();
@@ -240,11 +232,7 @@ fn tensor_dependent_control_flow_with_fibers() {
     assert!(result.stats.flushes >= 2, "sync points force intermediate flushes");
     // Batch parallelism survived: fewer launches than a fully sequential
     // execution would need (8 instances × up to 6 steps each).
-    assert!(
-        result.stats.kernel_launches < 30,
-        "launches: {}",
-        result.stats.kernel_launches
-    );
+    assert!(result.stats.kernel_launches < 30, "launches: {}", result.stats.kernel_launches);
 
     // Determinism: same seed → same outputs.
     let again = exe.run(&params, &instances).unwrap();
@@ -274,10 +262,8 @@ fn fork_join_instance_parallelism() {
             @grow(%x, $w, 3)
         }
     "#;
-    let params = BTreeMap::from([(
-        "w".to_string(),
-        Tensor::from_fn(&[2, 2], |i| (i as f32 - 1.5) * 0.3),
-    )]);
+    let params =
+        BTreeMap::from([("w".to_string(), Tensor::from_fn(&[2, 2], |i| (i as f32 - 1.5) * 0.3))]);
     let instances: Vec<Vec<InputValue>> = (0..4)
         .map(|i| vec![InputValue::Tensor(Tensor::fill(&[1, 2], 0.2 * i as f32 - 0.3))])
         .collect();
@@ -338,9 +324,7 @@ fn treelstm_like_tree_model() {
     }
     // Leaf encodings are hoisted and batch across trees: all 8 leaves in
     // one launch.
-    assert!(
-        ra.stats.kernel_launches <= rv.stats.kernel_launches,
-    );
+    assert!(ra.stats.kernel_launches <= rv.stats.kernel_launches,);
     assert!(ra.stats.kernel_launches < 16, "launches: {}", ra.stats.kernel_launches);
 }
 

@@ -62,18 +62,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // What did the static analysis conclude?
     let analysis = model.analysis();
-    let shared = analysis
-        .arg_classes
-        .values()
-        .flatten()
-        .filter(|c| **c == ArgClass::Shared)
-        .count();
+    let shared =
+        analysis.arg_classes.values().flatten().filter(|c| **c == ArgClass::Shared).count();
     let batched = analysis.arg_classes.values().flatten().count() - shared;
     println!("taint analysis: {shared} shared (weight) operands, {batched} batched operands");
-    println!("hoisted out of the recursion: {} operator(s) (the leaf transform)", analysis.hoisted.len());
+    println!(
+        "hoisted out of the recursion: {} operator(s) (the leaf transform)",
+        analysis.hoisted.len()
+    );
     let groups: usize = analysis.blocks.blocks.iter().map(|b| b.groups.len()).sum();
-    println!("fusion: {} operators → {} kernel groups → {} distinct kernels",
-        analysis.blocks.site_count(), groups, model.kernel_count());
+    println!(
+        "fusion: {} operators → {} kernel groups → {} distinct kernels",
+        analysis.blocks.site_count(),
+        groups,
+        model.kernel_count()
+    );
 
     // Run a batch of random trees.
     let params = BTreeMap::from([
@@ -92,11 +95,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for level in OptLevel::ALL {
         let m = compile(SOURCE, &CompileOptions::at_level(level))?;
         let r = m.run(&params, &instances)?;
-        let outs: Vec<Tensor> = r
-            .outputs
-            .iter()
-            .map(|o| o.tensors()[0].clone())
-            .collect();
+        let outs: Vec<Tensor> = r.outputs.iter().map(|o| o.tensors()[0].clone()).collect();
         if let Some(referen) = &reference {
             for (a, b) in referen.iter().zip(&outs) {
                 assert!(a.allclose(b, 1e-5), "optimizations changed results!");

@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let result = model.run(&spec.params, &instances)?;
 
-    println!("\n{batch} instances, early-exit probability {:.0}% per layer:", berxit::EXIT_P * 100.0);
+    println!(
+        "\n{batch} instances, early-exit probability {:.0}% per layer:",
+        berxit::EXIT_P * 100.0
+    );
     println!("  DFG flushes (sync rounds): {}", result.stats.flushes);
     println!("  fiber suspensions:         {}", result.stats.fiber_switches);
     println!("  kernel launches:           {}", result.stats.kernel_launches);

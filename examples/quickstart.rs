@@ -70,9 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("outputs: {} instances", result.outputs.len());
     println!("dataflow nodes:   {}", result.stats.nodes);
-    println!("kernel launches:  {} (vs {} operators unbatched)",
-        result.stats.kernel_launches,
-        result.stats.nodes);
+    println!(
+        "kernel launches:  {} (vs {} operators unbatched)",
+        result.stats.kernel_launches, result.stats.nodes
+    );
     println!("modeled latency:  {:.3} ms", result.stats.total_ms());
     println!(
         "breakdown: dfg {:.0}µs | sched {:.0}µs | memcpy {:.0}µs | kernels {:.0}µs | api {:.0}µs",

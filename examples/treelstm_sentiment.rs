@@ -24,14 +24,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // lengths.
     let batch = 32;
     let instances = (spec.make_instances)(0x5EED, batch);
-    let sizes: Vec<usize> = instances
-        .iter()
-        .map(|inst| data::tree_leaves(&inst[0]))
-        .collect();
-    println!("treebank: {batch} trees, {} leaves total (min {}, max {})",
+    let sizes: Vec<usize> = instances.iter().map(|inst| data::tree_leaves(&inst[0])).collect();
+    println!(
+        "treebank: {batch} trees, {} leaves total (min {}, max {})",
         sizes.iter().sum::<usize>(),
         sizes.iter().min().unwrap(),
-        sizes.iter().max().unwrap());
+        sizes.iter().max().unwrap()
+    );
 
     let model = compile(&spec.source, &CompileOptions::default())?;
     let result = model.run(&spec.params, &instances)?;
@@ -49,14 +48,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("tree {i:2} ({:2} leaves): class {pred}", sizes[i]);
     }
 
-    println!("\nACROBAT: {} launches for {} operators, {:.2} ms modeled",
-        result.stats.kernel_launches, result.stats.nodes, result.stats.total_ms());
+    println!(
+        "\nACROBAT: {} launches for {} operators, {:.2} ms modeled",
+        result.stats.kernel_launches,
+        result.stats.nodes,
+        result.stats.total_ms()
+    );
 
     // Compare with eager per-operator execution (PyTorch-style).
     let eager = pytorch::run(&spec.source, &spec.params, &instances)?;
-    println!("eager:   {} launches, {:.2} ms modeled  →  {:.1}x speedup from auto-batching",
+    println!(
+        "eager:   {} launches, {:.2} ms modeled  →  {:.1}x speedup from auto-batching",
         eager.stats.kernel_launches,
         eager.stats.total_ms(),
-        eager.stats.total_ms() / result.stats.total_ms());
+        eager.stats.total_ms() / result.stats.total_ms()
+    );
     Ok(())
 }

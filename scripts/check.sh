@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local gate: everything CI (and the repo's tier-1 bar) checks.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo bench --no-run"
+cargo bench --no-run
+
+echo "All checks passed."

@@ -1,0 +1,258 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the criterion API surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, benchmark groups, `Bencher::iter`
+//! and `iter_batched` — with a simple wall-clock measurement loop: a warm-up
+//! phase, then timed samples until the configured measurement time elapses,
+//! reporting min/mean/max nanoseconds per iteration.  There is no outlier
+//! analysis, HTML report, or statistical regression; the numbers are honest
+//! wall-clock means, which is what the recorded `bench_results/` tables use.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; all variants behave identically here
+/// (setup always runs outside the timed region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a parameter's `Display` form.
+    pub fn from_parameter(p: impl Display) -> BenchmarkId {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Builds an id from a function name and parameter.
+    pub fn new(function: impl Display, p: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{function}/{p}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Drives the measurement loop of one benchmark.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: also estimates the per-iteration cost so each timed
+        // sample batches enough iterations to dwarf timer overhead.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < self.warm_up || warm_iters == 0 {
+            hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((1e-4 / per_iter.max(1e-12)) as u64).clamp(1, 1 << 20);
+
+        let deadline = Instant::now() + self.measurement;
+        while Instant::now() < deadline {
+            let t = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(routine());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+    }
+
+    /// Measures `routine` with a fresh `setup()` value per call; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let warm_start = Instant::now();
+        loop {
+            let input = setup();
+            hint::black_box(routine(input));
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let deadline = Instant::now() + self.measurement;
+        while Instant::now() < deadline {
+            let input = setup();
+            let t = Instant::now();
+            hint::black_box(routine(input));
+            self.samples.push(t.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The benchmark manager: holds configuration, runs benchmarks, prints
+/// results to stdout.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 100,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target sample count (advisory in this shim).
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the timed-measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up = d;
+        self
+    }
+
+    /// Applies CLI configuration (no-op in this shim).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        run_one(&name.to_string(), self.warm_up, self.measurement, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.criterion.warm_up, self.criterion.measurement, f);
+        self
+    }
+
+    /// Finishes the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one(name: &str, warm_up: Duration, measurement: Duration, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { warm_up, measurement, samples: Vec::new() };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let n = b.samples.len() as f64;
+    let mean = b.samples.iter().sum::<f64>() / n;
+    let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = b.samples.iter().cloned().fold(0.0f64, f64::max);
+    println!("{name:<48} time: [{} {} {}]", fmt_ns(min), fmt_ns(mean), fmt_ns(max));
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_loop_produces_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function(BenchmarkId::from_parameter("x"), |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

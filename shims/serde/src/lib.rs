@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container cannot reach a crates registry, so this workspace
+//! vendors the minimal serde surface it uses: the two trait *names* and the
+//! two derive macros (which expand to nothing — see the sibling
+//! `serde_derive` shim).  No code in the workspace serializes values; the
+//! derives only mark types as serialization-ready.
+//!
+//! Swapping the real serde back in is a one-line change in the workspace
+//! `Cargo.toml` and requires no source edits.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

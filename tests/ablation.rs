@@ -51,11 +51,7 @@ fn full_optimizations_beat_none_on_overheads() {
         let run = |level: OptLevel| {
             let mut options = CompileOptions::at_level(level);
             options.seed = 0xAB2;
-            compile(&spec.source, &options)
-                .unwrap()
-                .run(&spec.params, &instances)
-                .unwrap()
-                .stats
+            compile(&spec.source, &options).unwrap().run(&spec.params, &instances).unwrap().stats
         };
         let none = run(OptLevel::None);
         let full = run(OptLevel::Full);

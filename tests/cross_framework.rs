@@ -49,8 +49,7 @@ fn vm_backend_agrees_with_aot_on_non_tdc_models() {
     for (idx, batch) in [(0usize, 4usize), (1, 3), (2, 4)] {
         let spec = suite(ModelSize::Small, true).remove(idx);
         let instances = (spec.make_instances)(0xB0, batch);
-        let mut opts = CompileOptions::default();
-        opts.seed = 0xB0;
+        let mut opts = CompileOptions { seed: 0xB0, ..Default::default() };
         let aot = compile(&spec.source, &opts).unwrap().run(&spec.params, &instances).unwrap();
         opts.backend = BackendKind::Vm;
         let vm = compile(&spec.source, &opts).unwrap().run(&spec.params, &instances).unwrap();

@@ -69,12 +69,7 @@ fn ghost_operators_do_not_change_results() {
         options.analysis.ghost_ops = ghosts;
         let model = compile(SOURCE, &options).unwrap();
         let r = model.run(&params, &instances).unwrap();
-        outs.push(
-            r.outputs
-                .iter()
-                .map(|o| o.tensors()[0].clone())
-                .collect::<Vec<_>>(),
-        );
+        outs.push(r.outputs.iter().map(|o| o.tensors()[0].clone()).collect::<Vec<_>>());
     }
     for (a, b) in outs[0].iter().zip(&outs[1]) {
         assert!(a.allclose(b, 1e-6));

@@ -119,9 +119,8 @@ fn fiber_mode_oom_poisons_instead_of_deadlocking() {
         "w".to_string(),
         Tensor::from_fn(&[64, 64], |i| ((i % 5) as f32 - 2.0) * 0.05),
     )]);
-    let instances: Vec<Vec<InputValue>> = (0..8)
-        .map(|i| vec![InputValue::Tensor(Tensor::fill(&[1, 64], 0.01 * i as f32))])
-        .collect();
+    let instances: Vec<Vec<InputValue>> =
+        (0..8).map(|i| vec![InputValue::Tensor(Tensor::fill(&[1, 64], 0.01 * i as f32))]).collect();
     let started = std::time::Instant::now();
     let result = model.run(&params, &instances);
     assert!(result.is_err(), "must fail, not hang");
