@@ -14,6 +14,8 @@
 
 #![deny(missing_docs)]
 
+pub mod fuzz;
+
 use std::collections::BTreeMap;
 
 use acrobat_baselines::dynet::{DynetConfig, DynetScheduler, Improvements};

@@ -158,6 +158,9 @@ pub fn run_batched_kernel_ref(
             expected: program.inputs.len(),
         });
     }
+    // Checked-mode fault injection: a well-formed launch counts against an
+    // armed fault plan before touching device state.
+    mem.trip_fault(acrobat_tensor::FaultSite::Launch)?;
     let mut stats = KernelLaunchStats {
         launches: 1,
         flops: program.flops_per_instance * batch as u64,

@@ -83,6 +83,14 @@ impl Default for CompileOptions {
 }
 
 impl CompileOptions {
+    /// Enable or disable checked mode (`acrobat_runtime::check`): every
+    /// flush is validated against the scheduler/DFG invariants and the
+    /// reference schedulers.  Slow; intended for tests and fuzzing.
+    pub fn with_checked(mut self, checked: bool) -> CompileOptions {
+        self.runtime.checked = checked;
+        self
+    }
+
     /// Options for one rung of the Fig. 5 ablation ladder.
     pub fn at_level(level: OptLevel) -> CompileOptions {
         let mut o = CompileOptions::default();

@@ -291,9 +291,20 @@ impl Dfg {
     /// Panics if slot or lane counts disagree with the batch, or if any
     /// node was already executed (internal errors).
     pub fn complete_batch(&mut self, batch: &[NodeId], outputs: Vec<Vec<DeviceTensor>>) {
+        // Validate the whole batch BEFORE touching the value table: a bad
+        // batch (double completion, arity mismatch) must panic with the
+        // table untouched, not after overwriting Ready values of lanes that
+        // happened to precede the offending one.
         let slots = outputs.len();
-        for (slot, lanes) in outputs.into_iter().enumerate() {
+        for &id in batch {
+            let n = &self.nodes[id.0 as usize];
+            assert_eq!(n.outputs.len(), slots, "output arity mismatch");
+            assert!(!n.executed, "node executed twice");
+        }
+        for (slot, lanes) in outputs.iter().enumerate() {
             assert_eq!(lanes.len(), batch.len(), "lane count mismatch at slot {slot}");
+        }
+        for (slot, lanes) in outputs.into_iter().enumerate() {
             for (lane, t) in lanes.into_iter().enumerate() {
                 let node = &self.nodes[batch[lane].0 as usize];
                 let vid = node.outputs[slot];
@@ -301,12 +312,128 @@ impl Dfg {
             }
         }
         for &id in batch {
-            let n = &mut self.nodes[id.0 as usize];
-            assert_eq!(n.outputs.len(), slots, "output arity mismatch");
-            assert!(!n.executed, "node executed twice");
-            n.executed = true;
+            self.nodes[id.0 as usize].executed = true;
             self.remove_pending(id);
         }
+    }
+
+    /// Number of values ever created (ready and pending).
+    pub fn value_count(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    /// Exhaustively cross-checks the pending set, the `pending_pos` index
+    /// and the incremental inline-bucket index against each other and
+    /// against the node table.  O(nodes); meant for the runtime's checked
+    /// mode and for tests after error paths, never for the flush hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn verify_consistent(&self) -> Result<(), String> {
+        // pending ↔ pending_pos is a bijection.
+        if self.pending_pos.len() != self.nodes.len() {
+            return Err(format!(
+                "pending_pos len {} != node count {}",
+                self.pending_pos.len(),
+                self.nodes.len()
+            ));
+        }
+        for (i, &id) in self.pending.iter().enumerate() {
+            let pos = self.pending_pos[id.0 as usize];
+            if pos as usize != i {
+                return Err(format!("pending[{i}] = {id:?} but pending_pos says {pos}"));
+            }
+            if self.nodes[id.0 as usize].executed {
+                return Err(format!("{id:?} is pending but marked executed"));
+            }
+        }
+        let mut pending_count = 0usize;
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let pos = self.pending_pos[idx];
+            if pos == NOT_PENDING {
+                if !node.executed {
+                    return Err(format!("node {idx} neither pending nor executed"));
+                }
+                // Executed nodes must have every output materialized.
+                for &v in &node.outputs {
+                    if matches!(self.values[v.0 as usize], ValueState::Pending { .. }) {
+                        return Err(format!("executed node {idx} has pending output {v:?}"));
+                    }
+                }
+            } else {
+                pending_count += 1;
+                if self.pending.get(pos as usize) != Some(&NodeId(idx as u64)) {
+                    return Err(format!("pending_pos[{idx}] = {pos} does not point back"));
+                }
+            }
+        }
+        if pending_count != self.pending.len() {
+            return Err(format!(
+                "pending_pos marks {pending_count} nodes pending, pending holds {}",
+                self.pending.len()
+            ));
+        }
+
+        // Bucket index: keys match members, pending counts match, every
+        // pending node is present exactly once in its own bucket.
+        if self.bucket_of.len() != self.nodes.len() {
+            return Err("bucket_of not parallel to nodes".into());
+        }
+        let mut bucket_pending_total = 0u64;
+        for (bi, b) in self.buckets.iter().enumerate() {
+            bucket_pending_total += b.pending as u64;
+            if self.bucket_lookup.get(&b.key) != Some(&(bi as u32)) {
+                return Err(format!("bucket {bi} not found under its key in bucket_lookup"));
+            }
+            let mut live = 0u32;
+            for &id in &b.ids {
+                let node = &self.nodes[id.0 as usize];
+                let key = (inline_key(node.phase, node.depth, node.kernel.0), node.shared_sig);
+                if key != b.key {
+                    return Err(format!("bucket {bi} contains {id:?} with foreign key"));
+                }
+                if self.bucket_of[id.0 as usize] != bi as u32 {
+                    return Err(format!("{id:?} in bucket {bi} but bucket_of disagrees"));
+                }
+                if self.pending_pos[id.0 as usize] != NOT_PENDING {
+                    live += 1;
+                }
+            }
+            if live != b.pending {
+                return Err(format!(
+                    "bucket {bi}: pending count {} but {live} live members",
+                    b.pending
+                ));
+            }
+        }
+        if bucket_pending_total != self.pending.len() as u64 {
+            return Err(format!(
+                "bucket pending totals {bucket_pending_total} != pending set {}",
+                self.pending.len()
+            ));
+        }
+        for &id in &self.pending {
+            let b = &self.buckets[self.bucket_of[id.0 as usize] as usize];
+            let copies = b.ids.iter().filter(|&&x| x == id).count();
+            if copies != 1 {
+                return Err(format!("{id:?} appears {copies} times in its bucket"));
+            }
+        }
+
+        // Pending values point at live producers with matching slots.
+        for (vi, v) in self.values.iter().enumerate() {
+            if let ValueState::Pending { producer, slot } = v {
+                let node = match self.nodes.get(producer.0 as usize) {
+                    Some(n) => n,
+                    None => return Err(format!("value {vi} names missing producer {producer:?}")),
+                };
+                if node.outputs.get(*slot) != Some(&ValueId(vi as u64)) {
+                    return Err(format!("value {vi} slot {slot} not an output of {producer:?}"));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Total nodes ever created (the DFG-construction count in Table 5).
@@ -381,6 +508,51 @@ mod tests {
         let t = mem.upload(&Tensor::ones(&[1])).unwrap();
         dfg.complete_batch(&[n], vec![vec![t.clone()]]);
         dfg.complete_batch(&[n], vec![vec![t]]);
+    }
+
+    #[test]
+    fn failed_batch_completion_leaves_value_table_untouched() {
+        // Regression: complete_batch used to materialize lane outputs slot
+        // by slot BEFORE checking `executed`, so a double completion
+        // overwrote Ready values of earlier lanes prior to panicking.
+        let mut mem = DeviceMem::new(256);
+        let mut dfg = Dfg::new();
+        let (a, oa) = dfg.add_node(acrobat_codegen::KernelId(0), 0, 0, 0, 0, vec![], 1);
+        let (b, ob) = dfg.add_node(acrobat_codegen::KernelId(0), 1, 0, 0, 0, vec![], 1);
+        let t_a = mem.upload(&Tensor::fill(&[1], 1.0)).unwrap();
+        let t_b = mem.upload(&Tensor::fill(&[1], 2.0)).unwrap();
+        dfg.complete_batch(&[a, b], vec![vec![t_a.clone(), t_b.clone()]]);
+        assert_eq!(dfg.tensor(oa[0]), Some(&t_a));
+
+        // Re-completing [a] with a junk tensor must panic *without* first
+        // clobbering a's Ready value.
+        let junk = mem.upload(&Tensor::fill(&[1], 9.0)).unwrap();
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dfg.complete_batch(&[a], vec![vec![junk]]);
+        }));
+        assert!(panicked.is_err(), "double completion must still panic");
+        assert_eq!(dfg.tensor(oa[0]), Some(&t_a), "value table was corrupted");
+        assert_eq!(dfg.tensor(ob[0]), Some(&t_b));
+        dfg.verify_consistent().unwrap();
+    }
+
+    #[test]
+    fn verify_consistent_accepts_live_graphs() {
+        let mut mem = DeviceMem::new(256);
+        let mut dfg = Dfg::new();
+        let x = dfg.ready_value(mem.upload(&Tensor::ones(&[2])).unwrap());
+        let mut ids = Vec::new();
+        for i in 0..5 {
+            let (n, _) =
+                dfg.add_node(acrobat_codegen::KernelId(i as u32 % 2), i, 0, 0, 0, vec![x], 1);
+            ids.push(n);
+        }
+        dfg.verify_consistent().unwrap();
+        let t = mem.upload(&Tensor::zeros(&[2])).unwrap();
+        dfg.complete_node(ids[2], vec![t.clone()]);
+        dfg.verify_consistent().unwrap();
+        dfg.complete_batch(&[ids[0], ids[4]], vec![vec![t.clone(), t.clone()]]);
+        dfg.verify_consistent().unwrap();
     }
 
     #[test]

@@ -30,6 +30,16 @@ struct HubState {
     /// Fibers woken by a flush that have not yet resumed (the driver must
     /// not flush again until they have, or it would spin).
     resuming: usize,
+    /// Fibers parked in [`FiberHub::suspend_while`] (fork-join parents
+    /// blocked on children).  They do not block a flush, but the driver
+    /// must not report "everyone finished" while any remain — they resume
+    /// and keep executing once their children finish.
+    suspended: usize,
+    /// True while the driver is inside `flush` with the lock released.
+    /// Nothing may become runnable while this is set: a fork-join parent
+    /// whose children just finished must wait it out before resuming
+    /// (otherwise it would mutate the DFG concurrently with the flush).
+    flushing: bool,
     /// Incremented after every flush; waiters from older generations wake.
     generation: u64,
 }
@@ -87,16 +97,27 @@ impl FiberHub {
     /// Runs `f` (typically joining child fibers) with the calling fiber
     /// counted as not-runnable, so a flush can proceed while the parent
     /// blocks on its children (fork-join instance parallelism, §4.2).
+    ///
+    /// The resume is gated on no flush being in progress: `drive` releases
+    /// the hub lock around its `flush` callback, so without the gate a
+    /// parent whose children finished mid-flush would re-enter runnable
+    /// state — and mutate the DFG — concurrently with the flush.
     pub fn suspend_while<R>(&self, f: impl FnOnce() -> R) -> R {
         {
             let mut st = self.state.lock();
             st.runnable -= 1;
+            st.suspended += 1;
             if st.runnable == 0 {
                 self.cv.notify_all();
             }
         }
         let r = f();
-        self.state.lock().runnable += 1;
+        let mut st = self.state.lock();
+        while st.flushing {
+            self.cv.wait(&mut st);
+        }
+        st.suspended -= 1;
+        st.runnable += 1;
         r
     }
 
@@ -105,19 +126,33 @@ impl FiberHub {
     /// returns once every fiber has finished.
     ///
     /// Call from the coordinator thread after spawning all fibers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fiber becomes runnable while `flush` runs — that would
+    /// mean the flush raced a live fiber, which the protocol forbids (a
+    /// fiber registered from inside [`FiberHub::suspend_while`] would do
+    /// this; register fibers before suspending on them).
     pub fn drive(&self, mut flush: impl FnMut()) {
         loop {
             {
                 let mut st = self.state.lock();
-                while st.runnable > 0 || st.resuming > 0 {
+                // Wait for quiescence.  A fork-join parent inside
+                // `suspend_while` with no waiting fibers is NOT termination:
+                // it resumes once its children finish and may reach further
+                // sync points that need this driver.
+                while st.runnable > 0 || st.resuming > 0 || (st.waiting == 0 && st.suspended > 0) {
                     self.cv.wait(&mut st);
                 }
                 if st.waiting == 0 {
                     return; // everyone finished
                 }
+                st.flushing = true;
             }
             flush();
             let mut st = self.state.lock();
+            assert_eq!(st.runnable, 0, "fiber became runnable during a flush");
+            st.flushing = false;
             st.resuming = st.waiting;
             st.generation += 1;
             self.cv.notify_all();

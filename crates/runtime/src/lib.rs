@@ -37,6 +37,7 @@
 
 #![deny(missing_docs)]
 
+pub mod check;
 pub mod device;
 pub mod dfg;
 pub mod fiber;
@@ -44,6 +45,7 @@ pub mod runtime;
 pub mod scheduler;
 pub mod stats;
 
+pub use check::FlushChecker;
 pub use device::DeviceModel;
 pub use dfg::{Dfg, NodeId, ValueId};
 pub use fiber::FiberHub;

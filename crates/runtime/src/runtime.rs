@@ -29,6 +29,11 @@ pub struct RuntimeOptions {
     pub eager: bool,
     /// Device memory capacity in `f32` elements.
     pub device_memory: usize,
+    /// Checked mode ([`crate::check`]): validate every flush against the
+    /// scheduler/DFG invariants and the reference schedulers.  Orders of
+    /// magnitude slower; costs the hot path one branch per flush when off.
+    #[serde(default)]
+    pub checked: bool,
 }
 
 impl Default for RuntimeOptions {
@@ -39,6 +44,7 @@ impl Default for RuntimeOptions {
             coarsen: true,
             eager: false,
             device_memory: 64 << 20, // 256 MB
+            checked: false,
         }
     }
 }
@@ -252,6 +258,9 @@ impl Runtime {
             plan_buf,
         } = self;
         scheduler::plan_into(options.scheduler, dfg, sched_scratch, plan_buf);
+        let mut checker = options
+            .checked
+            .then(|| crate::check::FlushChecker::validate_plan(dfg, plan_buf, options.scheduler));
 
         // Host scheduling cost: per elementary decision, scaled so that with
         // coarsening the inline scheduler pays per scheduling unit.
@@ -281,7 +290,27 @@ impl Runtime {
                 debug_assert_eq!(node.kernel, kernel_id);
                 dfg.tensor(node.args[slot]).expect("scheduler produced unmet dependency")
             });
-            let (outs, lstats) = run_batched_kernel_ref(mem, program, &args, lanes, mode)?;
+            let (outs, lstats) = match run_batched_kernel_ref(mem, program, &args, lanes, mode) {
+                Ok(r) => r,
+                Err(e) => {
+                    // A mid-plan failure aborts the flush but must leave the
+                    // runtime well-defined and resumable: batches that ran
+                    // are already accounted and materialized; the failing
+                    // batch and the rest of the plan stay pending, so the
+                    // next flush replans them from scratch.  Scheduling time
+                    // stays charged in full — planning genuinely ran, and a
+                    // retry replans (and recharges) just like a real system.
+                    stats.aborted_flushes += 1;
+                    stats.device_peak_elements = mem.stats().peak_elements;
+                    stats.host_wall_us += wall.elapsed().as_secs_f64() * 1e6;
+                    if options.checked {
+                        if let Err(msg) = dfg.verify_consistent() {
+                            panic!("checked mode: DFG inconsistent after aborted flush: {msg}");
+                        }
+                    }
+                    return Err(e);
+                }
+            };
 
             // Accounting.
             stats.kernel_launches += lstats.launches;
@@ -301,11 +330,28 @@ impl Runtime {
             // Materialize the whole batch in one pass: outs[slot][lane]
             // moves straight into the value table.
             dfg.complete_batch(batch, outs);
+            if let Some(c) = checker.as_mut() {
+                c.after_batch(dfg, batch);
+            }
+        }
+        if let Some(c) = checker {
+            c.finish(dfg);
         }
         self.stats.flushes += 1;
         self.stats.device_peak_elements = self.mem.stats().peak_elements;
         self.stats.host_wall_us += wall.elapsed().as_secs_f64() * 1e6;
         Ok(())
+    }
+
+    /// Cross-checks the DFG's pending/bucket/value indices against each
+    /// other (see [`crate::Dfg::verify_consistent`]).  O(nodes); used by
+    /// checked-mode tests, especially after error paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn verify_consistent(&self) -> Result<(), String> {
+        self.dfg.verify_consistent()
     }
 
     /// Charges fiber-switch costs observed by a [`crate::FiberHub`].
@@ -453,6 +499,167 @@ mod tests {
         let _ = a;
         let big = Tensor::zeros(&[32]);
         assert!(matches!(rt.upload_inputs(&[&big]), Err(TensorError::DeviceOom { .. })));
+    }
+
+    #[test]
+    fn checked_mode_passes_and_matches_unchecked() {
+        for kind in [SchedulerKind::InlineDepth, SchedulerKind::DynamicDepth, SchedulerKind::Agenda]
+        {
+            for gather_fusion in [true, false] {
+                let run = |checked: bool| {
+                    let (a, mut rt) = setup(
+                        PROGRAM,
+                        RuntimeOptions {
+                            scheduler: kind,
+                            gather_fusion,
+                            checked,
+                            ..Default::default()
+                        },
+                    );
+                    let group = a.blocks.blocks[0].groups[0].id;
+                    let w = rt.mem_mut().upload(&Tensor::from_fn(&[2, 2], |i| i as f32)).unwrap();
+                    let wv = rt.ready_value(w);
+                    let kernel = rt.library().kernel_for_group(group).clone();
+                    let mut outs = Vec::new();
+                    for i in 0..4 {
+                        let x =
+                            rt.upload_inputs(&[&Tensor::fill(&[1, 2], i as f32 - 1.5)]).unwrap()[0];
+                        rt.mem_mut().alloc(&acrobat_tensor::Shape::new(&[1 + i])).unwrap();
+                        let args: Vec<ValueId> = kernel
+                            .inputs
+                            .iter()
+                            .map(|inp| match inp.class {
+                                acrobat_analysis::ArgClass::Batched => x,
+                                acrobat_analysis::ArgClass::Shared => wv,
+                            })
+                            .collect();
+                        outs.push(rt.add_unit(group, i, 0, 0, args, true)[0]);
+                    }
+                    rt.flush().unwrap();
+                    rt.verify_consistent().unwrap();
+                    outs.iter().map(|o| rt.download(*o).unwrap()).collect::<Vec<Tensor>>()
+                };
+                let checked = run(true);
+                let plain = run(false);
+                for (a, b) in checked.iter().zip(&plain) {
+                    assert_eq!(a.data(), b.data(), "{kind:?} fusion={gather_fusion}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aborted_flush_is_resumable_with_consistent_stats() {
+        use acrobat_tensor::FaultPlan;
+        // Two fused groups per instance → a two-batch plan; failing the
+        // second launch aborts the flush halfway through.
+        let src = "def @main($w1: Tensor[(2, 2)], $w2: Tensor[(2, 2)], %x: Tensor[(1, 2)]) -> Tensor[(1, 2)] {
+            matmul(matmul(%x, $w1), $w2)
+        }";
+        let build = || {
+            let (a, mut rt) = setup(src, RuntimeOptions { checked: true, ..Default::default() });
+            let block = &a.blocks.blocks[0];
+            let (g0, g1) = (block.groups[0].id, block.groups[1].id);
+            let w1 = rt.mem_mut().upload(&Tensor::from_fn(&[2, 2], |i| i as f32)).unwrap();
+            let w1v = rt.ready_value(w1);
+            let w2 = rt.mem_mut().upload(&Tensor::from_fn(&[2, 2], |i| 1.0 - i as f32)).unwrap();
+            let w2v = rt.ready_value(w2);
+            let mut outs = Vec::new();
+            for i in 0..3 {
+                let x = rt.upload_inputs(&[&Tensor::fill(&[1, 2], i as f32 - 1.0)]).unwrap()[0];
+                let o0 = rt.add_unit(g0, i, 0, 0, vec![x, w1v], true);
+                outs.push(rt.add_unit(g1, i, 1, 0, vec![o0[0], w2v], false)[0]);
+            }
+            (rt, outs)
+        };
+        // Unfaulted reference outputs.
+        let (mut rt, outs) = build();
+        rt.flush().unwrap();
+        let want: Vec<Tensor> = outs.iter().map(|o| rt.download(*o).unwrap()).collect();
+
+        for plan in ["launch:1:kernel", "launch:1:oom", "launch:0:kernel"] {
+            let fault = FaultPlan::parse(plan).unwrap();
+            let (mut rt, outs) = build();
+            rt.mem_mut().arm_fault(fault);
+            let err = rt.flush().expect_err("fault must surface");
+            match fault.kind {
+                acrobat_tensor::FaultKind::Oom => {
+                    assert!(matches!(err, TensorError::DeviceOom { .. }), "{plan}")
+                }
+                acrobat_tensor::FaultKind::Kernel => {
+                    assert!(matches!(err, TensorError::Injected { .. }), "{plan}")
+                }
+            }
+            // The abort is recorded, the completed prefix is accounted, and
+            // nothing counts as a finished flush.
+            assert_eq!(rt.stats().aborted_flushes, 1, "{plan}");
+            assert_eq!(rt.stats().flushes, 0, "{plan}");
+            assert_eq!(rt.stats().kernel_launches, fault.nth, "{plan}: prefix accounted");
+            assert!(rt.stats().host_wall_us > 0.0, "{plan}");
+            rt.verify_consistent().unwrap();
+
+            // The runtime is resumable: clear the fault, flush again, and
+            // the results match the unfaulted run bit for bit.
+            rt.mem_mut().clear_fault();
+            rt.flush().unwrap();
+            assert_eq!(rt.stats().flushes, 1, "{plan}");
+            assert_eq!(rt.stats().aborted_flushes, 1, "{plan}");
+            for (o, w) in outs.iter().zip(&want) {
+                assert_eq!(rt.download(*o).unwrap().data(), w.data(), "{plan}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_and_upload_faults_are_recoverable() {
+        use acrobat_tensor::FaultPlan;
+        // Gather faults need the explicit-gather path with scattered lanes.
+        let (a, mut rt) = setup(
+            PROGRAM,
+            RuntimeOptions { gather_fusion: false, checked: true, ..Default::default() },
+        );
+        let group = a.blocks.blocks[0].groups[0].id;
+        let w = rt.mem_mut().upload(&Tensor::from_fn(&[2, 2], |i| i as f32)).unwrap();
+        let wv = rt.ready_value(w);
+        let kernel = rt.library().kernel_for_group(group).clone();
+        let mut outs = Vec::new();
+        for i in 0..3 {
+            let x = rt.upload_inputs(&[&Tensor::fill(&[1, 2], i as f32)]).unwrap()[0];
+            rt.mem_mut().alloc(&acrobat_tensor::Shape::new(&[3 + i])).unwrap();
+            let args: Vec<ValueId> = kernel
+                .inputs
+                .iter()
+                .map(|inp| match inp.class {
+                    acrobat_analysis::ArgClass::Batched => x,
+                    acrobat_analysis::ArgClass::Shared => wv,
+                })
+                .collect();
+            outs.push(rt.add_unit(group, i, 0, 0, args, true)[0]);
+        }
+        rt.mem_mut().arm_fault(FaultPlan::parse("gather:0:oom").unwrap());
+        assert!(matches!(rt.flush(), Err(TensorError::DeviceOom { .. })));
+        assert_eq!(rt.stats().aborted_flushes, 1);
+        rt.verify_consistent().unwrap();
+        rt.mem_mut().clear_fault();
+        rt.flush().unwrap();
+        assert!(rt.stats().gather_copies > 0);
+        for (i, o) in outs.iter().enumerate() {
+            let x = Tensor::fill(&[1, 2], i as f32);
+            let w_host = Tensor::from_fn(&[2, 2], |i| i as f32);
+            let mm =
+                acrobat_tensor::execute(&acrobat_tensor::PrimOp::MatMul, &[&x, &w_host]).unwrap();
+            let want = acrobat_tensor::execute(&acrobat_tensor::PrimOp::Relu, &[&mm]).unwrap();
+            assert!(rt.download(*o).unwrap().allclose(&want, 1e-6));
+        }
+
+        // Upload faults surface from upload_inputs and clear cleanly too.
+        let (_, mut rt) = setup(PROGRAM, RuntimeOptions { checked: true, ..Default::default() });
+        rt.mem_mut().arm_fault(FaultPlan::parse("upload:0:oom").unwrap());
+        let x = Tensor::ones(&[1, 2]);
+        assert!(matches!(rt.upload_inputs(&[&x]), Err(TensorError::DeviceOom { .. })));
+        rt.verify_consistent().unwrap();
+        rt.mem_mut().clear_fault();
+        assert_eq!(rt.upload_inputs(&[&x]).unwrap().len(), 1);
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub struct RuntimeStats {
     pub flops: u64,
     /// DFG flushes (sync points + the final drain).
     pub flushes: u64,
+    /// Flushes aborted by a mid-plan device or kernel error.  Batches
+    /// launched before the failure are accounted normally; the rest of the
+    /// plan stays pending and replannable (see [`crate::Runtime::flush`]).
+    pub aborted_flushes: u64,
     /// Fiber suspensions.
     pub fiber_switches: u64,
 
@@ -97,6 +101,7 @@ impl RuntimeStats {
         self.memcpy_bytes += o.memcpy_bytes;
         self.flops += o.flops;
         self.flushes += o.flushes;
+        self.aborted_flushes += o.aborted_flushes;
         self.fiber_switches += o.fiber_switches;
         self.device_peak_elements = self.device_peak_elements.max(o.device_peak_elements);
         self.host_wall_us += o.host_wall_us;
@@ -104,7 +109,13 @@ impl RuntimeStats {
     }
 
     /// Divides all quantities by `n` (averaging after [`RuntimeStats::merge`]).
+    ///
+    /// Count fields round to the nearest integer: a truncating division
+    /// biased every averaged count downward (3 runs of 10, 10 and 11
+    /// launches averaged to 10.33 and reported 10, but 11, 11, 10 reported
+    /// 10 as well while 32/3 should read 11).
     pub fn scaled(&self, n: f64) -> RuntimeStats {
+        let avg = |x: u64| (x as f64 / n).round() as u64;
         RuntimeStats {
             dfg_construction_us: self.dfg_construction_us / n,
             scheduling_us: self.scheduling_us / n,
@@ -112,16 +123,17 @@ impl RuntimeStats {
             kernel_time_us: self.kernel_time_us / n,
             cuda_api_us: self.cuda_api_us / n,
             fiber_us: self.fiber_us / n,
-            nodes: (self.nodes as f64 / n) as u64,
-            kernel_launches: (self.kernel_launches as f64 / n) as u64,
-            gather_copies: (self.gather_copies as f64 / n) as u64,
-            gather_bytes: (self.gather_bytes as f64 / n) as u64,
-            contiguous_hits: (self.contiguous_hits as f64 / n) as u64,
-            memcpy_ops: (self.memcpy_ops as f64 / n) as u64,
-            memcpy_bytes: (self.memcpy_bytes as f64 / n) as u64,
-            flops: (self.flops as f64 / n) as u64,
-            flushes: (self.flushes as f64 / n) as u64,
-            fiber_switches: (self.fiber_switches as f64 / n) as u64,
+            nodes: avg(self.nodes),
+            kernel_launches: avg(self.kernel_launches),
+            gather_copies: avg(self.gather_copies),
+            gather_bytes: avg(self.gather_bytes),
+            contiguous_hits: avg(self.contiguous_hits),
+            memcpy_ops: avg(self.memcpy_ops),
+            memcpy_bytes: avg(self.memcpy_bytes),
+            flops: avg(self.flops),
+            flushes: avg(self.flushes),
+            aborted_flushes: avg(self.aborted_flushes),
+            fiber_switches: avg(self.fiber_switches),
             device_peak_elements: self.device_peak_elements,
             host_wall_us: self.host_wall_us / n,
             program_host_us: self.program_host_us / n,
@@ -144,5 +156,25 @@ mod tests {
         assert!((a.total_us() - 160.0).abs() < 1e-9);
         let avg = a.scaled(2.0);
         assert_eq!(avg.kernel_time_us, 75.0);
+    }
+
+    #[test]
+    fn scaled_rounds_counts_to_nearest() {
+        // 3 runs × (10, 10, 11) launches: the truncating average reported
+        // 10 for 31/3 ≈ 10.33 (fine) but also 10 for 32/3 ≈ 10.67 (wrong).
+        let mut acc = RuntimeStats::default();
+        for launches in [10u64, 11, 11] {
+            acc.merge(&RuntimeStats { kernel_launches: launches, ..Default::default() });
+        }
+        assert_eq!(acc.kernel_launches, 32);
+        assert_eq!(acc.scaled(3.0).kernel_launches, 11, "round to nearest, not floor");
+        let mut acc = RuntimeStats::default();
+        for nodes in [10u64, 10, 11] {
+            acc.merge(&RuntimeStats { nodes, ..Default::default() });
+        }
+        assert_eq!(acc.scaled(3.0).nodes, 10);
+        // A count that divides exactly is unchanged.
+        let s = RuntimeStats { flushes: 12, ..Default::default() };
+        assert_eq!(s.scaled(4.0).flushes, 3);
     }
 }

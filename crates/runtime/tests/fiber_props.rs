@@ -1,0 +1,116 @@
+//! Property tests driving the real [`FiberHub`] (OS threads, mutex,
+//! condvar) with random fork-join trees and random suspension jitter, and
+//! checking every run against the `hubsim` protocol enumerator:
+//!
+//! * the run terminates (a watchdog bounds the drive),
+//! * the switch count equals the trace's sync-point count,
+//! * the flush count lands inside the exact `[min, max]` envelope that
+//!   `hubsim::exhaustive` proves over *all* interleavings of the trace
+//!   (and equals it when the envelope is tight, e.g. fork-free traces).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use acrobat_runtime::check::hubsim::{self, FiberOp};
+use acrobat_runtime::FiberHub;
+use proptest::prelude::*;
+
+/// Runs one fiber's script on the current thread, forking children onto
+/// new threads (registered before the parent suspends, per the protocol).
+fn run_script(hub: Arc<FiberHub>, script: Vec<FiberOp>, mut jitter: u64) {
+    for op in script {
+        // Seeded scheduling noise: perturb the interleaving without
+        // touching the protocol.
+        jitter = jitter.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        for _ in 0..(jitter >> 60) & 3 {
+            std::thread::yield_now();
+        }
+        match op {
+            FiberOp::Wait => hub.wait_for_flush(),
+            FiberOp::Fork(children) => {
+                let mut kids = Vec::new();
+                for (j, child) in children.into_iter().enumerate() {
+                    hub.register();
+                    let h = Arc::clone(&hub);
+                    let seed = jitter.wrapping_add(j as u64 + 1);
+                    kids.push(std::thread::spawn(move || run_script(h, child, seed)));
+                }
+                hub.suspend_while(|| kids.into_iter().for_each(|k| k.join().unwrap()));
+            }
+        }
+    }
+    hub.finish();
+}
+
+/// Executes the whole trace on real threads; returns (flushes, switches).
+/// Panics if the hub fails to terminate within the watchdog timeout.
+fn run_real(scripts: &[Vec<FiberOp>], jitter_seed: u64) -> (u64, u64) {
+    let hub = Arc::new(FiberHub::new());
+    let flushes = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for (i, script) in scripts.iter().enumerate() {
+        hub.register();
+        let h = Arc::clone(&hub);
+        let s = script.clone();
+        let seed = jitter_seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        handles.push(std::thread::spawn(move || run_script(h, s, seed)));
+    }
+    let (tx, rx) = mpsc::channel();
+    let driver = {
+        let hub = Arc::clone(&hub);
+        let flushes = Arc::clone(&flushes);
+        std::thread::spawn(move || {
+            hub.drive(|| {
+                flushes.fetch_add(1, Ordering::SeqCst);
+            });
+            let _ = tx.send(());
+        })
+    };
+    rx.recv_timeout(Duration::from_secs(30)).expect("FiberHub::drive failed to terminate");
+    driver.join().unwrap();
+    for h in handles {
+        h.join().unwrap();
+    }
+    (flushes.load(Ordering::SeqCst), hub.switch_count())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn real_hub_stays_inside_enumerated_envelope(
+        tree_seed in 0u64..1_000_000,
+        fibers in 1usize..4,
+        jitter_seed in 0u64..u64::MAX,
+    ) {
+        let scripts = hubsim::random_scripts(tree_seed, fibers, 3, 1);
+        let predicted = match hubsim::exhaustive(&scripts, false) {
+            Ok(p) => p,
+            Err(e) => return Err(format!("protocol violation in model: {e}")),
+        };
+        let (flushes, switches) = run_real(&scripts, jitter_seed);
+        prop_assert_eq!(switches, predicted.switches);
+        prop_assert!(
+            predicted.flushes_min <= flushes && flushes <= predicted.flushes_max,
+            "real flushes {} outside enumerated [{}, {}]",
+            flushes, predicted.flushes_min, predicted.flushes_max
+        );
+    }
+
+    #[test]
+    fn fork_free_traces_have_exact_flush_counts(
+        waits in proptest::collection::vec(0usize..5, 1..5),
+        jitter_seed in 0u64..u64::MAX,
+    ) {
+        let scripts: Vec<Vec<FiberOp>> =
+            waits.iter().map(|&n| vec![FiberOp::Wait; n]).collect();
+        let predicted = hubsim::exhaustive(&scripts, false).unwrap();
+        // Fork-free: flushes happen only at global quiescence, so the
+        // count is schedule-independent — the max per-fiber wait count.
+        prop_assert_eq!(predicted.exact_flushes(), *waits.iter().max().unwrap() as u64);
+        let (flushes, switches) = run_real(&scripts, jitter_seed);
+        prop_assert_eq!(flushes, predicted.exact_flushes());
+        prop_assert_eq!(switches, waits.iter().sum::<usize>() as u64);
+    }
+}

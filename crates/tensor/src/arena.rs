@@ -85,6 +85,83 @@ impl MemStats {
     }
 }
 
+/// Operation class a [`FaultPlan`] can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// A batched kernel launch (tripped by the executor at launch entry).
+    Launch,
+    /// A device-side gather ([`DeviceMem::gather`]).
+    Gather,
+    /// A host→device transfer ([`DeviceMem::upload`] /
+    /// [`DeviceMem::upload_batched`]).
+    Upload,
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultSite::Launch => "launch",
+            FaultSite::Gather => "gather",
+            FaultSite::Upload => "upload",
+        })
+    }
+}
+
+/// Error an injected fault produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// [`TensorError::DeviceOom`], as if the arena were exhausted.
+    Oom,
+    /// [`TensorError::Injected`], standing in for a kernel failure.
+    Kernel,
+}
+
+/// Deterministic fault-injection plan: fail the `nth` (zero-based)
+/// operation at `site` with an error of `kind`.
+///
+/// Used by the runtime's checked mode to prove that every mid-flush error
+/// path leaves the runtime well-defined and resumable.  Arm with
+/// [`DeviceMem::arm_fault`]; the plan fires at most once and stays armed
+/// (but spent) until [`DeviceMem::clear_fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Operation class to fail.
+    pub site: FaultSite,
+    /// Zero-based occurrence to fail.
+    pub nth: u64,
+    /// Error to produce.
+    pub kind: FaultKind,
+}
+
+impl FaultPlan {
+    /// Parses the `site:nth:kind` syntax, e.g. `"launch:3:oom"` or
+    /// `"gather:0:kernel"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed component.
+    pub fn parse(s: &str) -> std::result::Result<FaultPlan, String> {
+        let mut parts = s.split(':');
+        let (site, nth, kind) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(a), Some(b), Some(c), None) => (a, b, c),
+            _ => return Err(format!("expected site:nth:kind, got {s:?}")),
+        };
+        let site = match site {
+            "launch" => FaultSite::Launch,
+            "gather" => FaultSite::Gather,
+            "upload" => FaultSite::Upload,
+            _ => return Err(format!("unknown fault site {site:?}")),
+        };
+        let nth = nth.parse::<u64>().map_err(|e| format!("bad occurrence {nth:?}: {e}"))?;
+        let kind = match kind {
+            "oom" => FaultKind::Oom,
+            "kernel" => FaultKind::Kernel,
+            _ => return Err(format!("unknown fault kind {kind:?}")),
+        };
+        Ok(FaultPlan { site, nth, kind })
+    }
+}
+
 /// Bump-allocated simulated device memory.
 ///
 /// ```
@@ -100,6 +177,10 @@ pub struct DeviceMem {
     top: usize,
     generation: u64,
     stats: MemStats,
+    /// Armed fault-injection plan, if any.
+    fault: Option<FaultPlan>,
+    /// Operations counted per [`FaultSite`] since the plan was armed.
+    fault_counts: [u64; 3],
 }
 
 impl fmt::Debug for DeviceMem {
@@ -116,7 +197,14 @@ impl fmt::Debug for DeviceMem {
 impl DeviceMem {
     /// Creates an arena holding `capacity` `f32` elements.
     pub fn new(capacity: usize) -> Self {
-        DeviceMem { buf: vec![0.0; capacity], top: 0, generation: 0, stats: MemStats::default() }
+        DeviceMem {
+            buf: vec![0.0; capacity],
+            top: 0,
+            generation: 0,
+            stats: MemStats::default(),
+            fault: None,
+            fault_counts: [0; 3],
+        }
     }
 
     /// Creates an arena with a byte capacity (rounded down to whole `f32`s).
@@ -150,6 +238,46 @@ impl DeviceMem {
     pub fn reset(&mut self) {
         self.top = 0;
         self.generation += 1;
+    }
+
+    /// Arms deterministic fault injection: the plan's `nth` operation at its
+    /// site fails with the planned error.  Site counters restart at zero.
+    pub fn arm_fault(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+        self.fault_counts = [0; 3];
+    }
+
+    /// Disarms fault injection.
+    pub fn clear_fault(&mut self) {
+        self.fault = None;
+    }
+
+    /// Counts one operation at `site` against the armed fault plan and
+    /// returns the injected error when it trips.  Upload and gather paths
+    /// call this internally; kernel executors call it once per batched
+    /// launch.  A no-op (and no counting) when nothing is armed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the armed plan's error on the planned occurrence.
+    pub fn trip_fault(&mut self, site: FaultSite) -> Result<()> {
+        let Some(plan) = self.fault else { return Ok(()) };
+        if plan.site != site {
+            return Ok(());
+        }
+        let count = &mut self.fault_counts[site as usize];
+        let hit = *count == plan.nth;
+        *count += 1;
+        if !hit {
+            return Ok(());
+        }
+        match plan.kind {
+            FaultKind::Oom => Err(TensorError::DeviceOom {
+                requested: self.buf.len() * std::mem::size_of::<f32>(),
+                available: (self.buf.len() - self.top) * std::mem::size_of::<f32>(),
+            }),
+            FaultKind::Kernel => Err(TensorError::Injected { site, nth: plan.nth }),
+        }
     }
 
     /// Allocates an uninitialized (zeroed) tensor.
@@ -188,6 +316,7 @@ impl DeviceMem {
     ///
     /// Returns [`TensorError::DeviceOom`] when the arena is exhausted.
     pub fn upload(&mut self, t: &Tensor) -> Result<DeviceTensor> {
+        self.trip_fault(FaultSite::Upload)?;
         let dt = self.alloc(t.shape())?;
         self.buf[dt.offset..dt.offset + dt.numel()].copy_from_slice(t.data());
         self.stats.upload_bytes += t.shape().byte_size() as u64;
@@ -202,6 +331,9 @@ impl DeviceMem {
     ///
     /// Returns [`TensorError::DeviceOom`] when the arena is exhausted.
     pub fn upload_batched(&mut self, tensors: &[&Tensor]) -> Result<Vec<DeviceTensor>> {
+        if !tensors.is_empty() {
+            self.trip_fault(FaultSite::Upload)?;
+        }
         let mut out = Vec::with_capacity(tensors.len());
         for t in tensors {
             let dt = self.alloc(t.shape())?;
@@ -296,6 +428,7 @@ impl DeviceMem {
         if tensors.is_empty() {
             return Err(TensorError::EmptyBatch);
         }
+        self.trip_fault(FaultSite::Gather)?;
         let shape = tensors[0].shape().clone();
         for t in tensors.iter() {
             self.check(t)?;
@@ -500,6 +633,54 @@ mod tests {
         mem.reset();
         mem.alloc(&Shape::new(&[5])).unwrap();
         assert_eq!(mem.stats().peak_elements, 10);
+    }
+
+    #[test]
+    fn fault_plan_parse() {
+        assert_eq!(
+            FaultPlan::parse("launch:3:oom"),
+            Ok(FaultPlan { site: FaultSite::Launch, nth: 3, kind: FaultKind::Oom })
+        );
+        assert_eq!(
+            FaultPlan::parse("gather:0:kernel"),
+            Ok(FaultPlan { site: FaultSite::Gather, nth: 0, kind: FaultKind::Kernel })
+        );
+        assert!(FaultPlan::parse("launch:3").is_err());
+        assert!(FaultPlan::parse("disk:1:oom").is_err());
+        assert!(FaultPlan::parse("launch:x:oom").is_err());
+        assert!(FaultPlan::parse("launch:1:panic").is_err());
+    }
+
+    #[test]
+    fn fault_trips_exactly_once_at_the_planned_site() {
+        let mut mem = DeviceMem::new(1024);
+        mem.arm_fault(FaultPlan::parse("upload:1:kernel").unwrap());
+        let t = Tensor::ones(&[2]);
+        assert!(mem.upload(&t).is_ok(), "occurrence 0 passes");
+        let err = mem.upload(&t).unwrap_err();
+        assert_eq!(err, TensorError::Injected { site: FaultSite::Upload, nth: 1 });
+        assert!(mem.upload(&t).is_ok(), "plan fires at most once");
+        // Other sites are never affected.
+        let a = mem.upload(&t).unwrap();
+        let _pad = mem.alloc(&Shape::new(&[3])).unwrap();
+        let b = mem.upload(&t).unwrap();
+        assert!(mem.gather(&[&a, &b]).is_ok());
+        mem.clear_fault();
+        assert!(mem.upload(&t).is_ok());
+    }
+
+    #[test]
+    fn injected_oom_reports_oom() {
+        let mut mem = DeviceMem::new(1024);
+        mem.arm_fault(FaultPlan { site: FaultSite::Gather, nth: 0, kind: FaultKind::Oom });
+        let a = mem.upload(&Tensor::ones(&[2])).unwrap();
+        let _pad = mem.alloc(&Shape::new(&[3])).unwrap();
+        let b = mem.upload(&Tensor::ones(&[2])).unwrap();
+        assert!(matches!(mem.gather(&[&a, &b]), Err(TensorError::DeviceOom { .. })));
+        // Spent plan: the next gather succeeds and the arena still works.
+        let (g, copied) = mem.gather(&[&a, &b]).unwrap();
+        assert!(copied);
+        assert_eq!(mem.read(&g).unwrap(), &[1.0, 1.0, 1.0, 1.0]);
     }
 
     #[test]

@@ -91,6 +91,14 @@ pub enum TensorError {
     },
     /// Batched execution received an empty batch.
     EmptyBatch,
+    /// A synthetic kernel failure injected by an armed [`crate::FaultPlan`]
+    /// (checked-mode fault injection; never produced in normal operation).
+    Injected {
+        /// The operation class the fault tripped on.
+        site: crate::FaultSite,
+        /// Zero-based occurrence of that operation that failed.
+        nth: u64,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -130,6 +138,9 @@ impl fmt::Display for TensorError {
                 write!(f, "{op}: batch mixes instance shapes {first} and {other}")
             }
             TensorError::EmptyBatch => write!(f, "batched kernel invoked with an empty batch"),
+            TensorError::Injected { site, nth } => {
+                write!(f, "injected fault: {site} operation {nth} failed")
+            }
         }
     }
 }

@@ -43,7 +43,7 @@ pub mod ops;
 mod shape;
 mod tensor;
 
-pub use arena::{DeviceMem, DeviceTensor, MemStats};
+pub use arena::{DeviceMem, DeviceTensor, FaultKind, FaultPlan, FaultSite, MemStats};
 pub use batch::{BatchMode, BatchStats};
 pub use error::TensorError;
 pub use ops::{execute, execute_into, execute_slices, flops, infer_shape, PrimOp};

@@ -19,4 +19,7 @@ cargo fmt --all --check
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
+echo "==> differential fuzz smoke (checked mode, fixed seed)"
+cargo run --release -p acrobat-bench --bin fuzz -- --cases 50 --seed 1
+
 echo "All checks passed."

@@ -1,0 +1,76 @@
+//! Differential fuzzing (bounded corpus, fixed seeds) — the CI-sized twin
+//! of the `fuzz` binary in `acrobat-bench`.
+//!
+//! Every generated program/workload must agree **bit-for-bit** across:
+//! the host reference evaluator, all three schedulers × gather-fusion ×
+//! coarsening (checked mode), unbatched eager execution, and the
+//! DyNet-sim baseline.  The `fuzz` binary runs the same generators at
+//! larger scale (`--cases 500` by default).
+
+use acrobat_bench::fuzz::{config_matrix, dag_outputs, FuzzCase};
+use acrobat_runtime::{RuntimeOptions, SchedulerKind};
+use acrobat_tensor::Tensor;
+
+fn bits(ts: &[Tensor]) -> Vec<Vec<u32>> {
+    ts.iter().map(|t| t.data().iter().map(|v| v.to_bits()).collect()).collect()
+}
+
+#[test]
+fn random_ir_programs_agree_bit_for_bit() {
+    let configs = config_matrix();
+    for case_seed in 0..100u64 {
+        let case = FuzzCase::generate(case_seed);
+        let want = bits(&case.host_reference());
+        for (name, options) in &configs {
+            let got = case
+                .run_acrobat(options)
+                .unwrap_or_else(|e| panic!("seed {case_seed} {name}: {e}\n{}", case.source));
+            assert_eq!(
+                bits(&got),
+                want,
+                "seed {case_seed} config {name} diverged from host reference\n{}",
+                case.source
+            );
+        }
+        let dynet = case
+            .run_dynet()
+            .unwrap_or_else(|e| panic!("seed {case_seed} dynet-sim: {e}\n{}", case.source));
+        assert_eq!(
+            bits(&dynet),
+            want,
+            "seed {case_seed} dynet-sim diverged from host reference\n{}",
+            case.source
+        );
+    }
+}
+
+#[test]
+fn random_dag_workloads_agree_bit_for_bit() {
+    for case_seed in 0..50u64 {
+        let reference = dag_outputs(
+            case_seed,
+            &RuntimeOptions { eager: true, checked: true, ..RuntimeOptions::default() },
+        )
+        .expect("eager reference");
+        let want = bits(&reference);
+        for scheduler in
+            [SchedulerKind::InlineDepth, SchedulerKind::DynamicDepth, SchedulerKind::Agenda]
+        {
+            for gather_fusion in [false, true] {
+                let options = RuntimeOptions {
+                    scheduler,
+                    gather_fusion,
+                    checked: true,
+                    ..RuntimeOptions::default()
+                };
+                let got = dag_outputs(case_seed, &options)
+                    .unwrap_or_else(|e| panic!("seed {case_seed} {scheduler:?}: {e}"));
+                assert_eq!(
+                    bits(&got),
+                    want,
+                    "seed {case_seed} {scheduler:?}/gf={gather_fusion} diverged from eager"
+                );
+            }
+        }
+    }
+}
