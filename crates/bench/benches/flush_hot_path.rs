@@ -3,8 +3,8 @@
 //! seed algorithms (`scheduler::reference`).
 //!
 //! The optimized side measures `plan_into` with a reused
-//! [`SchedulerScratch`] and [`Plan`] — exactly what `Runtime::flush` runs —
-//! so steady-state allocations are zero.  The reference side re-allocates
+//! [`SchedulerScratch`] and [`Plan`] — exactly what
+//! `ExecutionContext::flush` runs — so steady-state allocations are zero.  The reference side re-allocates
 //! its `BTreeMap`s per call, as the seed did.  Recorded output:
 //! `bench_results/flush_hot_path.txt`.
 

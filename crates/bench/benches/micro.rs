@@ -8,7 +8,7 @@ use std::sync::Arc;
 use acrobat_analysis::{analyze, AnalysisOptions};
 use acrobat_codegen::KernelLibrary;
 use acrobat_ir::{parse_module, typeck};
-use acrobat_runtime::{scheduler, DeviceModel, Dfg, Runtime, RuntimeOptions, SchedulerKind};
+use acrobat_runtime::{scheduler, DeviceModel, Dfg, Engine, RuntimeOptions, SchedulerKind};
 use acrobat_tensor::batch::{run_batched_prim, BatchArg, BatchMode};
 use acrobat_tensor::{DeviceMem, PrimOp, Shape, Tensor};
 use acrobat_vm::{BackendKind, Executable, InputValue};
@@ -94,8 +94,8 @@ fn build_exe(kind: BackendKind) -> Executable {
     let m = typeck::check_module(parse_module(RNN_SRC).unwrap()).unwrap();
     let a = Arc::new(analyze(m, AnalysisOptions::default()).unwrap());
     let lib = KernelLibrary::build(&a);
-    let rt = Runtime::new(lib, DeviceModel::default(), RuntimeOptions::default());
-    Executable::new(a, rt, kind, 7).unwrap()
+    let engine = Engine::new(a, lib, DeviceModel::default(), RuntimeOptions::default());
+    Executable::new(engine, kind, 7).unwrap()
 }
 
 fn bench_vm_vs_aot(c: &mut Criterion) {

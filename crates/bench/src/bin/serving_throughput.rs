@@ -1,0 +1,162 @@
+//! `serving_throughput`: aggregate throughput scaling with worker threads.
+//!
+//! One compiled model serves `R` mini-batch requests from `W` worker
+//! threads (`W` ∈ {1, 2, 4, 8}), exercising the Engine / ExecutionContext
+//! split for real: the engine is `Arc`-shared, each request runs in its own
+//! pooled context, and no shared lock is taken on the flush hot path.
+//!
+//! Throughput is computed in **modeled virtual time**, consistent with the
+//! repo-wide convention that reported latencies are modeled milliseconds
+//! (DESIGN.md §1): host-side work — DFG construction, scheduling, fiber
+//! switches, CUDA-API calls — parallelizes across the `W` workers, while
+//! device-side work — kernels and memcpy — serializes on the single
+//! simulated accelerator.  The makespan of a configuration is therefore
+//!
+//! ```text
+//! makespan = max(Σ device time over all requests,
+//!                max over workers of Σ host time of that worker's requests)
+//! ```
+//!
+//! Host overheads dominate these workloads (the paper's Table 5), so
+//! throughput scales with `W` until the simulated device saturates.
+//! Wall-clock time is also recorded for reference, but this container runs
+//! on a single CPU, so wall-clock cannot scale and is not the metric.
+//!
+//! Writes `bench_results/serving_throughput.txt`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use acrobat_bench::{quick_flag, suite};
+use acrobat_core::{compile, CompileOptions, Model, RuntimeStats, Tensor};
+use acrobat_models::{ModelSize, ModelSpec};
+use acrobat_vm::InputValue;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Modeled host-side microseconds of one request (parallel across workers).
+fn host_us(s: &RuntimeStats) -> f64 {
+    s.dfg_construction_us + s.scheduling_us + s.fiber_us + s.cuda_api_us
+}
+
+/// Modeled device-side microseconds of one request (serialized on the one
+/// simulated accelerator).
+fn device_us(s: &RuntimeStats) -> f64 {
+    s.kernel_time_us + s.memcpy_us
+}
+
+struct Row {
+    workers: usize,
+    requests: usize,
+    makespan_ms: f64,
+    throughput: f64,
+    wall_ms: f64,
+}
+
+fn serve(
+    model: &Model,
+    params: &BTreeMap<String, Tensor>,
+    instances: &[Vec<InputValue>],
+    workers: usize,
+    requests: usize,
+) -> Row {
+    let per_worker = requests / workers;
+    let start = std::time::Instant::now();
+    let worker_stats: Vec<Vec<RuntimeStats>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    (0..per_worker)
+                        .map(|_| model.run(params, instances).expect("serving run").stats)
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let total_device: f64 = worker_stats.iter().flatten().map(device_us).sum();
+    let busiest_host: f64 =
+        worker_stats.iter().map(|runs| runs.iter().map(host_us).sum::<f64>()).fold(0.0, f64::max);
+    let makespan_us = total_device.max(busiest_host);
+    Row {
+        workers,
+        requests,
+        makespan_ms: makespan_us / 1e3,
+        throughput: requests as f64 / (makespan_us / 1e6),
+        wall_ms,
+    }
+}
+
+fn main() {
+    let quick = quick_flag();
+    let requests = if quick { 16 } else { 64 };
+    let batch = 8;
+    // TreeLSTM: recursive, instance-parallel, host-overhead-bound — the
+    // representative serving workload.
+    let spec: ModelSpec = suite(ModelSize::Small, true).remove(0);
+    let model = compile(&spec.source, &CompileOptions::default()).expect("model compiles");
+    let instances = (spec.make_instances)(0x5E57E, batch);
+
+    let rows: Vec<Row> = WORKER_COUNTS
+        .iter()
+        .map(|&w| serve(&model, &spec.params, &instances, w, requests))
+        .collect();
+
+    let base = rows[0].throughput;
+    let mut out = String::new();
+    writeln!(out, "# serving_throughput — aggregate throughput vs worker threads").unwrap();
+    writeln!(out, "#").unwrap();
+    writeln!(
+        out,
+        "# Model: {} (quick dims), batch {batch} per request, {requests} requests per config.",
+        spec.name
+    )
+    .unwrap();
+    writeln!(out, "# One shared compiled model; each request acquires its own pooled").unwrap();
+    writeln!(out, "# ExecutionContext (zero shared-lock acquisitions on the flush path).").unwrap();
+    writeln!(out, "#").unwrap();
+    writeln!(out, "# Throughput is modeled virtual time (repo convention, DESIGN.md §1):").unwrap();
+    writeln!(out, "#   host work (DFG construction, scheduling, fibers, CUDA API calls)").unwrap();
+    writeln!(out, "#   runs in parallel across workers; device work (kernels, memcpy)").unwrap();
+    writeln!(out, "#   serializes on the single simulated accelerator.").unwrap();
+    writeln!(out, "#   makespan = max(total device time, busiest worker's host time)").unwrap();
+    writeln!(out, "# wall_ms is real wall-clock on the bench host, recorded for reference")
+        .unwrap();
+    writeln!(out, "# only — this container has one CPU, so wall-clock cannot scale.").unwrap();
+    writeln!(out, "#").unwrap();
+    writeln!(
+        out,
+        "{:>7}  {:>8}  {:>12}  {:>12}  {:>12}  {:>9}",
+        "workers", "requests", "makespan_ms", "req_per_s", "speedup_vs_1", "wall_ms"
+    )
+    .unwrap();
+    for r in &rows {
+        writeln!(
+            out,
+            "{:>7}  {:>8}  {:>12.3}  {:>12.1}  {:>12.2}  {:>9.1}",
+            r.workers,
+            r.requests,
+            r.makespan_ms,
+            r.throughput,
+            r.throughput / base,
+            r.wall_ms
+        )
+        .unwrap();
+    }
+    print!("{out}");
+
+    let four = rows.iter().find(|r| r.workers == 4).expect("4-worker row");
+    let scaling = four.throughput / base;
+    println!("\n4-worker speedup on the simulated device: {scaling:.2}x");
+    assert!(
+        scaling > 2.0,
+        "serving must scale >2x at 4 workers on the simulated device, got {scaling:.2}x"
+    );
+
+    std::fs::create_dir_all("bench_results").expect("bench_results dir");
+    std::fs::write("bench_results/serving_throughput.txt", out)
+        .expect("write bench_results/serving_throughput.txt");
+    eprintln!("wrote bench_results/serving_throughput.txt");
+}

@@ -25,7 +25,7 @@ use acrobat_baselines::dynet::{run_minibatch, DynetConfig, NodeRef};
 use acrobat_codegen::KernelLibrary;
 use acrobat_core::{compile, CompileOptions};
 use acrobat_ir::{parse_module, typeck};
-use acrobat_runtime::{DeviceModel, Runtime, RuntimeOptions, SchedulerKind, ValueId};
+use acrobat_runtime::{DeviceModel, Engine, RuntimeOptions, SchedulerKind, ValueId};
 use acrobat_tensor::{execute, PrimOp, Tensor, TensorError};
 use acrobat_vm::InputValue;
 
@@ -270,7 +270,8 @@ pub fn config_matrix() -> Vec<(String, CompileOptions)> {
     out
 }
 
-/// Runs one random DAG workload directly through [`Runtime::add_unit`]:
+/// Runs one random DAG workload directly through
+/// [`acrobat_runtime::ExecutionContext::add_unit`]:
 /// one kernel, two shared-operand signatures (two resident weights),
 /// random dependences between nodes (depth = max dependency depth + 1),
 /// returning every node's output tensor in creation order.
@@ -288,9 +289,10 @@ pub fn dag_outputs(seed: u64, options: &RuntimeOptions) -> Result<Vec<Tensor>, T
     }";
     let m = typeck::check_module(parse_module(SRC).expect("dag src parses"))
         .expect("dag src typechecks");
-    let a = analyze(m, AnalysisOptions::default()).expect("dag src analyzes");
+    let a = std::sync::Arc::new(analyze(m, AnalysisOptions::default()).expect("dag src analyzes"));
     let lib = KernelLibrary::build(&a);
-    let mut rt = Runtime::new(lib, DeviceModel::default(), *options);
+    let engine = std::sync::Arc::new(Engine::new(a.clone(), lib, DeviceModel::default(), *options));
+    let mut rt = engine.new_context();
     let group = a.blocks.blocks[0].groups[0].id;
     let kernel = rt.library().kernel_for_group(group).clone();
 

@@ -47,6 +47,6 @@ pub use options::{CompileOptions, OptLevel};
 // Re-export the API surface users need.
 pub use acrobat_analysis::{AnalysisOptions, AnalysisResult, ArgClass};
 pub use acrobat_codegen::{Schedule, ScheduleOptions};
-pub use acrobat_runtime::{DeviceModel, RuntimeOptions, RuntimeStats, SchedulerKind};
-pub use acrobat_tensor::{Shape, Tensor};
-pub use acrobat_vm::{BackendKind, InputValue, OutputValue, RunResult, VmError};
+pub use acrobat_runtime::{DeviceModel, Engine, RuntimeOptions, RuntimeStats, SchedulerKind};
+pub use acrobat_tensor::{FaultPlan, Shape, Tensor};
+pub use acrobat_vm::{BackendKind, InputValue, OutputValue, RunOptions, RunResult, VmError};

@@ -6,9 +6,9 @@ use std::sync::Arc;
 use acrobat_analysis::{analyze, AnalysisResult};
 use acrobat_codegen::{autoschedule, KernelLibrary};
 use acrobat_ir::{parse_module, typeck};
-use acrobat_runtime::{Runtime, RuntimeOptions};
+use acrobat_runtime::{Engine, RuntimeOptions, RuntimeStats};
 use acrobat_tensor::Tensor;
-use acrobat_vm::{Executable, InputValue, RunResult};
+use acrobat_vm::{Executable, InputValue, RunOptions, RunResult};
 
 use crate::{CompileError, CompileOptions};
 
@@ -35,8 +35,8 @@ pub fn compile(source: &str, options: &CompileOptions) -> Result<Model, CompileE
     let kernel_count = library.len();
     // Keep the runtime's coarsening flag in sync with the analysis flag.
     let runtime_options = RuntimeOptions { coarsen: options.analysis.coarsen, ..options.runtime };
-    let runtime = Runtime::new(library, options.device, runtime_options);
-    let exe = Executable::new(analysis.clone(), runtime, options.backend, options.seed)?;
+    let engine = Engine::new(analysis.clone(), library, options.device, runtime_options);
+    let exe = Executable::new(engine, options.backend, options.seed)?;
     Ok(Model { exe, analysis, options: options.clone(), kernel_count })
 }
 
@@ -54,9 +54,53 @@ impl Model {
         Ok(self.exe.run(params, instances)?)
     }
 
+    /// Runs one mini-batch with explicit per-run options (pseudo-random
+    /// stream keys, fault injection).
+    ///
+    /// # Errors
+    ///
+    /// Propagates input and runtime errors.
+    pub fn run_with(
+        &self,
+        params: &BTreeMap<String, Tensor>,
+        instances: &[Vec<InputValue>],
+        opts: &RunOptions,
+    ) -> Result<RunResult, CompileError> {
+        Ok(self.exe.run_with(params, instances, opts)?)
+    }
+
+    /// Runs one mini-batch with explicit per-instance pseudo-random-stream
+    /// keys (§E.1), making each instance's stream independent of its slot
+    /// in the batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates input and runtime errors.
+    pub fn run_keyed(
+        &self,
+        params: &BTreeMap<String, Tensor>,
+        instances: &[Vec<InputValue>],
+        keys: &[u64],
+    ) -> Result<RunResult, CompileError> {
+        let opts = RunOptions { keys: Some(keys.to_vec()), ..RunOptions::default() };
+        self.run_with(params, instances, &opts)
+    }
+
+    /// Statistics merged across every completed run of this model — serial
+    /// or concurrent, one counter total (launches, gathers, bytes, …).
+    pub fn stats(&self) -> RuntimeStats {
+        self.exe.session.aggregate_stats()
+    }
+
+    /// Number of completed runs merged into [`Model::stats`].
+    pub fn runs_completed(&self) -> u64 {
+        self.exe.session.runs_completed()
+    }
+
     /// Profile-guided re-scheduling (§D.1, Table 9): runs one profiling
-    /// mini-batch, then re-runs the auto-scheduler with the measured
-    /// per-kernel invocation frequencies as priorities.
+    /// mini-batch, aggregates the per-kernel invocation frequencies across
+    /// completed runs, and installs a re-tuned engine.  In-flight runs
+    /// finish on the old engine; subsequent runs pick up the new schedule.
     ///
     /// # Errors
     ///
@@ -67,9 +111,11 @@ impl Model {
         instances: &[Vec<InputValue>],
     ) -> Result<(), CompileError> {
         let _ = self.exe.run(params, instances)?;
-        let mut rt = self.exe.session.runtime.lock();
-        let profile = rt.take_profile();
-        autoschedule(rt.library_mut(), self.options.schedule, Some(&profile));
+        let session = &self.exe.session;
+        let profile = session.take_profile();
+        let schedule = self.options.schedule;
+        let retuned = session.engine().retuned(|lib| autoschedule(lib, schedule, Some(&profile)));
+        session.swap_engine(Arc::new(retuned));
         Ok(())
     }
 
@@ -79,7 +125,8 @@ impl Model {
     /// accordingly — no profiling run needed.
     pub fn apply_static_priorities(&mut self) {
         let freqs = acrobat_analysis::freq::estimate_frequencies(&self.analysis.module);
-        let mut rt = self.exe.session.runtime.lock();
+        let session = &self.exe.session;
+        let engine = session.engine();
         let mut prio: BTreeMap<acrobat_codegen::KernelId, u64> = BTreeMap::new();
         for block in &self.analysis.blocks.blocks {
             for group in &block.groups {
@@ -89,12 +136,14 @@ impl Model {
                     .map(|s| freqs.get(s).copied().unwrap_or(1))
                     .max()
                     .unwrap_or(1);
-                let kid = rt.library().kernel_id_for_group(group.id);
+                let kid = engine.library().kernel_id_for_group(group.id);
                 let e = prio.entry(kid).or_insert(0);
                 *e = (*e).max(w);
             }
         }
-        autoschedule(rt.library_mut(), self.options.schedule, Some(&prio));
+        let schedule = self.options.schedule;
+        let retuned = engine.retuned(|lib| autoschedule(lib, schedule, Some(&prio)));
+        session.swap_engine(Arc::new(retuned));
     }
 
     /// The static-analysis results behind this model.
@@ -233,6 +282,40 @@ mod tests {
         // time should not get worse by more than noise (it is deterministic
         // here, so: not worse at all).
         assert!(after <= before * 1.2 + 1e-9, "PGO: {after} vs {before}");
+    }
+
+    #[test]
+    fn stats_merge_across_sequential_runs() {
+        let model = compile(RNN, &CompileOptions::default()).unwrap();
+        let (params, instances) = rnn_setup();
+        assert_eq!(model.runs_completed(), 0);
+        let r1 = model.run(&params, &instances).unwrap().stats;
+        let r2 = model.run(&params, &instances).unwrap().stats;
+        let agg = model.stats();
+        assert_eq!(model.runs_completed(), 2);
+        assert_eq!(agg.nodes, r1.nodes + r2.nodes);
+        assert_eq!(agg.kernel_launches, r1.kernel_launches + r2.kernel_launches);
+        assert_eq!(agg.gather_copies, r1.gather_copies + r2.gather_copies);
+        assert_eq!(agg.gather_bytes, r1.gather_bytes + r2.gather_bytes);
+        assert_eq!(agg.memcpy_bytes, r1.memcpy_bytes + r2.memcpy_bytes);
+        assert_eq!(agg.flushes, r1.flushes + r2.flushes);
+        assert_eq!(
+            agg.device_peak_elements,
+            r1.device_peak_elements.max(r2.device_peak_elements),
+            "peak merges by max, not sum"
+        );
+    }
+
+    #[test]
+    fn keyed_runs_reproduce_unkeyed_identity_order() {
+        let model = compile(RNN, &CompileOptions::default()).unwrap();
+        let (params, instances) = rnn_setup();
+        let keys: Vec<u64> = (0..instances.len() as u64).collect();
+        let a = model.run(&params, &instances).unwrap();
+        let b = model.run_keyed(&params, &instances, &keys).unwrap();
+        assert_eq!(a.outputs.len(), b.outputs.len());
+        // Wrong arity is rejected.
+        assert!(model.run_keyed(&params, &instances, &[1, 2]).is_err());
     }
 
     #[test]

@@ -1,70 +1,41 @@
-//! The runtime proper: ties the DFG, the scheduler, the kernel library and
-//! the simulated device together.
+//! The mutable per-mini-batch half of the execution stack.
+//!
+//! An [`ExecutionContext`] ties the DFG, the scheduler scratch, the device
+//! memory and the per-run statistics together for *one* mini-batch, against
+//! an immutable shared [`Engine`].  Contexts are cheap to construct, own no
+//! locks, and are `Send`, so a serving system runs one per in-flight
+//! request with zero shared-state synchronization on the flush hot path.
+
+use std::sync::Arc;
 
 use acrobat_analysis::fusion::GroupId;
 use acrobat_codegen::exec::{bind_args_ref, run_batched_kernel_ref};
-use acrobat_codegen::KernelLibrary;
-use acrobat_tensor::batch::BatchMode;
 use acrobat_tensor::{DeviceMem, DeviceTensor, Tensor, TensorError};
-use serde::{Deserialize, Serialize};
 
-use crate::device::DeviceModel;
 use crate::dfg::{Dfg, ValueId};
+use crate::engine::Engine;
 use crate::scheduler::{self, Plan, SchedulerKind, SchedulerScratch};
 use crate::stats::RuntimeStats;
 
-/// Configuration of a runtime instance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct RuntimeOptions {
-    /// Scheduling algorithm.
-    pub scheduler: SchedulerKind,
-    /// Gather-operator fusion (§5.2): `true` launches kernels that read
-    /// scattered operands in place; `false` performs explicit gathers.
-    pub gather_fusion: bool,
-    /// Grain-size coarsening (§B.2): charge DFG-construction and scheduling
-    /// overheads per static block rather than per fusion group.
-    pub coarsen: bool,
-    /// Eager execution: flush after every node (PyTorch-style, no
-    /// auto-batching — the §E.3 baseline).
-    pub eager: bool,
-    /// Device memory capacity in `f32` elements.
-    pub device_memory: usize,
-    /// Checked mode ([`crate::check`]): validate every flush against the
-    /// scheduler/DFG invariants and the reference schedulers.  Orders of
-    /// magnitude slower; costs the hot path one branch per flush when off.
-    #[serde(default)]
-    pub checked: bool,
-}
-
-impl Default for RuntimeOptions {
-    fn default() -> Self {
-        RuntimeOptions {
-            scheduler: SchedulerKind::InlineDepth,
-            gather_fusion: true,
-            coarsen: true,
-            eager: false,
-            device_memory: 64 << 20, // 256 MB
-            checked: false,
-        }
-    }
-}
-
-/// The ACROBAT runtime for one compiled program.
+/// Per-mini-batch execution state over a shared [`Engine`].
 ///
-/// Typical lifecycle per mini-batch: [`Runtime::reset`], upload inputs,
-/// interleave [`Runtime::add_unit`] (from the executing program) with
-/// [`Runtime::flush`] (at sync points), read results, inspect
-/// [`Runtime::stats`].
+/// Typical lifecycle per mini-batch: acquire (or [`Engine::new_context`]),
+/// upload inputs, interleave [`ExecutionContext::add_unit`] (from the
+/// executing program) with [`ExecutionContext::flush`] (at sync points),
+/// read results, inspect [`ExecutionContext::stats`], release back to a
+/// [`crate::ContextPool`].
 #[derive(Debug)]
-pub struct Runtime {
-    library: KernelLibrary,
+pub struct ExecutionContext {
+    /// The shared immutable engine (kernels, analysis, device model,
+    /// options).  Kept alive by this `Arc` even if a PGO swap retires the
+    /// engine mid-run.
+    engine: Arc<Engine>,
     mem: DeviceMem,
     dfg: Dfg,
-    model: DeviceModel,
-    options: RuntimeOptions,
     stats: RuntimeStats,
     units: u64,
-    /// Per-kernel launch counts (PGO profile data).
+    /// Per-kernel launch counts (PGO profile data), drained per run and
+    /// aggregated by the session.
     profile: std::collections::BTreeMap<acrobat_codegen::KernelId, u64>,
     /// Scheduler working memory, reused across flushes so steady-state
     /// planning performs no allocations.
@@ -73,15 +44,14 @@ pub struct Runtime {
     plan_buf: Plan,
 }
 
-impl Runtime {
-    /// Creates a runtime over a kernel library.
-    pub fn new(library: KernelLibrary, model: DeviceModel, options: RuntimeOptions) -> Runtime {
-        Runtime {
-            library,
-            mem: DeviceMem::new(options.device_memory),
+impl ExecutionContext {
+    /// Creates a fresh context over an engine.
+    pub fn new(engine: Arc<Engine>) -> ExecutionContext {
+        let device_memory = engine.options().device_memory;
+        ExecutionContext {
+            engine,
+            mem: DeviceMem::new(device_memory),
             dfg: Dfg::new(),
-            model,
-            options,
             stats: RuntimeStats::default(),
             units: 0,
             profile: Default::default(),
@@ -90,39 +60,47 @@ impl Runtime {
         }
     }
 
-    /// The accumulated statistics.
+    /// The engine this context executes against.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The accumulated statistics for this context's runs.
     pub fn stats(&self) -> &RuntimeStats {
         &self.stats
     }
 
-    /// Active options.
-    pub fn options(&self) -> &RuntimeOptions {
-        &self.options
+    /// Active options (owned by the engine).
+    pub fn options(&self) -> &crate::RuntimeOptions {
+        self.engine.options()
     }
 
-    /// The kernel library.
-    pub fn library(&self) -> &KernelLibrary {
-        &self.library
+    /// The kernel library (owned by the engine).
+    pub fn library(&self) -> &acrobat_codegen::KernelLibrary {
+        self.engine.library()
     }
 
-    /// Mutable access to the kernel library (the auto-scheduler re-tunes
-    /// kernels in place after a PGO profiling run, §D.1).
-    pub fn library_mut(&mut self) -> &mut KernelLibrary {
-        &mut self.library
+    /// The device model in use (owned by the engine).
+    pub fn model(&self) -> &crate::DeviceModel {
+        self.engine.model()
     }
 
-    /// Per-kernel launch counts observed so far (profile data for PGO).
+    /// Per-kernel launch counts observed so far (profile data for PGO,
+    /// aggregated across contexts by the caller).
     pub fn take_profile(&mut self) -> std::collections::BTreeMap<acrobat_codegen::KernelId, u64> {
         std::mem::take(&mut self.profile)
     }
 
-    /// Clears the DFG, device memory and statistics for a fresh mini-batch.
+    /// Clears the DFG, device memory, fault plan and statistics for a fresh
+    /// mini-batch (called on pool reuse).
     pub fn reset(&mut self) {
         self.mem.reset();
+        self.mem.clear_fault();
         let _ = self.mem.take_stats();
         self.dfg = Dfg::new();
         self.stats = RuntimeStats::default();
         self.units = 0;
+        self.profile.clear();
     }
 
     /// Uploads a batch of host tensors as one transfer operation (the
@@ -137,10 +115,11 @@ impl Runtime {
         let after = self.mem.stats();
         let bytes = after.upload_bytes - before.upload_bytes;
         let ops = after.upload_ops - before.upload_ops;
+        let model = self.engine.model();
         self.stats.memcpy_bytes += bytes;
         self.stats.memcpy_ops += ops;
-        self.stats.memcpy_us += self.model.memcpy_time_us(bytes, ops);
-        self.stats.cuda_api_us += ops as f64 * self.model.memcpy_overhead_us;
+        self.stats.memcpy_us += model.memcpy_time_us(bytes, ops);
+        self.stats.cuda_api_us += ops as f64 * model.memcpy_overhead_us;
         Ok(handles.into_iter().map(|h| self.dfg.ready_value(h)).collect())
     }
 
@@ -151,7 +130,8 @@ impl Runtime {
         self.dfg.ready_value(tensor)
     }
 
-    /// Direct access to device memory (weight upload, result download).
+    /// Direct access to device memory (weight upload, result download,
+    /// fault arming).
     pub fn mem_mut(&mut self) -> &mut DeviceMem {
         &mut self.mem
     }
@@ -172,8 +152,9 @@ impl Runtime {
         args: Vec<ValueId>,
         unit_head: bool,
     ) -> Vec<ValueId> {
-        let kernel = self.library.kernel_id_for_group(group);
-        let program = self.library.kernel(kernel);
+        let library = self.engine.library();
+        let kernel = library.kernel_id_for_group(group);
+        let program = library.kernel(kernel);
         let outputs = program.outputs.len();
         // Shared-operand signature: nodes batch only when their shared
         // kernel operands are identical tensors.
@@ -184,10 +165,10 @@ impl Runtime {
                 shared_sig = shared_sig.wrapping_mul(0x100000001b3);
             }
         }
-        let charge = !self.options.coarsen || unit_head;
+        let charge = !self.engine.options().coarsen || unit_head;
         if charge {
             self.units += 1;
-            self.stats.dfg_construction_us += self.model.dfg_node_cost_us;
+            self.stats.dfg_construction_us += self.engine.model().dfg_node_cost_us;
         }
         let (_, outs) =
             self.dfg.add_node(kernel, instance, depth, phase, shared_sig, args, outputs);
@@ -222,14 +203,19 @@ impl Runtime {
         let before = self.mem.stats();
         let host = self.mem.download(&t)?;
         let bytes = self.mem.stats().download_bytes - before.download_bytes;
+        let model = self.engine.model();
         self.stats.memcpy_bytes += bytes;
         self.stats.memcpy_ops += 1;
-        self.stats.memcpy_us += self.model.memcpy_time_us(bytes, 1);
-        self.stats.cuda_api_us += self.model.memcpy_overhead_us;
+        self.stats.memcpy_us += model.memcpy_time_us(bytes, 1);
+        self.stats.cuda_api_us += model.memcpy_overhead_us;
         Ok(host)
     }
 
     /// Executes all pending DFG nodes in batched kernel launches.
+    ///
+    /// This is the serving hot path; it takes no locks — every mutable
+    /// structure it touches is owned by this context, and everything shared
+    /// (library, device model, options) is immutable engine state.
     ///
     /// # Errors
     ///
@@ -241,22 +227,16 @@ impl Runtime {
             return Ok(());
         }
         let wall = std::time::Instant::now();
-        // Split borrows: the plan and its scratch, the DFG, the device memory
-        // and the library are distinct fields, letting batches bind argument
-        // tensors by reference out of the DFG value table while the executor
-        // holds the device memory mutably.
-        let Runtime {
-            library,
-            mem,
-            dfg,
-            model,
-            options,
-            stats,
-            units,
-            profile,
-            sched_scratch,
-            plan_buf,
-        } = self;
+        // Split borrows: the plan and its scratch, the DFG and the device
+        // memory are distinct fields, letting batches bind argument tensors
+        // by reference out of the DFG value table while the executor holds
+        // the device memory mutably.  The library, model and options are
+        // immutable engine state.
+        let ExecutionContext { engine, mem, dfg, stats, units, profile, sched_scratch, plan_buf } =
+            self;
+        let library = engine.library();
+        let model = engine.model();
+        let options = engine.options();
         scheduler::plan_into(options.scheduler, dfg, sched_scratch, plan_buf);
         let mut checker = options
             .checked
@@ -276,8 +256,11 @@ impl Runtime {
         };
         stats.scheduling_us += plan_buf.decisions as f64 * per_decision * unit_ratio;
 
-        let mode =
-            if options.gather_fusion { BatchMode::GatherFused } else { BatchMode::ExplicitGather };
+        let mode = if options.gather_fusion {
+            acrobat_tensor::batch::BatchMode::GatherFused
+        } else {
+            acrobat_tensor::batch::BatchMode::ExplicitGather
+        };
         for b in 0..plan_buf.num_batches() {
             let batch = plan_buf.batch(b);
             let kernel_id = dfg.node(batch[0]).kernel;
@@ -294,7 +277,7 @@ impl Runtime {
                 Ok(r) => r,
                 Err(e) => {
                     // A mid-plan failure aborts the flush but must leave the
-                    // runtime well-defined and resumable: batches that ran
+                    // context well-defined and resumable: batches that ran
                     // are already accounted and materialized; the failing
                     // batch and the rest of the plan stay pending, so the
                     // next flush replans them from scratch.  Scheduling time
@@ -357,31 +340,32 @@ impl Runtime {
     /// Charges fiber-switch costs observed by a [`crate::FiberHub`].
     pub fn charge_fiber_switches(&mut self, switches: u64) {
         self.stats.fiber_switches += switches;
-        self.stats.fiber_us += switches as f64 * self.model.fiber_switch_cost_us;
+        self.stats.fiber_us += switches as f64 * self.engine.model().fiber_switch_cost_us;
     }
 }
 
-// The profile map lives outside the main struct body definition above for
-// readability; declare the field here via a small extension.
-impl Runtime {
-    /// The device model in use.
-    pub fn model(&self) -> &DeviceModel {
-        &self.model
-    }
-}
+// Contexts move between serving threads (and sit inside per-run mutexes in
+// fiber mode); keep that a compile-time guarantee.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<ExecutionContext>();
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use acrobat_analysis::{analyze, AnalysisOptions};
+    use crate::device::DeviceModel;
+    use crate::engine::{ContextPool, RuntimeOptions};
+    use acrobat_analysis::{analyze, AnalysisOptions, AnalysisResult};
+    use acrobat_codegen::KernelLibrary;
     use acrobat_ir::{parse_module, typeck};
 
-    fn setup(src: &str, options: RuntimeOptions) -> (acrobat_analysis::AnalysisResult, Runtime) {
+    fn setup(src: &str, options: RuntimeOptions) -> (Arc<AnalysisResult>, ExecutionContext) {
         let m = typeck::check_module(parse_module(src).unwrap()).unwrap();
-        let a = analyze(m, AnalysisOptions::default()).unwrap();
+        let a = Arc::new(analyze(m, AnalysisOptions::default()).unwrap());
         let lib = KernelLibrary::build(&a);
-        let rt = Runtime::new(lib, DeviceModel::default(), options);
-        (a, rt)
+        let engine = Arc::new(Engine::new(a.clone(), lib, DeviceModel::default(), options));
+        (a, engine.new_context())
     }
 
     const PROGRAM: &str = "def @main($w: Tensor[(2, 2)], %x: Tensor[(1, 2)]) -> Tensor[(1, 2)] {
@@ -598,7 +582,7 @@ mod tests {
             assert!(rt.stats().host_wall_us > 0.0, "{plan}");
             rt.verify_consistent().unwrap();
 
-            // The runtime is resumable: clear the fault, flush again, and
+            // The context is resumable: clear the fault, flush again, and
             // the results match the unfaulted run bit for bit.
             rt.mem_mut().clear_fault();
             rt.flush().unwrap();
@@ -686,5 +670,55 @@ mod tests {
             rt.stats().dfg_construction_us
         };
         assert!(run(true) < run(false));
+    }
+
+    #[test]
+    fn pool_reuses_same_engine_and_discards_stale_contexts() {
+        let (_, rt) = setup(PROGRAM, RuntimeOptions::default());
+        let engine = rt.engine().clone();
+        let pool = ContextPool::new();
+        pool.release(rt);
+        assert_eq!(pool.idle_count(), 1);
+        let again = pool.acquire(&engine);
+        assert!(Arc::ptr_eq(again.engine(), &engine), "same-engine context is reused");
+        assert_eq!(pool.idle_count(), 0);
+        pool.release(again);
+
+        // A PGO-style engine swap retires pooled contexts: acquiring against
+        // the retuned engine discards the stale one and builds afresh.
+        let retuned = Arc::new(engine.retuned(|_lib| {}));
+        let fresh = pool.acquire(&retuned);
+        assert!(Arc::ptr_eq(fresh.engine(), &retuned));
+        assert_eq!(pool.idle_count(), 0, "stale context was dropped, not reused");
+    }
+
+    #[test]
+    fn pool_reuse_resets_state_and_fault_plan() {
+        let (a, mut rt) = setup(PROGRAM, RuntimeOptions::default());
+        let group = a.blocks.blocks[0].groups[0].id;
+        let w = rt.mem_mut().upload(&Tensor::ones(&[2, 2])).unwrap();
+        let wv = rt.ready_value(w);
+        let x = rt.upload_inputs(&[&Tensor::ones(&[1, 2])]).unwrap()[0];
+        let kernel = rt.library().kernel_for_group(group).clone();
+        let args: Vec<ValueId> = kernel
+            .inputs
+            .iter()
+            .map(|inp| match inp.class {
+                acrobat_analysis::ArgClass::Batched => x,
+                acrobat_analysis::ArgClass::Shared => wv,
+            })
+            .collect();
+        rt.add_unit(group, 0, 0, 0, args, true);
+        rt.flush().unwrap();
+        rt.mem_mut().arm_fault(acrobat_tensor::FaultPlan::parse("upload:0:oom").unwrap());
+
+        let engine = rt.engine().clone();
+        let pool = ContextPool::new();
+        pool.release(rt);
+        let mut rt = pool.acquire(&engine);
+        assert_eq!(rt.stats(), &RuntimeStats::default(), "stats cleared on reuse");
+        assert!(rt.take_profile().is_empty(), "profile cleared on reuse");
+        // The armed fault from the previous request must not fire.
+        assert_eq!(rt.upload_inputs(&[&Tensor::ones(&[1, 2])]).unwrap().len(), 1);
     }
 }

@@ -5,10 +5,16 @@
 //! The AOT-compiled program (in `acrobat-vm`) executes per-instance and
 //! *lazily* records tensor work as dataflow-graph nodes ([`dfg`]); when a
 //! value is actually needed — at a tensor-dependent control-flow decision,
-//! or at the end of the mini-batch — the runtime [`Runtime::flush`]es:
-//! the scheduler ([`scheduler`]) picks batches of compatible nodes and each
-//! batch becomes one batched-kernel launch on the simulated device
-//! ([`device`]).
+//! or at the end of the mini-batch — the runtime
+//! [`ExecutionContext::flush`]es: the scheduler ([`scheduler`]) picks
+//! batches of compatible nodes and each batch becomes one batched-kernel
+//! launch on the simulated device ([`device`]).
+//!
+//! The execution stack is split for concurrent serving ([`engine`]): an
+//! immutable `Send + Sync` [`Engine`] holds everything request-invariant
+//! (kernel library, analysis, device model, options) and is `Arc`-shared;
+//! each in-flight mini-batch owns a private [`ExecutionContext`] with all
+//! mutable flush state, so the hot path takes no shared locks.
 //!
 //! Three schedulers are provided, matching the paper's comparison space:
 //!
@@ -38,17 +44,19 @@
 #![deny(missing_docs)]
 
 pub mod check;
+pub mod context;
 pub mod device;
 pub mod dfg;
+pub mod engine;
 pub mod fiber;
-pub mod runtime;
 pub mod scheduler;
 pub mod stats;
 
 pub use check::FlushChecker;
+pub use context::ExecutionContext;
 pub use device::DeviceModel;
 pub use dfg::{Dfg, NodeId, ValueId};
+pub use engine::{ContextPool, Engine, RuntimeOptions};
 pub use fiber::FiberHub;
-pub use runtime::{Runtime, RuntimeOptions};
 pub use scheduler::SchedulerKind;
 pub use stats::RuntimeStats;

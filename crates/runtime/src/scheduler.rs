@@ -138,7 +138,7 @@ impl Plan {
 }
 
 /// Reusable scheduler working memory.  Keeping one of these alive across
-/// flushes (as [`crate::Runtime`] does) makes steady-state planning
+/// flushes (as [`crate::ExecutionContext`] does) makes steady-state planning
 /// allocation-free: every vector is cleared, never dropped.
 #[derive(Debug, Default)]
 pub struct SchedulerScratch {

@@ -42,7 +42,7 @@ pub struct RuntimeStats {
     pub flushes: u64,
     /// Flushes aborted by a mid-plan device or kernel error.  Batches
     /// launched before the failure are accounted normally; the rest of the
-    /// plan stays pending and replannable (see [`crate::Runtime::flush`]).
+    /// plan stays pending and replannable (see [`crate::ExecutionContext::flush`]).
     pub aborted_flushes: u64,
     /// Fiber suspensions.
     pub fiber_switches: u64,

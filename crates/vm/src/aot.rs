@@ -14,7 +14,7 @@
 //!
 //! With tensor-dependent control flow, `parallel` branches and `map`
 //! elements execute as **fibers** (scoped threads coordinated by the
-//! session's [`acrobat_runtime::FiberHub`]) so instance parallelism survives
+//! run's [`acrobat_runtime::FiberHub`]) so instance parallelism survives
 //! sync points (§4.2).
 
 use std::collections::BTreeMap;
@@ -24,7 +24,7 @@ use acrobat_ir::{
     Callee, Expr, ExprId, ExprKind, Module, Pattern, ScalarBinOp, ScalarUnOp, SyncKind,
 };
 
-use crate::session::{ExecCtx, Session, VmError};
+use crate::session::{ExecCtx, RtHandle, RunSession, Session, VmError};
 use crate::value::Value;
 
 /// One compiled function.
@@ -490,18 +490,20 @@ impl AotBackend {
     /// Propagates runtime errors.
     pub fn run_instance(
         &self,
-        session: &Session,
+        run: &RunSession<'_>,
+        rt: &mut RtHandle<'_>,
         ctx: &mut ExecCtx,
         args: Vec<Value>,
     ) -> Result<Value, VmError> {
-        self.call(self.program.main, args, session, ctx)
+        self.call(self.program.main, args, run, rt, ctx)
     }
 
     fn call(
         &self,
         func: usize,
         args: Vec<Value>,
-        session: &Session,
+        run: &RunSession<'_>,
+        rt: &mut RtHandle<'_>,
         ctx: &mut ExecCtx,
     ) -> Result<Value, VmError> {
         let f = &self.program.fns[func];
@@ -509,7 +511,7 @@ impl AotBackend {
         let mut frame: Vec<Value> = Vec::with_capacity(f.nslots);
         frame.extend(args);
         frame.resize(f.nslots, Value::Int(0));
-        self.exec(&f.code, &mut frame, session, ctx)
+        self.exec(&f.code, &mut frame, run, rt, ctx)
     }
 
     #[allow(clippy::too_many_lines)]
@@ -517,7 +519,8 @@ impl AotBackend {
         &self,
         code: &Code,
         frame: &mut Vec<Value>,
-        session: &Session,
+        run: &RunSession<'_>,
+        rt: &mut RtHandle<'_>,
         ctx: &mut ExecCtx,
     ) -> Result<Value, VmError> {
         Ok(match code {
@@ -527,17 +530,17 @@ impl AotBackend {
             Code::ConstBool(v) => Value::Bool(*v),
             Code::RandRange { lo, hi } => Value::Int(ctx.rng.next_range(*lo, *hi)),
             Code::Let { slot, phase_bump, value, body } => {
-                let v = self.exec(value, frame, session, ctx)?;
+                let v = self.exec(value, frame, run, rt, ctx)?;
                 if *phase_bump {
-                    session.bump_phase(ctx);
+                    run.bump_phase(ctx);
                 }
                 if let Some(s) = slot {
                     frame[*s as usize] = v;
                 }
-                self.exec(body, frame, session, ctx)?
+                self.exec(body, frame, run, rt, ctx)?
             }
             Code::LetTuple { slots, value, body } => {
-                let v = self.exec(value, frame, session, ctx)?;
+                let v = self.exec(value, frame, run, rt, ctx)?;
                 match v {
                     Value::Tuple(parts) => {
                         for (s, p) in slots.iter().zip(parts.iter()) {
@@ -546,20 +549,20 @@ impl AotBackend {
                     }
                     other => panic!("tuple pattern on {other:?}"),
                 }
-                self.exec(body, frame, session, ctx)?
+                self.exec(body, frame, run, rt, ctx)?
             }
             Code::If { cond, then, els, ghost_then, ghost_els } => {
-                let c = match self.exec(cond, frame, session, ctx)? {
+                let c = match self.exec(cond, frame, run, rt, ctx)? {
                     Value::Bool(b) => b,
                     other => panic!("non-bool condition {other:?}"),
                 };
                 let (taken, ghosts) = if c { (then, *ghost_then) } else { (els, *ghost_els) };
-                let r = self.exec(taken, frame, session, ctx)?;
+                let r = self.exec(taken, frame, run, rt, ctx)?;
                 ctx.depth += ghosts as u64;
                 r
             }
             Code::Match { scrutinee, arms } => {
-                let s = self.exec(scrutinee, frame, session, ctx)?;
+                let s = self.exec(scrutinee, frame, run, rt, ctx)?;
                 let (tag, fields) = match &s {
                     Value::Adt { tag, fields } => (*tag, fields.clone()),
                     other => panic!("match on {other:?}"),
@@ -569,48 +572,48 @@ impl AotBackend {
                 for (slot, f) in slots.iter().zip(fields.iter()) {
                     frame[*slot as usize] = f.clone();
                 }
-                self.exec(body, frame, session, ctx)?
+                self.exec(body, frame, run, rt, ctx)?
             }
             Code::Call { func, args } => {
                 let mut argv = Vec::with_capacity(args.len());
                 for a in args {
-                    argv.push(self.exec(a, frame, session, ctx)?);
+                    argv.push(self.exec(a, frame, run, rt, ctx)?);
                 }
-                self.call(*func, argv, session, ctx)?
+                self.call(*func, argv, run, rt, ctx)?
             }
             Code::MakeTuple(parts) => {
                 let mut vs = Vec::with_capacity(parts.len());
                 for p in parts {
-                    vs.push(self.exec(p, frame, session, ctx)?);
+                    vs.push(self.exec(p, frame, run, rt, ctx)?);
                 }
                 Value::Tuple(Arc::new(vs))
             }
-            Code::Proj { tuple, index } => match self.exec(tuple, frame, session, ctx)? {
+            Code::Proj { tuple, index } => match self.exec(tuple, frame, run, rt, ctx)? {
                 Value::Tuple(parts) => parts[*index].clone(),
                 other => panic!("projection on {other:?}"),
             },
             Code::MakeAdt { tag, fields } => {
                 let mut vs = Vec::with_capacity(fields.len());
                 for f in fields {
-                    vs.push(self.exec(f, frame, session, ctx)?);
+                    vs.push(self.exec(f, frame, run, rt, ctx)?);
                 }
                 Value::Adt { tag: *tag, fields: Arc::new(vs) }
             }
             Code::Op { site, args } => {
                 let mut argv = Vec::with_capacity(args.len());
                 for a in args {
-                    argv.push(self.exec(a, frame, session, ctx)?);
+                    argv.push(self.exec(a, frame, run, rt, ctx)?);
                 }
-                session.exec_op_site(ctx, *site, &argv)
+                run.exec_op_site(rt, ctx, *site, &argv)
             }
             Code::Map { func, captures, list } => {
-                let l = self.exec(list, frame, session, ctx)?;
+                let l = self.exec(list, frame, run, rt, ctx)?;
                 let captured: Vec<Value> =
                     captures.iter().map(|s| frame[*s as usize].clone()).collect();
                 let func = *func;
                 // Collect list elements.
-                let cons = session.ctors.tag("Cons");
-                let nil = session.ctors.tag("Nil");
+                let cons = run.ctors.tag("Cons");
+                let nil = run.ctors.tag("Nil");
                 let mut items = Vec::new();
                 let mut cur = l;
                 loop {
@@ -627,15 +630,20 @@ impl AotBackend {
                     .into_iter()
                     .map(|item| {
                         let captured = captured.clone();
-                        Box::new(move |this: &AotBackend, session: &Session, ctx: &mut ExecCtx| {
-                            let mut argv = Vec::with_capacity(1 + captured.len());
-                            argv.push(item);
-                            argv.extend(captured);
-                            this.call(func, argv, session, ctx)
-                        }) as Job<'_>
+                        Box::new(
+                            move |this: &AotBackend,
+                                  run: &RunSession<'_>,
+                                  rt: &mut RtHandle<'_>,
+                                  ctx: &mut ExecCtx| {
+                                let mut argv = Vec::with_capacity(1 + captured.len());
+                                argv.push(item);
+                                argv.extend(captured);
+                                this.call(func, argv, run, rt, ctx)
+                            },
+                        ) as Job<'_>
                     })
                     .collect();
-                let results = self.run_branches(session, ctx, jobs)?;
+                let results = self.run_branches(run, rt, ctx, jobs)?;
                 let mut out = Value::Adt { tag: nil, fields: Arc::new(vec![]) };
                 for r in results.into_iter().rev() {
                     out = Value::Adt { tag: cons, fields: Arc::new(vec![r, out]) };
@@ -649,22 +657,27 @@ impl AotBackend {
                     .iter()
                     .map(|part| {
                         let snapshot: Vec<Value> = frame.clone();
-                        Box::new(move |this: &AotBackend, session: &Session, ctx: &mut ExecCtx| {
-                            let mut fr = snapshot;
-                            this.exec(part, &mut fr, session, ctx)
-                        }) as Job<'_>
+                        Box::new(
+                            move |this: &AotBackend,
+                                  run: &RunSession<'_>,
+                                  rt: &mut RtHandle<'_>,
+                                  ctx: &mut ExecCtx| {
+                                let mut fr = snapshot;
+                                this.exec(part, &mut fr, run, rt, ctx)
+                            },
+                        ) as Job<'_>
                     })
                     .collect();
-                let results = self.run_branches(session, ctx, jobs)?;
+                let results = self.run_branches(run, rt, ctx, jobs)?;
                 Value::Tuple(Arc::new(results))
             }
             Code::ScalarBin { op, lhs, rhs } => {
-                let a = self.exec(lhs, frame, session, ctx)?;
-                let b = self.exec(rhs, frame, session, ctx)?;
+                let a = self.exec(lhs, frame, run, rt, ctx)?;
+                let b = self.exec(rhs, frame, run, rt, ctx)?;
                 scalar_bin(*op, &a, &b)
             }
             Code::ScalarUn { op, operand } => {
-                let v = self.exec(operand, frame, session, ctx)?;
+                let v = self.exec(operand, frame, run, rt, ctx)?;
                 match op {
                     ScalarUnOp::Neg => match v {
                         Value::Int(x) => Value::Int(-x),
@@ -676,11 +689,11 @@ impl AotBackend {
                 }
             }
             Code::Sync { kind, tensor } => {
-                let t = self.exec(tensor, frame, session, ctx)?;
+                let t = self.exec(tensor, frame, run, rt, ctx)?;
                 let r = t.as_tensor();
                 let v = match kind {
-                    SyncKind::Item => session.item(r)?,
-                    SyncKind::Sample => session.sample(ctx, r)?,
+                    SyncKind::Item => run.item(rt, r)?,
+                    SyncKind::Sample => run.sample(rt, ctx, r)?,
                 };
                 Value::Float(v)
             }
@@ -689,8 +702,16 @@ impl AotBackend {
 }
 
 /// One branch of a `map`/`parallel` construct.
-type Job<'a> =
-    Box<dyn FnOnce(&AotBackend, &Session, &mut ExecCtx) -> Result<Value, VmError> + Send + 'a>;
+type Job<'a> = Box<
+    dyn FnOnce(
+            &AotBackend,
+            &RunSession<'_>,
+            &mut RtHandle<'_>,
+            &mut ExecCtx,
+        ) -> Result<Value, VmError>
+        + Send
+        + 'a,
+>;
 
 impl AotBackend {
     /// Runs branch jobs with concurrent-depth semantics (§4.1): all branches
@@ -701,23 +722,25 @@ impl AotBackend {
     /// models stay seed-reproducible per fiber (§E.1).
     fn run_branches(
         &self,
-        session: &Session,
+        run: &RunSession<'_>,
+        rt: &mut RtHandle<'_>,
         ctx: &mut ExecCtx,
         jobs: Vec<Job<'_>>,
     ) -> Result<Vec<Value>, VmError> {
         let d0 = ctx.depth;
-        if !session.fiber_mode || jobs.len() <= 1 {
+        if !run.fiber_mode || jobs.len() <= 1 {
             let mut dmax = d0;
             let mut out = Vec::with_capacity(jobs.len());
             for job in jobs {
                 ctx.depth = d0;
-                out.push(job(self, session, ctx)?);
+                out.push(job(self, run, rt, ctx)?);
                 dmax = dmax.max(ctx.depth);
             }
             ctx.depth = dmax;
             return Ok(out);
         }
         let n = jobs.len();
+        let cell = rt.shared().expect("fiber-mode branches share the run context");
         let mut ctxs: Vec<ExecCtx> = (0..n)
             .map(|i| {
                 let mut c = ctx.fork();
@@ -726,7 +749,7 @@ impl AotBackend {
             })
             .collect();
         let results: Vec<Result<Value, VmError>> = std::thread::scope(|scope| {
-            let hub = &session.hub;
+            let hub = &run.hub;
             let mut handles = Vec::with_capacity(n);
             for (job, cctx) in jobs.into_iter().zip(ctxs.iter_mut()) {
                 hub.register();
@@ -734,7 +757,8 @@ impl AotBackend {
                     std::thread::Builder::new()
                         .stack_size(16 << 20)
                         .spawn_scoped(scope, move || {
-                            let r = job(self, session, cctx);
+                            let mut rt = RtHandle::Shared(cell);
+                            let r = job(self, run, &mut rt, cctx);
                             hub.finish();
                             r
                         })

@@ -6,18 +6,23 @@
 //! model has no tensor-dependent control flow, concurrently on fibers when
 //! it does (§4.2) — flushing the DFG at sync points, then drain the final
 //! DFG and download the results.
+//!
+//! Each `run` call is self-contained: it pins the session's current
+//! [`Engine`](acrobat_runtime::Engine), acquires a private
+//! [`ExecutionContext`] (pooled across mini-batches), and executes without
+//! taking any shared lock on the hot path — so any number of mini-batches
+//! may run concurrently against one [`Executable`].
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use acrobat_analysis::AnalysisResult;
 use acrobat_ir::{ExprKind, ParamKind};
-use acrobat_runtime::{Runtime, RuntimeStats};
-use acrobat_tensor::Tensor;
+use acrobat_runtime::{Engine, ExecutionContext, RuntimeStats};
+use acrobat_tensor::{FaultPlan, Tensor};
 
 use crate::aot::AotBackend;
 use crate::interp::VmBackend;
-use crate::session::{ExecCtx, Session, VmError};
+use crate::session::{ExecCtx, RtHandle, RunSession, Session, VmError};
 use crate::value::{InputValue, OutputValue, TensorRef, Value};
 
 /// Which execution backend to use.
@@ -64,6 +69,20 @@ pub struct RunResult {
     pub stats: RuntimeStats,
 }
 
+/// Per-run options (all default to "off").
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Per-instance pseudo-random-stream keys (§E.1).  When absent, an
+    /// instance is keyed by its position in the batch; providing stable keys
+    /// makes an instance's stream independent of which slot (or thread) it
+    /// is submitted on.
+    pub keys: Option<Vec<u64>>,
+    /// A deterministic fault to inject into this run's device memory
+    /// (testing; see `acrobat_tensor::FaultPlan`).  The fault is scoped to
+    /// this run's context only.
+    pub fault: Option<FaultPlan>,
+}
+
 /// Whether the module contains tensor-dependent control flow.
 pub fn module_has_sync(module: &acrobat_ir::Module) -> bool {
     module.functions.values().any(|f| {
@@ -78,7 +97,7 @@ pub fn module_has_sync(module: &acrobat_ir::Module) -> bool {
 }
 
 impl Executable {
-    /// Builds an executable from analysis results and a configured runtime.
+    /// Builds an executable over a compiled engine.
     ///
     /// Fiber mode is enabled automatically for the AOT backend when the
     /// model has tensor-dependent control flow; the VM backend always runs
@@ -87,14 +106,11 @@ impl Executable {
     /// # Errors
     ///
     /// Propagates AOT lowering errors.
-    pub fn new(
-        analysis: Arc<AnalysisResult>,
-        runtime: Runtime,
-        kind: BackendKind,
-        seed: u64,
-    ) -> Result<Executable, VmError> {
+    pub fn new(engine: Engine, kind: BackendKind, seed: u64) -> Result<Executable, VmError> {
+        let engine = Arc::new(engine);
+        let analysis = engine.analysis().clone();
         let fiber_mode = kind == BackendKind::Aot && module_has_sync(&analysis.module);
-        let session = Session::new(analysis.clone(), runtime, seed, fiber_mode);
+        let session = Session::new(engine, seed, fiber_mode);
         let backend = match kind {
             BackendKind::Vm => BackendImpl::Vm(VmBackend::new(Arc::new(analysis.module.clone()))),
             BackendKind::Aot => BackendImpl::Aot(AotBackend::compile(&analysis.module, &session)?),
@@ -117,24 +133,54 @@ impl Executable {
         params: &BTreeMap<String, Tensor>,
         instances: &[Vec<InputValue>],
     ) -> Result<RunResult, VmError> {
+        self.run_with(params, instances, &RunOptions::default())
+    }
+
+    /// Runs one mini-batch with explicit [`RunOptions`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Executable::run`], plus [`VmError::Input`] when `opts.keys` has
+    /// the wrong arity.
+    pub fn run_with(
+        &self,
+        params: &BTreeMap<String, Tensor>,
+        instances: &[Vec<InputValue>],
+        opts: &RunOptions,
+    ) -> Result<RunResult, VmError> {
         let session = &*self.session;
         let main = session.analysis.module.functions.get("main").expect("main exists");
+        if let Some(keys) = &opts.keys {
+            if keys.len() != instances.len() {
+                return Err(VmError::Input(format!(
+                    "{} rng keys for {} instances",
+                    keys.len(),
+                    instances.len()
+                )));
+            }
+        }
+        let keys: Vec<u64> =
+            (0..instances.len()).map(|i| opts.keys.as_ref().map_or(i as u64, |k| k[i])).collect();
 
-        // Reset and upload weights (outside the per-batch accounting, as
-        // weights persist across mini-batches in a serving system).
+        // Pin the engine and take a private execution context; everything
+        // below touches only run-local state.
+        let run = RunSession::new(session);
+        let mut ctx = run.acquire_context();
+        if let Some(fault) = opts.fault {
+            ctx.mem_mut().arm_fault(fault);
+        }
+
+        // Upload weights (outside the per-batch accounting, as weights
+        // persist across mini-batches in a serving system).
         let mut param_values: BTreeMap<String, Value> = BTreeMap::new();
-        {
-            let mut rt = session.runtime.lock();
-            rt.reset();
-            for p in &main.params {
-                if p.kind == ParamKind::Model {
-                    let host = params.get(&p.name).ok_or_else(|| {
-                        VmError::Input(format!("missing model parameter ${}", p.name))
-                    })?;
-                    let dev = rt.mem_mut().upload(host)?;
-                    let vid = rt.ready_value(dev);
-                    param_values.insert(p.name.clone(), Value::Tensor(TensorRef::ready(vid)));
-                }
+        for p in &main.params {
+            if p.kind == ParamKind::Model {
+                let host = params.get(&p.name).ok_or_else(|| {
+                    VmError::Input(format!("missing model parameter ${}", p.name))
+                })?;
+                let dev = ctx.mem_mut().upload(host)?;
+                let vid = ctx.ready_value(dev);
+                param_values.insert(p.name.clone(), Value::Tensor(TensorRef::ready(vid)));
             }
         }
 
@@ -152,10 +198,7 @@ impl Executable {
                 v.tensors(&mut all_tensors);
             }
         }
-        let mut ids = {
-            let mut rt = session.runtime.lock();
-            rt.upload_inputs(&all_tensors)?.into_iter()
-        };
+        let mut ids = ctx.upload_inputs(&all_tensors)?.into_iter();
         let mut instance_args: Vec<Vec<Value>> = Vec::with_capacity(instances.len());
         for inst in instances {
             let mut args = Vec::with_capacity(main.params.len());
@@ -174,89 +217,105 @@ impl Executable {
 
         // Execute all instances.
         let exec_start = std::time::Instant::now();
-        let switches_before = session.hub.switch_count();
         let mut results: Vec<Value> = Vec::with_capacity(instance_args.len());
         // Model recursion depth is input-dependent (long sequences, deep
         // trees), so execution threads get a generous stack — the AOT-to-C++
         // path in the paper likewise relies on native recursion.
         const FIBER_STACK: usize = 64 << 20;
         if session.fiber_mode {
+            // The run's instance fibers share this run's context behind a
+            // run-local mutex; other concurrent runs have their own.
+            let cell = parking_lot::Mutex::new(ctx);
             let slots: Vec<parking_lot::Mutex<Option<Result<Value, VmError>>>> =
                 instance_args.iter().map(|_| parking_lot::Mutex::new(None)).collect();
             std::thread::scope(|scope| {
                 for (i, args) in instance_args.into_iter().enumerate() {
-                    session.hub.register();
+                    run.hub.register();
+                    let key = keys[i];
                     let slot = &slots[i];
                     let backend = &self.backend;
+                    let (run, cell) = (&run, &cell);
                     std::thread::Builder::new()
                         .stack_size(FIBER_STACK)
                         .spawn_scoped(scope, move || {
-                            let mut ctx = ExecCtx::new(i, session.seed, session.hoist_base);
+                            let mut ectx = ExecCtx::new(i, key, session.seed, session.hoist_base);
+                            let mut rt = RtHandle::Shared(cell);
                             let r = match backend {
-                                BackendImpl::Vm(b) => b.run_instance(session, &mut ctx, args),
-                                BackendImpl::Aot(b) => b.run_instance(session, &mut ctx, args),
+                                BackendImpl::Vm(b) => b.run_instance(run, &mut rt, &mut ectx, args),
+                                BackendImpl::Aot(b) => {
+                                    b.run_instance(run, &mut rt, &mut ectx, args)
+                                }
                             };
                             *slot.lock() = Some(r);
-                            session.hub.finish();
+                            run.hub.finish();
                         })
                         .expect("spawn fiber");
                 }
-                session.hub.drive(|| {
-                    let mut rt = session.runtime.lock();
+                run.hub.drive(|| {
+                    let mut rt = cell.lock();
                     if let Err(e) = rt.flush() {
                         drop(rt);
-                        session.poison(e.to_string());
+                        run.poison(e.to_string());
                     }
                 });
             });
+            ctx = cell.into_inner();
             for slot in slots {
                 let r = slot.into_inner().expect("fiber wrote its result")?;
                 results.push(r);
             }
         } else {
             let backend = &self.backend;
-            let sequential = std::thread::scope(|scope| {
+            let (sequential, returned) = std::thread::scope(|scope| {
+                let run = &run;
+                let keys = &keys;
                 std::thread::Builder::new()
                     .stack_size(FIBER_STACK)
-                    .spawn_scoped(scope, move || -> Result<Vec<Value>, VmError> {
+                    .spawn_scoped(scope, move || {
+                        let mut ctx = ctx;
                         let mut out = Vec::with_capacity(instance_args.len());
                         for (i, args) in instance_args.into_iter().enumerate() {
-                            let mut ctx = ExecCtx::new(i, session.seed, session.hoist_base);
+                            let mut ectx =
+                                ExecCtx::new(i, keys[i], session.seed, session.hoist_base);
+                            let mut rt = RtHandle::Own(&mut ctx);
                             let r = match backend {
-                                BackendImpl::Vm(b) => b.run_instance(session, &mut ctx, args),
-                                BackendImpl::Aot(b) => b.run_instance(session, &mut ctx, args),
-                            }?;
-                            out.push(r);
+                                BackendImpl::Vm(b) => b.run_instance(run, &mut rt, &mut ectx, args),
+                                BackendImpl::Aot(b) => {
+                                    b.run_instance(run, &mut rt, &mut ectx, args)
+                                }
+                            };
+                            match r {
+                                Ok(v) => out.push(v),
+                                Err(e) => return (Err(e), ctx),
+                            }
                         }
-                        Ok(out)
+                        (Ok(out), ctx)
                     })
                     .expect("spawn executor")
                     .join()
                     .expect("executor panicked")
-            })?;
-            results = sequential;
+            });
+            ctx = returned;
+            results = sequential?;
         }
-        // Drain remaining work.
-        {
-            let mut rt = session.runtime.lock();
-            rt.flush()?;
-            rt.charge_fiber_switches(session.hub.switch_count() - switches_before);
-        }
+        // Drain remaining work.  The hub is per-run, so its switch count is
+        // exactly this run's fiber activity.
+        ctx.flush()?;
+        ctx.charge_fiber_switches(run.hub.switch_count());
         let program_host_us = exec_start.elapsed().as_secs_f64() * 1e6;
 
         // Download outputs.
         let mut outputs = Vec::with_capacity(results.len());
         for v in results {
-            outputs.push(convert_output(&v, session)?);
+            outputs.push(convert_output(&v, session, &mut ctx)?);
         }
 
-        let mut stats = {
-            let rt = session.runtime.lock();
-            *rt.stats()
-        };
+        let mut stats = *ctx.stats();
         // Program host time excludes time spent inside flush (measured
         // separately as host_wall_us).
         stats.program_host_us = (program_host_us - stats.host_wall_us).max(0.0);
+        // Merge into the session aggregate and pool the context.
+        run.finish(ctx, &stats);
         Ok(RunResult { outputs, stats })
     }
 }
@@ -283,23 +342,29 @@ fn convert_input(
     }
 }
 
-fn convert_output(v: &Value, session: &Session) -> Result<OutputValue, VmError> {
+fn convert_output(
+    v: &Value,
+    session: &Session,
+    ctx: &mut ExecutionContext,
+) -> Result<OutputValue, VmError> {
     Ok(match v {
         Value::Tensor(r) => {
             let vid = r.get().ok_or_else(|| VmError::Input("dangling tensor in output".into()))?;
-            let mut rt = session.runtime.lock();
-            OutputValue::Tensor(rt.download(vid)?)
+            OutputValue::Tensor(ctx.download(vid)?)
         }
         Value::Int(x) => OutputValue::Int(*x),
         Value::Float(x) => OutputValue::Float(*x),
         Value::Bool(x) => OutputValue::Bool(*x),
         Value::BoxedScalar(t) => OutputValue::Float(t.item()? as f64),
         Value::Tuple(parts) => OutputValue::Tuple(
-            parts.iter().map(|p| convert_output(p, session)).collect::<Result<_, _>>()?,
+            parts.iter().map(|p| convert_output(p, session, ctx)).collect::<Result<_, _>>()?,
         ),
         Value::Adt { tag, fields } => OutputValue::Adt {
             ctor: session.ctors.name(*tag).to_string(),
-            fields: fields.iter().map(|f| convert_output(f, session)).collect::<Result<_, _>>()?,
+            fields: fields
+                .iter()
+                .map(|f| convert_output(f, session, ctx))
+                .collect::<Result<_, _>>()?,
         },
         Value::Closure(_) => {
             return Err(VmError::Input("closure escaped as a model output".into()))

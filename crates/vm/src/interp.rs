@@ -12,7 +12,7 @@
 //! * `match` arms re-resolve constructor tags by name.
 //!
 //! Dynamic batching itself is unchanged — both backends share the
-//! [`Session`] machinery — so the VM-vs-AOT gap isolates pure
+//! [`crate::Session`] machinery — so the VM-vs-AOT gap isolates pure
 //! control-flow-interpretation overhead, exactly as in Table 7.
 //!
 //! The VM backend runs instances sequentially (no fibers); models with
@@ -25,7 +25,7 @@ use std::sync::Arc;
 use acrobat_ir::{Arm, Callee, Expr, ExprKind, Module, Pattern, ScalarBinOp, ScalarUnOp, SyncKind};
 use acrobat_tensor::Tensor;
 
-use crate::session::{ExecCtx, Session, VmError};
+use crate::session::{ExecCtx, RtHandle, RunSession, VmError};
 use crate::value::{Closure, Value};
 
 /// The interpreter backend.
@@ -49,18 +49,20 @@ impl VmBackend {
     /// Propagates runtime and input errors.
     pub fn run_instance(
         &self,
-        session: &Session,
+        run: &RunSession<'_>,
+        rt: &mut RtHandle<'_>,
         ctx: &mut ExecCtx,
         args: Vec<Value>,
     ) -> Result<Value, VmError> {
-        self.call("main", args, session, ctx)
+        self.call("main", args, run, rt, ctx)
     }
 
     fn call(
         &self,
         name: &str,
         args: Vec<Value>,
-        session: &Session,
+        run: &RunSession<'_>,
+        rt: &mut RtHandle<'_>,
         ctx: &mut ExecCtx,
     ) -> Result<Value, VmError> {
         // Name-based resolution on every call, as an interpreted VM does.
@@ -70,7 +72,7 @@ impl VmBackend {
             .get(name)
             .unwrap_or_else(|| panic!("unknown function @{name} (typeck admitted it)"));
         let mut env: Env = f.params.iter().map(|p| p.name.clone()).zip(args).collect();
-        self.eval(&f.body, &mut env, session, ctx)
+        self.eval(&f.body, &mut env, run, rt, ctx)
     }
 
     fn lookup(env: &Env, name: &str) -> Value {
@@ -91,7 +93,8 @@ impl VmBackend {
         &self,
         expr: &Expr,
         env: &mut Env,
-        session: &Session,
+        run: &RunSession<'_>,
+        rt: &mut RtHandle<'_>,
         ctx: &mut ExecCtx,
     ) -> Result<Value, VmError> {
         match &expr.kind {
@@ -102,9 +105,9 @@ impl VmBackend {
             ExprKind::PhaseBoundary => Ok(Self::boxed(0.0)),
             ExprKind::RandRange { lo, hi } => Ok(Self::boxed(ctx.rng.next_range(*lo, *hi) as f64)),
             ExprKind::Let { pat, value, body } => {
-                let v = self.eval(value, env, session, ctx)?;
-                if session.is_phase_boundary(expr.id) {
-                    session.bump_phase(ctx);
+                let v = self.eval(value, env, run, rt, ctx)?;
+                if run.is_phase_boundary(expr.id) {
+                    run.bump_phase(ctx);
                 }
                 let saved = env.len();
                 match pat {
@@ -119,20 +122,20 @@ impl VmBackend {
                         other => panic!("tuple pattern on {other:?}"),
                     },
                 }
-                let r = self.eval(body, env, session, ctx)?;
+                let r = self.eval(body, env, run, rt, ctx)?;
                 env.truncate(saved);
                 Ok(r)
             }
             ExprKind::If { cond, then, els } => {
-                let c = self.eval(cond, env, session, ctx)?.as_bool();
+                let c = self.eval(cond, env, run, rt, ctx)?.as_bool();
                 let (taken, skipped) = if c { (then, els) } else { (els, then) };
-                let r = self.eval(taken, env, session, ctx)?;
-                session.apply_ghosts(ctx, taken.id);
+                let r = self.eval(taken, env, run, rt, ctx)?;
+                run.apply_ghosts(ctx, taken.id);
                 let _ = skipped;
                 Ok(r)
             }
             ExprKind::Match { scrutinee, arms } => {
-                let sv = self.eval(scrutinee, env, session, ctx)?;
+                let sv = self.eval(scrutinee, env, run, rt, ctx)?;
                 let (tag, fields) = match &sv {
                     Value::Adt { tag, fields } => (*tag, fields.clone()),
                     other => panic!("match on non-ADT {other:?}"),
@@ -140,20 +143,20 @@ impl VmBackend {
                 // Per-arm name→tag resolution, VM-style.
                 let arm: &Arm = arms
                     .iter()
-                    .find(|a| session.ctors.tag(&a.ctor) == tag)
+                    .find(|a| run.ctors.tag(&a.ctor) == tag)
                     .expect("exhaustive match (typeck)");
                 let saved = env.len();
                 for (b, f) in arm.binders.iter().zip(fields.iter()) {
                     env.push((b.clone(), f.clone()));
                 }
-                let r = self.eval(&arm.body, env, session, ctx)?;
+                let r = self.eval(&arm.body, env, run, rt, ctx)?;
                 env.truncate(saved);
                 Ok(r)
             }
             ExprKind::Call { callee, args } => {
                 let mut argv = Vec::with_capacity(args.len());
                 for a in args {
-                    argv.push(self.eval(a, env, session, ctx)?);
+                    argv.push(self.eval(a, env, run, rt, ctx)?);
                 }
                 match callee {
                     Callee::Op { name, attrs } => {
@@ -162,16 +165,16 @@ impl VmBackend {
                         // invocation; mirror that dynamic dispatch cost.
                         let _prim = acrobat_ir::ops::build_prim(name, attrs)
                             .expect("typeck validated the operator");
-                        Ok(session.exec_op_site(ctx, expr.id, &argv))
+                        Ok(run.exec_op_site(rt, ctx, expr.id, &argv))
                     }
-                    Callee::Global(name) => self.call(name, argv, session, ctx),
+                    Callee::Global(name) => self.call(name, argv, run, rt, ctx),
                     Callee::Ctor(name) => {
-                        Ok(Value::Adt { tag: session.ctors.tag(name), fields: Arc::new(argv) })
+                        Ok(Value::Adt { tag: run.ctors.tag(name), fields: Arc::new(argv) })
                     }
                     Callee::Var(name) => {
                         let f = Self::lookup(env, name);
                         match f {
-                            Value::Closure(c) => self.apply_closure(&c, argv, session, ctx),
+                            Value::Closure(c) => self.apply_closure(&c, argv, run, rt, ctx),
                             other => panic!("calling non-closure {other:?}"),
                         }
                     }
@@ -180,12 +183,12 @@ impl VmBackend {
             ExprKind::Tuple(parts) => {
                 let mut vs = Vec::with_capacity(parts.len());
                 for p in parts {
-                    vs.push(self.eval(p, env, session, ctx)?);
+                    vs.push(self.eval(p, env, run, rt, ctx)?);
                 }
                 Ok(Value::Tuple(Arc::new(vs)))
             }
             ExprKind::Proj { tuple, index } => {
-                let t = self.eval(tuple, env, session, ctx)?;
+                let t = self.eval(tuple, env, run, rt, ctx)?;
                 match t {
                     Value::Tuple(parts) => Ok(parts[*index].clone()),
                     other => panic!("projection on {other:?}"),
@@ -197,8 +200,8 @@ impl VmBackend {
                 env: env.clone(), // capture by deep environment copy, VM-style
             }))),
             ExprKind::Map { func, list } => {
-                let f = self.eval(func, env, session, ctx)?;
-                let l = self.eval(list, env, session, ctx)?;
+                let f = self.eval(func, env, run, rt, ctx)?;
+                let l = self.eval(list, env, run, rt, ctx)?;
                 let closure = match f {
                     Value::Closure(c) => c,
                     other => panic!("map over non-closure {other:?}"),
@@ -206,8 +209,8 @@ impl VmBackend {
                 // Collect elements.
                 let mut items = Vec::new();
                 let mut cur = l;
-                let cons = session.ctors.tag("Cons");
-                let nil = session.ctors.tag("Nil");
+                let cons = run.ctors.tag("Cons");
+                let nil = run.ctors.tag("Nil");
                 loop {
                     match cur {
                         Value::Adt { tag, fields } if tag == cons => {
@@ -225,7 +228,7 @@ impl VmBackend {
                 let mut results = Vec::with_capacity(items.len());
                 for item in items {
                     ctx.depth = d0;
-                    results.push(self.apply_closure(&closure, vec![item], session, ctx)?);
+                    results.push(self.apply_closure(&closure, vec![item], run, rt, ctx)?);
                     dmax = dmax.max(ctx.depth);
                 }
                 ctx.depth = dmax;
@@ -244,15 +247,15 @@ impl VmBackend {
                 let mut vs = Vec::with_capacity(parts.len());
                 for p in parts {
                     ctx.depth = d0;
-                    vs.push(self.eval(p, env, session, ctx)?);
+                    vs.push(self.eval(p, env, run, rt, ctx)?);
                     dmax = dmax.max(ctx.depth);
                 }
                 ctx.depth = dmax;
                 Ok(Value::Tuple(Arc::new(vs)))
             }
             ExprKind::ScalarBin { op, lhs, rhs } => {
-                let a = self.eval(lhs, env, session, ctx)?.as_float();
-                let b = self.eval(rhs, env, session, ctx)?.as_float();
+                let a = self.eval(lhs, env, run, rt, ctx)?.as_float();
+                let b = self.eval(rhs, env, run, rt, ctx)?.as_float();
                 let r = match op {
                     ScalarBinOp::Add => a + b,
                     ScalarBinOp::Sub => a - b,
@@ -270,7 +273,7 @@ impl VmBackend {
                 Ok(Self::boxed(r))
             }
             ExprKind::ScalarUn { op, operand } => {
-                let v = self.eval(operand, env, session, ctx)?.as_float();
+                let v = self.eval(operand, env, run, rt, ctx)?.as_float();
                 let r = match op {
                     ScalarUnOp::Neg => -v,
                     ScalarUnOp::Not => f64::from(v == 0.0),
@@ -279,11 +282,11 @@ impl VmBackend {
                 Ok(Self::boxed(r))
             }
             ExprKind::Sync { kind, tensor } => {
-                let t = self.eval(tensor, env, session, ctx)?;
+                let t = self.eval(tensor, env, run, rt, ctx)?;
                 let r = t.as_tensor();
                 let v = match kind {
-                    SyncKind::Item => session.item(r)?,
-                    SyncKind::Sample => session.sample(ctx, r)?,
+                    SyncKind::Item => run.item(rt, r)?,
+                    SyncKind::Sample => run.sample(rt, ctx, r)?,
                 };
                 Ok(Self::boxed(v))
             }
@@ -294,13 +297,14 @@ impl VmBackend {
         &self,
         c: &Closure,
         args: Vec<Value>,
-        session: &Session,
+        run: &RunSession<'_>,
+        rt: &mut RtHandle<'_>,
         ctx: &mut ExecCtx,
     ) -> Result<Value, VmError> {
         let mut env: Env = c.env.clone();
         for (p, a) in c.params.iter().zip(args) {
             env.push((p.clone(), a));
         }
-        self.eval(&c.body, &mut env, session, ctx)
+        self.eval(&c.body, &mut env, run, rt, ctx)
     }
 }

@@ -28,6 +28,6 @@ pub mod interp;
 pub mod session;
 pub mod value;
 
-pub use driver::{module_has_sync, BackendKind, Executable, RunResult};
-pub use session::{ExecCtx, Session, VmError};
+pub use driver::{module_has_sync, BackendKind, Executable, RunOptions, RunResult};
+pub use session::{ExecCtx, Prng, RtHandle, RunSession, Session, VmError};
 pub use value::{InputValue, OutputValue, TensorRef, Value};

@@ -1,27 +1,41 @@
 //! Execution session: the machinery shared by both backends.
 //!
-//! A [`Session`] owns the runtime (behind a mutex — fibers share it) and the
-//! analysis results; an [`ExecCtx`] is the per-fiber execution state holding
-//! the *inline depth counter* of §4.1, the program-phase counter, the
-//! per-instance pseudo-random stream (§E.1) and the open fusion-group
-//! accumulators.
+//! A [`Session`] owns everything *request-invariant*: the current
+//! [`Engine`] (swappable only between runs, for PGO), a [`ContextPool`] of
+//! idle [`ExecutionContext`]s, and the aggregate statistics/profile merged
+//! across completed runs.  Each call to `Executable::run` builds a
+//! [`RunSession`] — the per-run coordination state (fiber hub, poison flag,
+//! pinned engine) — and acquires one `ExecutionContext`, so concurrent
+//! mini-batches never contend on a shared runtime lock.
 //!
-//! The central entry point is [`Session::exec_op_site`]: called by an
+//! An [`ExecCtx`] is the per-fiber execution state holding the *inline
+//! depth counter* of §4.1, the program-phase counter, the per-instance
+//! pseudo-random stream (§E.1) and the open fusion-group accumulators.
+//!
+//! The central entry point is [`RunSession::exec_op_site`]: called by an
 //! executor whenever the unbatched program invokes a tensor operator.  It
 //! does **not** execute anything — it records the operator's arguments into
 //! its fusion group and, when the group's last site executes, emits one DFG
-//! node via `Runtime::add_unit` (this is the lazy DFG construction of §2.2,
-//! at the granularity the static analysis chose).
+//! node via `ExecutionContext::add_unit` (this is the lazy DFG construction
+//! of §2.2, at the granularity the static analysis chose).
+//!
+//! How the context is threaded depends on the mode, via [`RtHandle`]:
+//! sequential execution passes `RtHandle::Own(&mut ctx)` — direct mutable
+//! access, zero lock acquisitions on the flush hot path — while fiber mode
+//! (tensor-dependent control flow) shares the run's context between its
+//! instance fibers behind a *per-run* mutex (`RtHandle::Shared`), which is
+//! still invisible to other concurrent mini-batches.
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::ops::Deref;
 use std::sync::Arc;
 
 use acrobat_analysis::blocks::BlockId;
 use acrobat_analysis::fusion::GroupId;
 use acrobat_analysis::AnalysisResult;
 use acrobat_ir::ExprId;
-use acrobat_runtime::{FiberHub, Runtime};
+use acrobat_runtime::{ContextPool, Engine, ExecutionContext, FiberHub, RuntimeStats};
 use acrobat_tensor::{DeviceTensor, TensorError};
 use parking_lot::Mutex;
 
@@ -100,9 +114,21 @@ impl CtorTable {
 pub struct Prng(u64);
 
 impl Prng {
-    /// Seeds the stream for one instance.
+    /// Seeds the stream for one instance by its slot position (the default
+    /// key — see [`Prng::keyed`]).
     pub fn new(seed: u64, instance: usize) -> Prng {
-        Prng(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(instance as u64 + 1))
+        Prng::keyed(seed, instance as u64)
+    }
+
+    /// Seeds the stream from a stable `(seed, key)` pair.
+    ///
+    /// The key — by default the instance index — travels *with* the
+    /// instance, not with its submission slot, so an instance's
+    /// pseudo-random stream (and therefore its tensor-dependent control
+    /// flow) is bit-for-bit identical no matter in which order or on which
+    /// thread the mini-batch submits it.
+    pub fn keyed(seed: u64, key: u64) -> Prng {
+        Prng(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(key.wrapping_add(1)))
     }
 
     /// Next raw 64-bit value.
@@ -138,7 +164,7 @@ struct GroupAccum {
 /// Per-fiber execution state.
 #[derive(Debug)]
 pub struct ExecCtx {
-    /// Mini-batch instance index.
+    /// Mini-batch instance index (DFG lane).
     pub instance: usize,
     /// Inline depth counter (§4.1).
     pub depth: u64,
@@ -151,13 +177,15 @@ pub struct ExecCtx {
 }
 
 impl ExecCtx {
-    /// Fresh context for an instance.
-    pub fn new(instance: usize, seed: u64, hoist_base: u64) -> ExecCtx {
+    /// Fresh context for an instance.  `key` seeds the instance's
+    /// pseudo-random stream ([`Prng::keyed`]); callers that do not care
+    /// about submission-order stability pass the instance index.
+    pub fn new(instance: usize, key: u64, seed: u64, hoist_base: u64) -> ExecCtx {
         ExecCtx {
             instance,
             depth: hoist_base,
             phase: 0,
-            rng: Prng::new(seed, instance),
+            rng: Prng::keyed(seed, key),
             open: HashMap::new(),
             current_block: None,
         }
@@ -177,16 +205,72 @@ impl ExecCtx {
     }
 }
 
+/// How an executor reaches the run's [`ExecutionContext`].
+///
+/// Sequential runs own the context outright (`Own`) — method calls compile
+/// to direct field access, no synchronization.  Fiber-mode runs share one
+/// context among the run's instance fibers behind a mutex that belongs to
+/// *this run only* (`Shared`); other concurrent mini-batches have their own
+/// contexts and never touch it.
+#[derive(Debug)]
+pub enum RtHandle<'a> {
+    /// Exclusive access (sequential execution) — lock-free.
+    Own(&'a mut ExecutionContext),
+    /// Per-run shared access (fiber mode).
+    Shared(&'a Mutex<ExecutionContext>),
+}
+
+impl<'a> RtHandle<'a> {
+    /// Runs `f` with mutable access to the context (locking only in fiber
+    /// mode, and only the run-local mutex).
+    #[inline]
+    pub fn with<R>(&mut self, f: impl FnOnce(&mut ExecutionContext) -> R) -> R {
+        match self {
+            RtHandle::Own(rt) => f(rt),
+            RtHandle::Shared(m) => f(&mut m.lock()),
+        }
+    }
+
+    /// Reborrows the handle for a nested call.
+    pub fn reborrow(&mut self) -> RtHandle<'_> {
+        match self {
+            RtHandle::Own(rt) => RtHandle::Own(rt),
+            RtHandle::Shared(m) => RtHandle::Shared(m),
+        }
+    }
+
+    /// The shared cell, when in fiber mode (child fibers build their own
+    /// handles from it).
+    pub fn shared(&self) -> Option<&'a Mutex<ExecutionContext>> {
+        match self {
+            RtHandle::Own(_) => None,
+            RtHandle::Shared(m) => Some(m),
+        }
+    }
+}
+
+/// Aggregate state merged across completed runs (all contexts).
+#[derive(Debug, Default)]
+struct Aggregate {
+    stats: RuntimeStats,
+    runs: u64,
+    profile: BTreeMap<acrobat_codegen::KernelId, u64>,
+}
+
 /// The shared execution session for one compiled model.
+///
+/// Immutable per request: concurrent `run` calls share it through an `Arc`
+/// and synchronize only on the context pool (at acquire/release) and the
+/// aggregate-statistics merge (once per run) — never on the flush hot path.
 pub struct Session {
     /// Static-analysis results (module, site info, hoisting, phases,
     /// ghosts).
     pub analysis: Arc<AnalysisResult>,
-    /// The dynamic-batching runtime (shared with fibers).
-    pub runtime: Mutex<Runtime>,
-    /// Fiber coordination (used when the model has tensor-dependent control
-    /// flow).
-    pub hub: FiberHub,
+    /// The current engine.  Swapped wholesale by PGO re-scheduling
+    /// ([`Session::swap_engine`]); reads happen once per run.
+    engine: std::sync::RwLock<Arc<Engine>>,
+    /// Idle execution contexts, reused across mini-batches.
+    pool: ContextPool,
     /// Whether fibers are active (TDC present and backend supports them).
     pub fiber_mode: bool,
     /// Constructor tags.
@@ -198,9 +282,8 @@ pub struct Session {
     /// producer).
     pub hoist_base: u64,
     hoist_index: BTreeMap<ExprId, u64>,
-    /// A flush failure (e.g. device OOM) that fibers must observe instead of
-    /// waiting forever.
-    poison: Mutex<Option<String>>,
+    /// Statistics and PGO profile merged across completed runs.
+    aggregate: Mutex<Aggregate>,
 }
 
 impl fmt::Debug for Session {
@@ -214,13 +297,9 @@ impl fmt::Debug for Session {
 }
 
 impl Session {
-    /// Builds a session over analysis results and a configured runtime.
-    pub fn new(
-        analysis: Arc<AnalysisResult>,
-        runtime: Runtime,
-        seed: u64,
-        fiber_mode: bool,
-    ) -> Session {
+    /// Builds a session over an engine.
+    pub fn new(engine: Arc<Engine>, seed: u64, fiber_mode: bool) -> Session {
+        let analysis = engine.analysis().clone();
         // Static depths for hoisted sites: their order of appearance.
         let mut hoist_index = BTreeMap::new();
         for (i, site) in analysis.hoisted.iter().enumerate() {
@@ -230,149 +309,59 @@ impl Session {
         let ctors = CtorTable::build(&analysis.module);
         Session {
             analysis,
-            runtime: Mutex::new(runtime),
-            hub: FiberHub::new(),
+            engine: std::sync::RwLock::new(engine),
+            pool: ContextPool::new(),
             fiber_mode,
             ctors,
             seed,
             hoist_base,
             hoist_index,
-            poison: Mutex::new(None),
+            aggregate: Mutex::new(Aggregate::default()),
         }
     }
 
-    /// Records a fatal flush failure; fibers observe it at their next sync.
-    pub fn poison(&self, msg: String) {
-        let mut p = self.poison.lock();
-        if p.is_none() {
-            *p = Some(msg);
-        }
+    /// The current engine (runs pin it once at start).
+    pub fn engine(&self) -> Arc<Engine> {
+        self.engine.read().expect("engine lock poisoned").clone()
     }
 
-    /// The recorded failure, if any.
-    pub fn poisoned(&self) -> Option<String> {
-        self.poison.lock().clone()
+    /// Installs a new engine (PGO re-scheduling, §D.1) and retires every
+    /// pooled context built against the old one.  In-flight runs finish on
+    /// the engine they pinned at start.
+    pub fn swap_engine(&self, engine: Arc<Engine>) {
+        *self.engine.write().expect("engine lock poisoned") = engine;
+        self.pool.clear();
     }
 
-    /// Executes (records) one tensor-operator call site.
-    ///
-    /// `args` are the evaluated operand values.  Returns the site's (lazy)
-    /// tensor result.
-    pub fn exec_op_site(&self, ctx: &mut ExecCtx, site: ExprId, args: &[Value]) -> Value {
-        let info = self.analysis.site_info[&site];
-        let accum = ctx.open.entry(info.group).or_default();
-        for (i, a) in args.iter().enumerate() {
-            accum.args.push(((site, i), a.as_tensor().clone()));
-        }
-        let result = TensorRef::pending();
-        accum.results.push((site, result.clone()));
-        if info.closes_group {
-            self.close_group(ctx, info.group, info.block, info.closes_block);
-        }
-        Value::Tensor(result)
+    /// Statistics merged across every completed run (all contexts, serial
+    /// or concurrent).
+    pub fn aggregate_stats(&self) -> RuntimeStats {
+        self.aggregate.lock().stats
     }
 
-    fn close_group(&self, ctx: &mut ExecCtx, group: GroupId, block: BlockId, closes_block: bool) {
-        let accum = ctx.open.remove(&group).expect("open group");
-        let mut rt = self.runtime.lock();
-        // Bindings are per group (several groups may share one deduplicated
-        // kernel program).
-        let bindings: Vec<(ExprId, usize)> = rt.library().bindings_for_group(group).to_vec();
-        let output_sites: Vec<ExprId> = rt.library().outputs_for_group(group).to_vec();
-        let mut arg_ids = Vec::with_capacity(bindings.len());
-        for binding in &bindings {
-            let r = accum
-                .args
-                .iter()
-                .find(|(k, _)| k == binding)
-                .map(|(_, r)| r)
-                .unwrap_or_else(|| panic!("missing kernel input binding {binding:?}"));
-            let vid = r.get().unwrap_or_else(|| {
-                panic!("fusion invariant violated: input {binding:?} not materialized")
-            });
-            arg_ids.push(vid);
-        }
-
-        // Depth: statically hoisted groups use their static depth and do not
-        // advance the dynamic counter (§B.1); everything else takes the
-        // inline counter and bumps it.
-        let all_hoisted = accum.results.iter().all(|(s, _)| self.hoist_index.contains_key(s));
-        let depth = if all_hoisted {
-            self.hoist_index[&accum.results[0].0]
-        } else {
-            let d = ctx.depth;
-            ctx.depth += 1;
-            d
-        };
-
-        let unit_head = ctx.current_block != Some(block);
-        ctx.current_block = if closes_block { None } else { Some(block) };
-
-        let outs = rt.add_unit(group, ctx.instance, depth, ctx.phase, arg_ids, unit_head);
-        if rt.options().eager {
-            // PyTorch-style eager execution: every operator runs immediately
-            // as its own launch — no auto-batching (§E.3 baseline).
-            rt.flush().expect("eager flush failed");
-        }
-        drop(rt);
-
-        // Fill the escaping results.
-        for (site, vid) in output_sites.iter().zip(outs) {
-            let (_, r) =
-                accum.results.iter().find(|(s, _)| s == site).expect("output site recorded");
-            r.set(vid);
-        }
+    /// Number of completed runs merged into [`Session::aggregate_stats`].
+    pub fn runs_completed(&self) -> u64 {
+        self.aggregate.lock().runs
     }
 
-    /// Forces a tensor value: blocks (fiber mode) or flushes (sequential)
-    /// until it is materialized.
-    ///
-    /// # Errors
-    ///
-    /// Propagates flush errors.
-    pub fn force(&self, r: &TensorRef) -> Result<DeviceTensor, VmError> {
-        loop {
-            if let Some(msg) = self.poisoned() {
-                return Err(VmError::Input(format!("runtime poisoned: {msg}")));
+    /// Drains the PGO profile aggregated across completed runs.
+    pub fn take_profile(&self) -> BTreeMap<acrobat_codegen::KernelId, u64> {
+        std::mem::take(&mut self.aggregate.lock().profile)
+    }
+
+    /// Merges one completed run into the aggregate and returns its context
+    /// to the pool.
+    fn finish_run(&self, mut ctx: ExecutionContext, stats: &RuntimeStats) {
+        let profile = ctx.take_profile();
+        {
+            let mut agg = self.aggregate.lock();
+            agg.stats.merge(stats);
+            agg.runs += 1;
+            for (k, v) in profile {
+                *agg.profile.entry(k).or_default() += v;
             }
-            if let Some(vid) = r.get() {
-                let mut rt = self.runtime.lock();
-                if let Some(t) = rt.tensor(vid) {
-                    return Ok(t.clone());
-                }
-                if !self.fiber_mode {
-                    rt.flush()?;
-                    continue;
-                }
-            } else if !self.fiber_mode {
-                panic!("tensor forced before its fusion group closed");
-            }
-            // Fiber mode: suspend until the driver flushes.
-            self.hub.wait_for_flush();
         }
-    }
-
-    /// Reads the single element of a forced tensor (`item`).
-    ///
-    /// # Errors
-    ///
-    /// Propagates flush/read errors.
-    pub fn item(&self, r: &TensorRef) -> Result<f64, VmError> {
-        let t = self.force(r)?;
-        let mut rt = self.runtime.lock();
-        let v = rt.mem_mut().read(&t)?[0] as f64;
-        Ok(v)
-    }
-
-    /// `sample(%t)`: forces the tensor, then draws from the instance's
-    /// pseudo-random stream (§E.1).
-    ///
-    /// # Errors
-    ///
-    /// Propagates flush errors.
-    pub fn sample(&self, ctx: &mut ExecCtx, r: &TensorRef) -> Result<f64, VmError> {
-        let _ = self.force(r)?;
-        Ok(ctx.rng.next_f64())
+        self.pool.release(ctx);
     }
 
     /// Applies a ghost-operator padding after a conditional branch (§B.3).
@@ -395,6 +384,231 @@ impl Session {
     }
 }
 
+/// Per-run coordination state: one mini-batch's fiber hub, poison flag and
+/// pinned engine.  Dereferences to the shared [`Session`].
+pub struct RunSession<'s> {
+    session: &'s Session,
+    /// The engine this run executes against, pinned at run start so a
+    /// concurrent PGO swap cannot change kernels mid-run.
+    engine: Arc<Engine>,
+    /// Fiber coordination for this run (used when the model has
+    /// tensor-dependent control flow).
+    pub hub: FiberHub,
+    /// A flush failure (e.g. device OOM) that fibers must observe instead
+    /// of waiting forever.
+    poison: Mutex<Option<String>>,
+}
+
+impl fmt::Debug for RunSession<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunSession").field("session", &self.session).finish()
+    }
+}
+
+impl Deref for RunSession<'_> {
+    type Target = Session;
+
+    fn deref(&self) -> &Session {
+        self.session
+    }
+}
+
+impl<'s> RunSession<'s> {
+    /// Starts a run: pins the session's current engine.
+    pub fn new(session: &'s Session) -> RunSession<'s> {
+        RunSession {
+            session,
+            engine: session.engine(),
+            hub: FiberHub::new(),
+            poison: Mutex::new(None),
+        }
+    }
+
+    /// The engine pinned for this run.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Acquires an execution context for this run (pooled when possible).
+    pub fn acquire_context(&self) -> ExecutionContext {
+        self.session.pool.acquire(&self.engine)
+    }
+
+    /// Merges this completed run into the session aggregate and returns the
+    /// context to the pool.
+    pub fn finish(&self, ctx: ExecutionContext, stats: &RuntimeStats) {
+        self.session.finish_run(ctx, stats);
+    }
+
+    /// Records a fatal flush failure; fibers observe it at their next sync.
+    pub fn poison(&self, msg: String) {
+        let mut p = self.poison.lock();
+        if p.is_none() {
+            *p = Some(msg);
+        }
+    }
+
+    /// The recorded failure, if any.
+    pub fn poisoned(&self) -> Option<String> {
+        self.poison.lock().clone()
+    }
+
+    /// Executes (records) one tensor-operator call site.
+    ///
+    /// `args` are the evaluated operand values.  Returns the site's (lazy)
+    /// tensor result.
+    pub fn exec_op_site(
+        &self,
+        rt: &mut RtHandle<'_>,
+        ctx: &mut ExecCtx,
+        site: ExprId,
+        args: &[Value],
+    ) -> Value {
+        let info = self.analysis.site_info[&site];
+        let accum = ctx.open.entry(info.group).or_default();
+        for (i, a) in args.iter().enumerate() {
+            accum.args.push(((site, i), a.as_tensor().clone()));
+        }
+        let result = TensorRef::pending();
+        accum.results.push((site, result.clone()));
+        if info.closes_group {
+            self.close_group(rt, ctx, info.group, info.block, info.closes_block);
+        }
+        Value::Tensor(result)
+    }
+
+    fn close_group(
+        &self,
+        rt: &mut RtHandle<'_>,
+        ctx: &mut ExecCtx,
+        group: GroupId,
+        block: BlockId,
+        closes_block: bool,
+    ) {
+        let accum = ctx.open.remove(&group).expect("open group");
+        // Bindings are per group (several groups may share one deduplicated
+        // kernel program); they are immutable engine state, read without
+        // touching the execution context.
+        let library = self.engine.library();
+        let bindings = library.bindings_for_group(group);
+        let output_sites = library.outputs_for_group(group);
+        let mut arg_ids = Vec::with_capacity(bindings.len());
+        for binding in bindings {
+            let r = accum
+                .args
+                .iter()
+                .find(|(k, _)| k == binding)
+                .map(|(_, r)| r)
+                .unwrap_or_else(|| panic!("missing kernel input binding {binding:?}"));
+            let vid = r.get().unwrap_or_else(|| {
+                panic!("fusion invariant violated: input {binding:?} not materialized")
+            });
+            arg_ids.push(vid);
+        }
+
+        // Depth: statically hoisted groups use their static depth and do not
+        // advance the dynamic counter (§B.1); everything else takes the
+        // inline counter and bumps it.
+        let all_hoisted =
+            accum.results.iter().all(|(s, _)| self.session.hoist_index.contains_key(s));
+        let depth = if all_hoisted {
+            self.session.hoist_index[&accum.results[0].0]
+        } else {
+            let d = ctx.depth;
+            ctx.depth += 1;
+            d
+        };
+
+        let unit_head = ctx.current_block != Some(block);
+        ctx.current_block = if closes_block { None } else { Some(block) };
+
+        let outs = rt.with(|rt| {
+            let outs = rt.add_unit(group, ctx.instance, depth, ctx.phase, arg_ids, unit_head);
+            if rt.options().eager {
+                // PyTorch-style eager execution: every operator runs
+                // immediately as its own launch — no auto-batching (§E.3
+                // baseline).
+                rt.flush().expect("eager flush failed");
+            }
+            outs
+        });
+
+        // Fill the escaping results.
+        for (site, vid) in output_sites.iter().zip(outs) {
+            let (_, r) =
+                accum.results.iter().find(|(s, _)| s == site).expect("output site recorded");
+            r.set(vid);
+        }
+    }
+
+    /// Forces a tensor value: blocks (fiber mode) or flushes (sequential)
+    /// until it is materialized.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush errors.
+    pub fn force(&self, rt: &mut RtHandle<'_>, r: &TensorRef) -> Result<DeviceTensor, VmError> {
+        enum Got {
+            Ready(DeviceTensor),
+            Flushed,
+            Pending,
+        }
+        loop {
+            if let Some(msg) = self.poisoned() {
+                return Err(VmError::Input(format!("runtime poisoned: {msg}")));
+            }
+            if let Some(vid) = r.get() {
+                let got = rt.with(|rt| -> Result<Got, VmError> {
+                    if let Some(t) = rt.tensor(vid) {
+                        return Ok(Got::Ready(t.clone()));
+                    }
+                    if !self.fiber_mode {
+                        rt.flush()?;
+                        return Ok(Got::Flushed);
+                    }
+                    Ok(Got::Pending)
+                })?;
+                match got {
+                    Got::Ready(t) => return Ok(t),
+                    Got::Flushed => continue,
+                    Got::Pending => {}
+                }
+            } else if !self.fiber_mode {
+                panic!("tensor forced before its fusion group closed");
+            }
+            // Fiber mode: suspend until the driver flushes.
+            self.hub.wait_for_flush();
+        }
+    }
+
+    /// Reads the single element of a forced tensor (`item`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush/read errors.
+    pub fn item(&self, rt: &mut RtHandle<'_>, r: &TensorRef) -> Result<f64, VmError> {
+        let t = self.force(rt, r)?;
+        let v = rt.with(|rt| -> Result<f64, VmError> { Ok(rt.mem_mut().read(&t)?[0] as f64) })?;
+        Ok(v)
+    }
+
+    /// `sample(%t)`: forces the tensor, then draws from the instance's
+    /// pseudo-random stream (§E.1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush errors.
+    pub fn sample(
+        &self,
+        rt: &mut RtHandle<'_>,
+        ctx: &mut ExecCtx,
+        r: &TensorRef,
+    ) -> Result<f64, VmError> {
+        let _ = self.force(rt, r)?;
+        Ok(ctx.rng.next_f64())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -412,6 +626,19 @@ mod tests {
             let r = a.next_range(20, 40);
             assert!((20..=40).contains(&r));
         }
+    }
+
+    #[test]
+    fn prng_stream_follows_key_not_slot() {
+        // The keyed constructor is the position-independent generalization
+        // of `new`: key == instance index reproduces the legacy streams.
+        let mut by_slot = Prng::new(7, 3);
+        let mut by_key = Prng::keyed(7, 3);
+        for _ in 0..16 {
+            assert_eq!(by_slot.next_u64(), by_key.next_u64());
+        }
+        // Distinct keys give distinct streams regardless of slot.
+        assert_ne!(Prng::keyed(7, 0).next_u64(), Prng::keyed(7, 1).next_u64());
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use acrobat_analysis::{analyze, AnalysisOptions};
 use acrobat_codegen::KernelLibrary;
 use acrobat_ir::{parse_module, typeck};
-use acrobat_runtime::{DeviceModel, Runtime, RuntimeOptions};
+use acrobat_runtime::{DeviceModel, Engine, RuntimeOptions};
 use acrobat_tensor::Tensor;
 use acrobat_vm::{BackendKind, Executable, InputValue, OutputValue};
 
@@ -16,8 +16,8 @@ fn build(src: &str, kind: BackendKind, opts: AnalysisOptions) -> Executable {
     let m = typeck::check_module(parse_module(src).unwrap()).unwrap();
     let a = Arc::new(analyze(m, opts).unwrap());
     let lib = KernelLibrary::build(&a);
-    let rt = Runtime::new(lib, DeviceModel::default(), RuntimeOptions::default());
-    Executable::new(a, rt, kind, 42).unwrap()
+    let engine = Engine::new(a, lib, DeviceModel::default(), RuntimeOptions::default());
+    Executable::new(engine, kind, 42).unwrap()
 }
 
 fn out_tensor(o: &OutputValue) -> &Tensor {
@@ -348,12 +348,13 @@ fn device_oom_surfaces_as_error() {
     let m = typeck::check_module(parse_module(SIMPLE).unwrap()).unwrap();
     let a = Arc::new(analyze(m, AnalysisOptions::default()).unwrap());
     let lib = KernelLibrary::build(&a);
-    let rt = Runtime::new(
+    let engine = Engine::new(
+        a,
         lib,
         DeviceModel::default(),
         RuntimeOptions { device_memory: 5, ..Default::default() },
     );
-    let exe = Executable::new(a, rt, BackendKind::Aot, 0).unwrap();
+    let exe = Executable::new(engine, BackendKind::Aot, 0).unwrap();
     let params = BTreeMap::from([("w".to_string(), Tensor::zeros(&[2, 2]))]);
     let err = exe.run(&params, &[vec![InputValue::Tensor(Tensor::zeros(&[1, 2]))]]);
     assert!(err.is_err(), "5-element device must OOM");

@@ -22,4 +22,16 @@ cargo bench --no-run
 echo "==> differential fuzz smoke (checked mode, fixed seed)"
 cargo run --release -p acrobat-bench --bin fuzz -- --cases 50 --seed 1
 
+echo "==> Engine is Send + Sync (compile-time assertion present)"
+grep -q 'assert_send_sync::<Engine>' crates/runtime/src/engine.rs
+
+echo "==> concurrent serving stress (single-threaded test runner)"
+RUST_TEST_THREADS=1 cargo test -q -p acrobat-bench --test concurrent_serving
+
+echo "==> concurrent serving stress (4 test threads)"
+RUST_TEST_THREADS=4 cargo test -q -p acrobat-bench --test concurrent_serving
+
+echo "==> serving throughput scaling (asserts >2x at 4 workers)"
+cargo run --release -p acrobat-bench --bin serving_throughput -- --quick
+
 echo "All checks passed."
