@@ -1,0 +1,297 @@
+//! `chaos_sweep`: resilience under fault storms, swept over fault rates.
+//!
+//! Serves a fixed request load against one shared model while every
+//! request carries a seeded probabilistic fault storm
+//! (`FaultMode::Rate`) on its kernel launches, with transient-fault
+//! retry enabled.  Swept over storm rates p ∈ {0, 0.1%, 1%, 5%}, the
+//! table reports, per rate: how many requests completed vs failed, how
+//! many were *rescued* by retry (observed a fault yet still completed
+//! bit-for-bit), total retries and aborted flushes, batch-size
+//! downshifts, quarantined contexts, and the mean modeled latency of
+//! completed requests — which grows with p as retry backoff is charged
+//! to the device cost model.
+//!
+//! Every completed request is checked bit-for-bit against a fault-free
+//! serial reference, and the session outcome ledger is checked for
+//! consistency at every rate.  Writes `bench_results/chaos_sweep.txt`.
+//!
+//! `--smoke [--cases N] [--seed S]` runs a seeded N-case chaos mix
+//! instead (storms + zero deadlines + pre-cancelled tokens, the same
+//! disruption palette as `tests/chaos_serving.rs`), asserting the full
+//! lifecycle invariants; it is wired into `scripts/check.sh` as the
+//! chaos smoke gate.
+
+use std::fmt::Write as _;
+
+use acrobat_bench::suite;
+use acrobat_core::{
+    compile, CompileOptions, FaultPlan, Model, RetryPolicy, RunOptions, Tensor, VmError,
+};
+use acrobat_models::{ModelSize, ModelSpec};
+use acrobat_runtime::CancelToken;
+use acrobat_tensor::TensorError;
+use acrobat_vm::OutputValue;
+
+/// Swept storm probabilities per kernel launch.
+const RATES: [(f64, &str); 4] = [(0.0, "0%"), (0.001, "0.1%"), (0.01, "1%"), (0.05, "5%")];
+
+fn build(spec: &ModelSpec) -> Model {
+    let mut options = CompileOptions::default();
+    options.runtime.retry = RetryPolicy { max_retries: 3, backoff_base_us: 10.0 };
+    compile(&spec.source, &options).expect("model compiles")
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn outputs_equal(spec: &ModelSpec, reference: &[OutputValue], got: &[OutputValue]) -> bool {
+    reference.len() == got.len()
+        && reference.iter().zip(got).all(|(r, g)| {
+            let (rt, gt) = ((spec.flatten_output)(r), (spec.flatten_output)(g));
+            rt.len() == gt.len()
+                && rt.iter().zip(&gt).all(|(a, b): (&Tensor, &Tensor)| a.data() == b.data())
+        })
+}
+
+struct SweepRow {
+    label: &'static str,
+    completed: u64,
+    failed: u64,
+    rescued: u64,
+    retries: u64,
+    aborted: u64,
+    downshifts: u64,
+    quarantined: u64,
+    mean_latency_ms: f64,
+}
+
+fn sweep_rate(
+    spec: &ModelSpec,
+    reference: &[OutputValue],
+    rate: f64,
+    label: &'static str,
+    requests: u64,
+) -> SweepRow {
+    let model = build(spec);
+    let instances = (spec.make_instances)(0xC8A0, 4);
+    let mut completed = Vec::new();
+    let mut failed = 0u64;
+    for storm_seed in 0..requests {
+        let mut opts = RunOptions::default();
+        if rate > 0.0 {
+            let plan = format!("launch:rate={rate}@{storm_seed}:kernel");
+            opts.fault = Some(FaultPlan::parse(&plan).expect("storm plan parses"));
+        }
+        match model.run_with(&spec.params, &instances, &opts) {
+            Ok(r) => {
+                assert!(
+                    outputs_equal(spec, reference, &r.outputs),
+                    "{label}: completed request diverged from fault-free reference"
+                );
+                completed.push(r.stats);
+            }
+            Err(e) => {
+                assert!(
+                    matches!(e.as_vm(), Some(VmError::Tensor(TensorError::Injected { .. }))),
+                    "{label}: storm failure has wrong class: {e}"
+                );
+                failed += 1;
+            }
+        }
+    }
+    let outcomes = model.outcomes();
+    assert_eq!(outcomes.total(), requests, "{label}: ledger covers every request");
+    assert_eq!(outcomes.completed, completed.len() as u64, "{label}: completed count");
+    assert_eq!(outcomes.failed, failed, "{label}: failed count");
+    assert_eq!(model.runs_completed(), outcomes.completed, "{label}: merged runs");
+
+    let rescued = completed.iter().filter(|s| s.aborted_flushes > 0).count() as u64;
+    let mean_latency_ms = if completed.is_empty() {
+        0.0
+    } else {
+        completed.iter().map(|s| s.total_us()).sum::<f64>() / completed.len() as f64 / 1e3
+    };
+    SweepRow {
+        label,
+        completed: completed.len() as u64,
+        failed,
+        rescued,
+        retries: completed.iter().map(|s| s.retries).sum(),
+        aborted: completed.iter().map(|s| s.aborted_flushes).sum(),
+        downshifts: completed.iter().map(|s| s.downshifts).sum(),
+        quarantined: model.quarantined_count(),
+        mean_latency_ms,
+    }
+}
+
+fn run_sweep(requests: u64) {
+    let spec = suite(ModelSize::Small, true).remove(0);
+    let reference_model = build(&spec);
+    let instances = (spec.make_instances)(0xC8A0, 4);
+    let reference =
+        reference_model.run(&spec.params, &instances).expect("fault-free reference").outputs;
+
+    let rows: Vec<SweepRow> = RATES
+        .iter()
+        .map(|&(rate, label)| sweep_rate(&spec, &reference, rate, label, requests))
+        .collect();
+
+    assert_eq!(rows[0].failed, 0, "p=0 must not fail");
+    assert_eq!(rows[0].retries, 0, "p=0 must not retry");
+
+    let mut out = String::new();
+    writeln!(out, "# chaos_sweep — request survival vs kernel-launch fault rate").unwrap();
+    writeln!(out, "#").unwrap();
+    writeln!(
+        out,
+        "# Model: {} (quick dims), batch 4, {requests} requests per rate, retry",
+        spec.name
+    )
+    .unwrap();
+    writeln!(out, "# policy: max_retries=3, backoff 10us base (charged as modeled time).").unwrap();
+    writeln!(out, "# Every completed request is bit-for-bit identical to a fault-free").unwrap();
+    writeln!(out, "# serial reference; 'rescued' counts completions that observed at").unwrap();
+    writeln!(out, "# least one injected fault and survived via retry.  'quarantined'").unwrap();
+    writeln!(out, "# counts contexts the pool dropped instead of recycling (every").unwrap();
+    writeln!(out, "# fault-observing run).  Mean latency is modeled ms over completed").unwrap();
+    writeln!(out, "# requests and includes retry backoff.").unwrap();
+    writeln!(out, "#").unwrap();
+    writeln!(
+        out,
+        "{:>6}  {:>9}  {:>6}  {:>7}  {:>7}  {:>7}  {:>10}  {:>11}  {:>15}",
+        "rate",
+        "completed",
+        "failed",
+        "rescued",
+        "retries",
+        "aborted",
+        "downshifts",
+        "quarantined",
+        "mean_latency_ms"
+    )
+    .unwrap();
+    for r in &rows {
+        writeln!(
+            out,
+            "{:>6}  {:>9}  {:>6}  {:>7}  {:>7}  {:>7}  {:>10}  {:>11}  {:>15.3}",
+            r.label,
+            r.completed,
+            r.failed,
+            r.rescued,
+            r.retries,
+            r.aborted,
+            r.downshifts,
+            r.quarantined,
+            r.mean_latency_ms
+        )
+        .unwrap();
+    }
+    print!("{out}");
+
+    std::fs::create_dir_all("bench_results").expect("bench_results dir");
+    std::fs::write("bench_results/chaos_sweep.txt", out)
+        .expect("write bench_results/chaos_sweep.txt");
+    eprintln!("wrote bench_results/chaos_sweep.txt");
+}
+
+/// Seeded chaos smoke: a deterministic mix of storms, zero deadlines and
+/// pre-cancelled tokens, asserting the full lifecycle invariants.  Panics
+/// (nonzero exit) on any violation.
+fn run_smoke(cases: u64, seed: u64) {
+    let spec = suite(ModelSize::Small, true).remove(0);
+    let reference_model = build(&spec);
+    let instances = (spec.make_instances)(0xC8A0, 4);
+    let reference =
+        reference_model.run(&spec.params, &instances).expect("fault-free reference").outputs;
+
+    let model = build(&spec);
+    let mut completed = Vec::new();
+    let (mut failed, mut cancelled, mut deadline) = (0u64, 0u64, 0u64);
+    for case in 0..cases {
+        let mut s = seed ^ (case << 8);
+        let mut opts = RunOptions::default();
+        let kind = splitmix(&mut s) % 8;
+        match kind {
+            0..=2 => {
+                let plan = format!("launch:rate=2%@{}:kernel", splitmix(&mut s));
+                opts.fault = Some(FaultPlan::parse(&plan).expect("storm plan parses"));
+            }
+            3 => opts.deadline_us = Some(0.0),
+            4 => {
+                let token = CancelToken::new();
+                token.cancel();
+                opts.cancel = Some(token);
+            }
+            _ => {}
+        }
+        match model.run_with(&spec.params, &instances, &opts) {
+            Ok(r) => {
+                assert!(kind <= 2 || kind >= 5, "case {case}: kind {kind} must not complete");
+                assert!(
+                    outputs_equal(&spec, &reference, &r.outputs),
+                    "case {case}: survivor diverged from fault-free reference"
+                );
+                completed.push(r.stats);
+            }
+            Err(e) => match kind {
+                0..=2 => {
+                    assert!(
+                        matches!(e.as_vm(), Some(VmError::Tensor(TensorError::Injected { .. }))),
+                        "case {case}: storm failure class: {e}"
+                    );
+                    failed += 1;
+                }
+                3 => {
+                    assert!(e.is_deadline_exceeded(), "case {case}: deadline class: {e}");
+                    deadline += 1;
+                }
+                4 => {
+                    assert!(e.is_cancelled(), "case {case}: cancel class: {e}");
+                    cancelled += 1;
+                }
+                _ => panic!("case {case}: clean request failed: {e}"),
+            },
+        }
+    }
+
+    let outcomes = model.outcomes();
+    assert_eq!(outcomes.total(), cases, "ledger covers every case");
+    assert_eq!(outcomes.completed, completed.len() as u64);
+    assert_eq!(outcomes.failed, failed);
+    assert_eq!(outcomes.cancelled, cancelled);
+    assert_eq!(outcomes.deadline_exceeded, deadline);
+    assert_eq!(model.runs_completed(), outcomes.completed);
+    let rescued = completed.iter().filter(|s| s.aborted_flushes > 0).count() as u64;
+    assert_eq!(model.quarantined_count(), failed + cancelled + deadline + rescued);
+
+    // The model stays healthy after the storm.
+    let after = model.run(&spec.params, &instances).expect("run after smoke").outputs;
+    assert!(outputs_equal(&spec, &reference, &after), "post-chaos run diverged");
+
+    println!(
+        "chaos smoke: {cases} cases (seed {seed}): {} completed ({rescued} rescued by retry), \
+         {failed} failed, {cancelled} cancelled, {deadline} deadline-exceeded — all classified \
+         correctly, ledger consistent",
+        completed.len()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(|v| {
+            v.parse::<u64>().unwrap_or_else(|_| panic!("{name} expects an integer, got {v:?}"))
+        })
+    };
+    if flag("--smoke") {
+        run_smoke(value("--cases").unwrap_or(50), value("--seed").unwrap_or(1));
+    } else {
+        run_sweep(value("--requests").unwrap_or(32));
+    }
+}

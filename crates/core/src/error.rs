@@ -42,3 +42,33 @@ impl From<VmError> for CompileError {
         CompileError::Execution(e)
     }
 }
+
+/// Alias for the serving-side reading of [`CompileError`]: every error a
+/// [`crate::Model::run`] call can return, including the resilience
+/// outcomes (load shedding, cancellation, deadline misses).
+pub type RunError = CompileError;
+
+impl CompileError {
+    /// The underlying execution error, when this is an execution failure.
+    pub fn as_vm(&self) -> Option<&VmError> {
+        match self {
+            CompileError::Execution(e) => Some(e),
+            CompileError::Frontend(_) => None,
+        }
+    }
+
+    /// Whether the request was shed at admission ([`VmError::Overloaded`]).
+    pub fn is_overloaded(&self) -> bool {
+        self.as_vm().is_some_and(VmError::is_overloaded)
+    }
+
+    /// Whether the request was cooperatively cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.as_vm().is_some_and(VmError::is_cancelled)
+    }
+
+    /// Whether the request missed its deadline budget.
+    pub fn is_deadline_exceeded(&self) -> bool {
+        self.as_vm().is_some_and(VmError::is_deadline_exceeded)
+    }
+}

@@ -40,13 +40,18 @@ mod error;
 mod model;
 mod options;
 
-pub use error::CompileError;
+pub use error::{CompileError, RunError};
 pub use model::{compile, Model};
 pub use options::{CompileOptions, OptLevel};
 
 // Re-export the API surface users need.
 pub use acrobat_analysis::{AnalysisOptions, AnalysisResult, ArgClass};
 pub use acrobat_codegen::{Schedule, ScheduleOptions};
-pub use acrobat_runtime::{DeviceModel, Engine, RuntimeOptions, RuntimeStats, SchedulerKind};
-pub use acrobat_tensor::{FaultPlan, Shape, Tensor};
-pub use acrobat_vm::{BackendKind, InputValue, OutputValue, RunOptions, RunResult, VmError};
+pub use acrobat_runtime::{
+    CancelToken, Deadline, DeviceModel, Engine, RetryPolicy, RuntimeOptions, RuntimeStats,
+    SchedulerKind,
+};
+pub use acrobat_tensor::{FaultKind, FaultMode, FaultPlan, FaultSite, Shape, Tensor};
+pub use acrobat_vm::{
+    BackendKind, InputValue, OutputValue, RunOptions, RunResult, ServeOutcomes, VmError,
+};

@@ -97,6 +97,18 @@ impl Model {
         self.exe.session.runs_completed()
     }
 
+    /// Terminal-outcome counters for every request submitted to this model
+    /// (completed, failed, cancelled, deadline-exceeded, shed, timed out).
+    pub fn outcomes(&self) -> acrobat_vm::ServeOutcomes {
+        self.exe.session.outcomes()
+    }
+
+    /// Execution contexts quarantined (dropped instead of recycled) because
+    /// a run observed a fault, cancellation, or deadline miss.
+    pub fn quarantined_count(&self) -> u64 {
+        self.exe.session.quarantined_count()
+    }
+
     /// Profile-guided re-scheduling (§D.1, Table 9): runs one profiling
     /// mini-batch, aggregates the per-kernel invocation frequencies across
     /// completed runs, and installs a re-tuned engine.  In-flight runs
@@ -144,6 +156,12 @@ impl Model {
         let schedule = self.options.schedule;
         let retuned = engine.retuned(|lib| autoschedule(lib, schedule, Some(&prio)));
         session.swap_engine(Arc::new(retuned));
+    }
+
+    /// The underlying executable (session access for serving-layer tests
+    /// and tooling: admission gate, outcome counters, engine swap).
+    pub fn executable(&self) -> &Executable {
+        &self.exe
     }
 
     /// The static-analysis results behind this model.

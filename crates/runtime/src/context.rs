@@ -12,8 +12,11 @@ use acrobat_analysis::fusion::GroupId;
 use acrobat_codegen::exec::{bind_args_ref, run_batched_kernel_ref};
 use acrobat_tensor::{DeviceMem, DeviceTensor, Tensor, TensorError};
 
+use acrobat_tensor::FaultClass;
+
 use crate::dfg::{Dfg, ValueId};
 use crate::engine::Engine;
+use crate::resilience::{CancelToken, Deadline};
 use crate::scheduler::{self, Plan, SchedulerKind, SchedulerScratch};
 use crate::stats::RuntimeStats;
 
@@ -42,6 +45,23 @@ pub struct ExecutionContext {
     sched_scratch: SchedulerScratch,
     /// The current flush's plan, reused for the same reason.
     plan_buf: Plan,
+    /// The request's latency budget, checked at flush boundaries and
+    /// between batched launches.
+    deadline: Deadline,
+    /// Cooperative cancellation flag, checked at the same points.
+    cancel: Option<CancelToken>,
+    /// Set once this context observes any fault, cancellation or deadline
+    /// miss.  A tainted context is quarantined by [`crate::ContextPool`]:
+    /// dropped on release, never recycled into another request.
+    tainted: bool,
+    /// Flushes aborted by a device fault since the last clean flush;
+    /// drives the graceful-degradation batch-size downshift.
+    consecutive_aborts: u32,
+    /// Maximum lanes per batched launch (0 = unlimited).  Halved after
+    /// repeated aborted flushes, restored after clean ones; chunking a
+    /// planned batch is bit-for-bit neutral because kernels are
+    /// lane-independent.
+    lane_cap: usize,
 }
 
 impl ExecutionContext {
@@ -57,7 +77,60 @@ impl ExecutionContext {
             profile: Default::default(),
             sched_scratch: SchedulerScratch::new(),
             plan_buf: Plan::default(),
+            deadline: Deadline::Unlimited,
+            cancel: None,
+            tainted: false,
+            consecutive_aborts: 0,
+            lane_cap: 0,
         }
+    }
+
+    /// Arms the request's deadline (checked at flush boundaries and
+    /// between batched launches).
+    pub fn set_deadline(&mut self, deadline: Deadline) {
+        self.deadline = deadline;
+    }
+
+    /// Arms the request's cancellation token (checked at the same points).
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = Some(cancel);
+    }
+
+    /// Whether this context observed a fault, cancellation or deadline
+    /// miss and must be quarantined instead of recycled.
+    pub fn tainted(&self) -> bool {
+        self.tainted
+    }
+
+    /// Marks this context quarantine-only (used by drivers when a failure
+    /// happens outside the flush path, e.g. a poisoned fiber run).
+    pub fn mark_tainted(&mut self) {
+        self.tainted = true;
+    }
+
+    /// Current per-launch lane cap (0 = unlimited); lowered by the
+    /// graceful-degradation downshift after repeated aborted flushes.
+    pub fn lane_cap(&self) -> usize {
+        self.lane_cap
+    }
+
+    /// Raises [`TensorError::Cancelled`] / [`TensorError::DeadlineExceeded`]
+    /// if the request was cancelled or ran out of budget; taints the
+    /// context so it cannot be recycled.
+    ///
+    /// # Errors
+    ///
+    /// The interrupt, classified [`FaultClass::Interrupt`].
+    pub fn check_interrupt(&mut self) -> Result<(), TensorError> {
+        if self.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+            self.tainted = true;
+            return Err(TensorError::Cancelled);
+        }
+        if let Err(e) = self.deadline.check(self.stats.total_us()) {
+            self.tainted = true;
+            return Err(e);
+        }
+        Ok(())
     }
 
     /// The engine this context executes against.
@@ -101,6 +174,11 @@ impl ExecutionContext {
         self.stats = RuntimeStats::default();
         self.units = 0;
         self.profile.clear();
+        self.deadline = Deadline::Unlimited;
+        self.cancel = None;
+        self.tainted = false;
+        self.consecutive_aborts = 0;
+        self.lane_cap = 0;
     }
 
     /// Uploads a batch of host tensors as one transfer operation (the
@@ -211,18 +289,49 @@ impl ExecutionContext {
         Ok(host)
     }
 
-    /// Executes all pending DFG nodes in batched kernel launches.
+    /// Executes all pending DFG nodes in batched kernel launches, retrying
+    /// transient faults per the engine's [`crate::resilience::RetryPolicy`].
     ///
-    /// This is the serving hot path; it takes no locks — every mutable
-    /// structure it touches is owned by this context, and everything shared
-    /// (library, device model, options) is immutable engine state.
+    /// The flush boundary is also the request's interrupt point: the
+    /// deadline and cancellation token are checked on entry and between
+    /// batched launches, and an interrupt surfaces as
+    /// [`TensorError::Cancelled`] / [`TensorError::DeadlineExceeded`]
+    /// (class [`FaultClass::Interrupt`] — never retried).  Transient
+    /// faults are retried up to `max_retries` times with exponential
+    /// backoff charged as virtual time to this context's statistics; the
+    /// retry replans the aborted plan's pending suffix, which is
+    /// bit-for-bit equivalent to an uninterrupted flush.
     ///
     /// # Errors
     ///
-    /// Returns [`TensorError::DeviceOom`] or kernel errors; a scheduling
-    /// inconsistency (a batch whose dependences are unmet) is a bug and
-    /// panics.
+    /// Returns [`TensorError::DeviceOom`], kernel errors, or an interrupt;
+    /// a scheduling inconsistency (a batch whose dependences are unmet) is
+    /// a bug and panics.
     pub fn flush(&mut self) -> Result<(), TensorError> {
+        self.check_interrupt()?;
+        let retry = self.engine.options().retry;
+        let mut attempt = 0u32;
+        loop {
+            let e = match self.flush_once() {
+                Ok(()) => return Ok(()),
+                Err(e) => e,
+            };
+            if e.fault_class() != FaultClass::Transient || attempt >= retry.max_retries {
+                self.tainted = true;
+                return Err(e);
+            }
+            attempt += 1;
+            let backoff = retry.backoff_us(attempt);
+            self.stats.retries += 1;
+            self.stats.retry_backoff_us += backoff;
+            // The backoff counts against a virtual deadline; a request that
+            // runs out of budget while backing off stops retrying.
+            self.check_interrupt()?;
+        }
+    }
+
+    /// One flush attempt: plan the pending set and execute it.
+    fn flush_once(&mut self) -> Result<(), TensorError> {
         if !self.dfg.has_pending() {
             return Ok(());
         }
@@ -232,8 +341,21 @@ impl ExecutionContext {
         // by reference out of the DFG value table while the executor holds
         // the device memory mutably.  The library, model and options are
         // immutable engine state.
-        let ExecutionContext { engine, mem, dfg, stats, units, profile, sched_scratch, plan_buf } =
-            self;
+        let ExecutionContext {
+            engine,
+            mem,
+            dfg,
+            stats,
+            units,
+            profile,
+            sched_scratch,
+            plan_buf,
+            deadline,
+            cancel,
+            tainted,
+            consecutive_aborts,
+            lane_cap,
+        } = self;
         let library = engine.library();
         let model = engine.model();
         let options = engine.options();
@@ -261,64 +383,105 @@ impl ExecutionContext {
         } else {
             acrobat_tensor::batch::BatchMode::ExplicitGather
         };
-        for b in 0..plan_buf.num_batches() {
-            let batch = plan_buf.batch(b);
-            let kernel_id = dfg.node(batch[0]).kernel;
-            let program = library.kernel(kernel_id);
-            let lanes = batch.len();
-            // Bind arguments by reference straight out of the DFG value
-            // table — no per-lane tensor-handle clones.
-            let args = bind_args_ref(program, lanes, |lane, slot| {
-                let node = dfg.node(batch[lane]);
-                debug_assert_eq!(node.kernel, kernel_id);
-                dfg.tensor(node.args[slot]).expect("scheduler produced unmet dependency")
-            });
-            let (outs, lstats) = match run_batched_kernel_ref(mem, program, &args, lanes, mode) {
-                Ok(r) => r,
-                Err(e) => {
-                    // A mid-plan failure aborts the flush but must leave the
-                    // context well-defined and resumable: batches that ran
-                    // are already accounted and materialized; the failing
-                    // batch and the rest of the plan stay pending, so the
-                    // next flush replans them from scratch.  Scheduling time
-                    // stays charged in full — planning genuinely ran, and a
-                    // retry replans (and recharges) just like a real system.
-                    stats.aborted_flushes += 1;
-                    stats.device_peak_elements = mem.stats().peak_elements;
-                    stats.host_wall_us += wall.elapsed().as_secs_f64() * 1e6;
-                    if options.checked {
-                        if let Err(msg) = dfg.verify_consistent() {
-                            panic!("checked mode: DFG inconsistent after aborted flush: {msg}");
-                        }
+        let max_planned_batch =
+            (0..plan_buf.num_batches()).map(|b| plan_buf.batch(b).len()).max().unwrap_or(0);
+        let mut run_batches = || -> Result<(), TensorError> {
+            for b in 0..plan_buf.num_batches() {
+                // Between-batch interrupt point: a cancelled or over-budget
+                // request stops after the launch in flight, never mid-batch.
+                if b > 0 {
+                    if cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                        return Err(TensorError::Cancelled);
                     }
-                    return Err(e);
+                    deadline.check(stats.total_us())?;
                 }
-            };
+                let batch = plan_buf.batch(b);
+                let kernel_id = dfg.node(batch[0]).kernel;
+                let program = library.kernel(kernel_id);
+                // Graceful degradation: a downshifted context chunks each
+                // planned batch to its lane cap.  Kernels are
+                // lane-independent, so chunking changes launch counts and
+                // modeled times but never the computed values.
+                let cap = if *lane_cap == 0 { batch.len() } else { (*lane_cap).max(1) };
+                for chunk in batch.chunks(cap) {
+                    let lanes = chunk.len();
+                    // Bind arguments by reference straight out of the DFG
+                    // value table — no per-lane tensor-handle clones.
+                    let args = bind_args_ref(program, lanes, |lane, slot| {
+                        let node = dfg.node(chunk[lane]);
+                        debug_assert_eq!(node.kernel, kernel_id);
+                        dfg.tensor(node.args[slot]).expect("scheduler produced unmet dependency")
+                    });
+                    let (outs, lstats) = run_batched_kernel_ref(mem, program, &args, lanes, mode)?;
 
-            // Accounting.
-            stats.kernel_launches += lstats.launches;
-            // PGO profiles count operator *invocations* (DFG nodes), not
-            // batched launches — the paper prioritizes by execution
-            // frequency (§D.1).
-            *profile.entry(kernel_id).or_default() += lanes as u64;
-            stats.flops += lstats.flops;
-            stats.gather_copies += lstats.gather_copies;
-            stats.gather_bytes += lstats.gather_bytes;
-            stats.contiguous_hits += lstats.contiguous_hits;
-            stats.kernel_time_us += model.kernel_time_us(&lstats, program.schedule.as_ref(), lanes)
-                + model.gather_time_us(&lstats);
-            stats.cuda_api_us += lstats.launches as f64 * model.launch_overhead_us
-                + lstats.gather_copies as f64 * model.launch_overhead_us * 0.5;
+                    // Accounting.
+                    stats.kernel_launches += lstats.launches;
+                    // PGO profiles count operator *invocations* (DFG nodes),
+                    // not batched launches — the paper prioritizes by
+                    // execution frequency (§D.1).
+                    *profile.entry(kernel_id).or_default() += lanes as u64;
+                    stats.flops += lstats.flops;
+                    stats.gather_copies += lstats.gather_copies;
+                    stats.gather_bytes += lstats.gather_bytes;
+                    stats.contiguous_hits += lstats.contiguous_hits;
+                    stats.kernel_time_us +=
+                        model.kernel_time_us(&lstats, program.schedule.as_ref(), lanes)
+                            + model.gather_time_us(&lstats);
+                    stats.cuda_api_us += lstats.launches as f64 * model.launch_overhead_us
+                        + lstats.gather_copies as f64 * model.launch_overhead_us * 0.5;
 
-            // Materialize the whole batch in one pass: outs[slot][lane]
-            // moves straight into the value table.
-            dfg.complete_batch(batch, outs);
-            if let Some(c) = checker.as_mut() {
-                c.after_batch(dfg, batch);
+                    // Materialize the chunk in one pass: outs[slot][lane]
+                    // moves straight into the value table.
+                    dfg.complete_batch(chunk, outs);
+                    if let Some(c) = checker.as_mut() {
+                        c.after_batch(dfg, chunk);
+                    }
+                }
             }
+            Ok(())
+        };
+        if let Err(e) = run_batches() {
+            // A mid-plan failure aborts the flush but must leave the
+            // context well-defined and resumable: batches that ran are
+            // already accounted and materialized; the failing batch and the
+            // rest of the plan stay pending, so the next flush replans them
+            // from scratch.  Scheduling time stays charged in full —
+            // planning genuinely ran, and a retry replans (and recharges)
+            // just like a real system.
+            stats.aborted_flushes += 1;
+            stats.device_peak_elements = mem.stats().peak_elements;
+            stats.host_wall_us += wall.elapsed().as_secs_f64() * 1e6;
+            *tainted = true;
+            if e.fault_class() != FaultClass::Interrupt {
+                // Downshift: repeated device faults halve the lane cap so a
+                // flaky accelerator sees smaller launches (and a one-lane
+                // floor), trading modeled throughput for progress.
+                *consecutive_aborts += 1;
+                if *consecutive_aborts >= 2 {
+                    let current = if *lane_cap == 0 { max_planned_batch } else { *lane_cap };
+                    let next = (current / 2).max(1);
+                    if next < current || *lane_cap == 0 {
+                        *lane_cap = next;
+                        stats.downshifts += 1;
+                    }
+                }
+            }
+            if options.checked {
+                if let Err(msg) = dfg.verify_consistent() {
+                    panic!("checked mode: DFG inconsistent after aborted flush: {msg}");
+                }
+            }
+            return Err(e);
         }
         if let Some(c) = checker {
             c.finish(dfg);
+        }
+        // A clean flush recovers: the lane cap doubles back toward the
+        // unlimited steady state and the abort streak resets.
+        *consecutive_aborts = 0;
+        if *lane_cap != 0 {
+            let doubled = lane_cap.saturating_mul(2);
+            *lane_cap = if doubled >= max_planned_batch { 0 } else { doubled };
         }
         self.stats.flushes += 1;
         self.stats.device_peak_elements = self.mem.stats().peak_elements;
@@ -486,6 +649,76 @@ mod tests {
     }
 
     #[test]
+    fn pool_quarantines_context_after_aborted_flush() {
+        use acrobat_tensor::FaultPlan;
+        let m = typeck::check_module(parse_module(PROGRAM).unwrap()).unwrap();
+        let a = Arc::new(analyze(m, AnalysisOptions::default()).unwrap());
+        let lib = KernelLibrary::build(&a);
+        let engine = Arc::new(Engine::new(
+            a.clone(),
+            lib,
+            DeviceModel::default(),
+            RuntimeOptions::default(),
+        ));
+        let pool = ContextPool::new();
+        let group = a.blocks.blocks[0].groups[0].id;
+
+        let run_units = |rt: &mut ExecutionContext| -> Result<Vec<Tensor>, TensorError> {
+            let w = rt.mem_mut().upload(&Tensor::from_fn(&[2, 2], |i| i as f32))?;
+            let wv = rt.ready_value(w);
+            let kernel = rt.library().kernel_for_group(group).clone();
+            let mut outs = Vec::new();
+            for i in 0..4 {
+                let x = rt.upload_inputs(&[&Tensor::fill(&[1, 2], i as f32 - 1.5)])?[0];
+                let args: Vec<ValueId> = kernel
+                    .inputs
+                    .iter()
+                    .map(|inp| match inp.class {
+                        acrobat_analysis::ArgClass::Batched => x,
+                        acrobat_analysis::ArgClass::Shared => wv,
+                    })
+                    .collect();
+                outs.push(rt.add_unit(group, i, 0, 0, args, true)[0]);
+            }
+            rt.flush()?;
+            outs.iter().map(|o| rt.download(*o)).collect()
+        };
+
+        let mut clean = pool.acquire(&engine);
+        let reference = run_units(&mut clean).unwrap();
+        pool.release(clean);
+        assert_eq!(pool.idle_count(), 1, "clean context is recycled");
+        assert_eq!(pool.quarantined_count(), 0);
+
+        // Abort the recycled context's flush (no retry configured, so the
+        // injected fault surfaces) and audit what the pool does with it.
+        let mut faulty = pool.acquire(&engine);
+        assert_eq!(pool.idle_count(), 0, "acquire reused the idle context");
+        faulty.mem_mut().arm_fault(FaultPlan::parse("launch:0:kernel").unwrap());
+        let err = run_units(&mut faulty).unwrap_err();
+        assert!(matches!(err, TensorError::Injected { .. }), "wrong error: {err}");
+        assert!(faulty.tainted(), "aborted flush must taint the context");
+        assert_eq!(faulty.stats().aborted_flushes, 1);
+        pool.release(faulty);
+        assert_eq!(pool.idle_count(), 0, "tainted context must not be recycled");
+        assert_eq!(pool.quarantined_count(), 1);
+
+        // The next acquire constructs a fresh context — no armed fault, no
+        // stale DFG or stats — and reproduces the reference bit-for-bit.
+        let mut fresh = pool.acquire(&engine);
+        assert!(fresh.mem_mut().armed_fault().is_none(), "fault plan leaked through the pool");
+        assert!(!fresh.tainted());
+        assert_eq!(fresh.stats().nodes, 0);
+        let again = run_units(&mut fresh).unwrap();
+        for (r, g) in reference.iter().zip(&again) {
+            assert_eq!(r.data(), g.data(), "post-quarantine run diverged");
+        }
+        pool.release(fresh);
+        assert_eq!(pool.idle_count(), 1);
+        assert_eq!(pool.quarantined_count(), 1);
+    }
+
+    #[test]
     fn checked_mode_passes_and_matches_unchecked() {
         for kind in [SchedulerKind::InlineDepth, SchedulerKind::DynamicDepth, SchedulerKind::Agenda]
         {
@@ -578,7 +811,8 @@ mod tests {
             // nothing counts as a finished flush.
             assert_eq!(rt.stats().aborted_flushes, 1, "{plan}");
             assert_eq!(rt.stats().flushes, 0, "{plan}");
-            assert_eq!(rt.stats().kernel_launches, fault.nth, "{plan}: prefix accounted");
+            let acrobat_tensor::FaultMode::Nth(nth) = fault.mode else { unreachable!() };
+            assert_eq!(rt.stats().kernel_launches, nth, "{plan}: prefix accounted");
             assert!(rt.stats().host_wall_us > 0.0, "{plan}");
             rt.verify_consistent().unwrap();
 
@@ -690,6 +924,245 @@ mod tests {
         let fresh = pool.acquire(&retuned);
         assert!(Arc::ptr_eq(fresh.engine(), &retuned));
         assert_eq!(pool.idle_count(), 0, "stale context was dropped, not reused");
+    }
+
+    #[test]
+    fn transient_faults_retry_with_backoff_bit_for_bit() {
+        use crate::resilience::RetryPolicy;
+        let src = "def @main($w1: Tensor[(2, 2)], $w2: Tensor[(2, 2)], %x: Tensor[(1, 2)]) -> Tensor[(1, 2)] {
+            matmul(matmul(%x, $w1), $w2)
+        }";
+        let build = |options: RuntimeOptions| {
+            let (a, mut rt) = setup(src, options);
+            let block = &a.blocks.blocks[0];
+            let (g0, g1) = (block.groups[0].id, block.groups[1].id);
+            let w1 = rt.mem_mut().upload(&Tensor::from_fn(&[2, 2], |i| i as f32)).unwrap();
+            let w1v = rt.ready_value(w1);
+            let w2 = rt.mem_mut().upload(&Tensor::from_fn(&[2, 2], |i| 1.0 - i as f32)).unwrap();
+            let w2v = rt.ready_value(w2);
+            let mut outs = Vec::new();
+            for i in 0..3 {
+                let x = rt.upload_inputs(&[&Tensor::fill(&[1, 2], i as f32 - 1.0)]).unwrap()[0];
+                let o0 = rt.add_unit(g0, i, 0, 0, vec![x, w1v], true);
+                outs.push(rt.add_unit(g1, i, 1, 0, vec![o0[0], w2v], false)[0]);
+            }
+            (rt, outs)
+        };
+        // Fault-free reference outputs.
+        let (mut rt, outs) = build(RuntimeOptions { checked: true, ..Default::default() });
+        rt.flush().unwrap();
+        let want: Vec<Tensor> = outs.iter().map(|o| rt.download(*o).unwrap()).collect();
+        assert!(!rt.tainted(), "clean run is recyclable");
+
+        // A one-shot kernel fault is transient: the retry replans the
+        // pending suffix and the run completes bit-for-bit.
+        let retry = RetryPolicy { max_retries: 2, backoff_base_us: 50.0 };
+        let (mut rt, outs) = build(RuntimeOptions { checked: true, retry, ..Default::default() });
+        rt.mem_mut().arm_fault(acrobat_tensor::FaultPlan::parse("launch:1:kernel").unwrap());
+        rt.flush().expect("transient fault retried to success");
+        assert_eq!(rt.stats().retries, 1);
+        assert_eq!(rt.stats().aborted_flushes, 1);
+        assert_eq!(rt.stats().flushes, 1);
+        assert_eq!(rt.stats().retry_backoff_us, 50.0, "first backoff = base");
+        assert!(rt.tainted(), "a fault was observed: quarantine on release");
+        for (o, w) in outs.iter().zip(&want) {
+            assert_eq!(rt.download(*o).unwrap().data(), w.data(), "retry is bit-for-bit");
+        }
+
+        // Fatal faults (OOM) are never retried.
+        let (mut rt, _) = build(RuntimeOptions { checked: true, retry, ..Default::default() });
+        rt.mem_mut().arm_fault(acrobat_tensor::FaultPlan::parse("launch:1:oom").unwrap());
+        assert!(matches!(rt.flush(), Err(TensorError::DeviceOom { .. })));
+        assert_eq!(rt.stats().retries, 0, "fatal faults surface immediately");
+
+        // A permanent transient fault exhausts the retry budget.
+        let (mut rt, _) = build(RuntimeOptions { checked: true, retry, ..Default::default() });
+        rt.mem_mut().arm_fault(acrobat_tensor::FaultPlan::storm(
+            acrobat_tensor::FaultSite::Launch,
+            1_000_000,
+            7,
+            acrobat_tensor::FaultKind::Kernel,
+        ));
+        assert!(matches!(rt.flush(), Err(TensorError::Injected { .. })));
+        assert_eq!(rt.stats().retries, 2, "bounded by max_retries");
+        assert_eq!(rt.stats().aborted_flushes, 3, "initial attempt + 2 retries");
+        assert_eq!(rt.stats().retry_backoff_us, 50.0 + 100.0, "exponential backoff");
+    }
+
+    #[test]
+    fn interrupts_surface_and_taint() {
+        use crate::resilience::{CancelToken, Deadline};
+        let (a, mut rt) = setup(PROGRAM, RuntimeOptions::default());
+        let group = a.blocks.blocks[0].groups[0].id;
+        let w = rt.mem_mut().upload(&Tensor::ones(&[2, 2])).unwrap();
+        let wv = rt.ready_value(w);
+        let x = rt.upload_inputs(&[&Tensor::ones(&[1, 2])]).unwrap()[0];
+        let kernel = rt.library().kernel_for_group(group).clone();
+        let args: Vec<ValueId> = kernel
+            .inputs
+            .iter()
+            .map(|inp| match inp.class {
+                acrobat_analysis::ArgClass::Batched => x,
+                acrobat_analysis::ArgClass::Shared => wv,
+            })
+            .collect();
+        rt.add_unit(group, 0, 0, 0, args, true);
+        let token = CancelToken::new();
+        rt.set_cancel(token.clone());
+        rt.flush().expect("un-cancelled flush proceeds");
+        assert!(!rt.tainted());
+        token.cancel();
+        assert_eq!(rt.flush(), Err(TensorError::Cancelled));
+        assert!(rt.tainted(), "cancellation quarantines the context");
+
+        // A zero virtual budget trips deterministically on the first check;
+        // the interrupt is not a device fault and is never retried.
+        let (_, mut rt) = setup(
+            PROGRAM,
+            RuntimeOptions {
+                retry: crate::resilience::RetryPolicy { max_retries: 3, backoff_base_us: 50.0 },
+                ..Default::default()
+            },
+        );
+        rt.set_deadline(Deadline::virtual_us(0.0));
+        assert!(matches!(rt.flush(), Err(TensorError::DeadlineExceeded { .. })));
+        assert_eq!(rt.stats().retries, 0, "interrupts are never retried");
+        assert!(rt.tainted());
+    }
+
+    #[test]
+    fn repeated_aborts_downshift_then_recover_bit_for_bit() {
+        let build = || {
+            let (a, mut rt) =
+                setup(PROGRAM, RuntimeOptions { checked: true, ..Default::default() });
+            let group = a.blocks.blocks[0].groups[0].id;
+            let w = rt.mem_mut().upload(&Tensor::from_fn(&[2, 2], |i| i as f32)).unwrap();
+            let wv = rt.ready_value(w);
+            let kernel = rt.library().kernel_for_group(group).clone();
+            let mut outs = Vec::new();
+            for i in 0..4 {
+                let x = rt.upload_inputs(&[&Tensor::fill(&[1, 2], i as f32 - 1.5)]).unwrap()[0];
+                let args: Vec<ValueId> = kernel
+                    .inputs
+                    .iter()
+                    .map(|inp| match inp.class {
+                        acrobat_analysis::ArgClass::Batched => x,
+                        acrobat_analysis::ArgClass::Shared => wv,
+                    })
+                    .collect();
+                outs.push(rt.add_unit(group, i, 0, 0, args, true)[0]);
+            }
+            (rt, outs)
+        };
+        let (mut rt, outs) = build();
+        rt.flush().unwrap();
+        assert_eq!(rt.stats().kernel_launches, 1, "4 lanes, one launch at full batch");
+        let want: Vec<Tensor> = outs.iter().map(|o| rt.download(*o).unwrap()).collect();
+
+        // An always-on launch storm aborts every flush; the second
+        // consecutive abort starts halving the lane cap.
+        let (mut rt, outs) = build();
+        rt.mem_mut().arm_fault(acrobat_tensor::FaultPlan::storm(
+            acrobat_tensor::FaultSite::Launch,
+            1_000_000,
+            1,
+            acrobat_tensor::FaultKind::Kernel,
+        ));
+        assert!(rt.flush().is_err());
+        assert_eq!(rt.lane_cap(), 0, "one abort is not a trend");
+        assert!(rt.flush().is_err());
+        assert_eq!(rt.lane_cap(), 2, "second consecutive abort halves the 4-lane batch");
+        assert!(rt.flush().is_err());
+        assert_eq!(rt.lane_cap(), 1, "third abort halves again, to the one-lane floor");
+        assert_eq!(rt.stats().downshifts, 2);
+
+        // Downshifted execution is chunked (more launches) but bit-for-bit.
+        rt.mem_mut().clear_fault();
+        rt.flush().unwrap();
+        assert_eq!(rt.stats().kernel_launches, 4, "cap 1: one launch per lane");
+        for (o, w) in outs.iter().zip(&want) {
+            assert_eq!(rt.download(*o).unwrap().data(), w.data(), "chunking is value-neutral");
+        }
+        assert_eq!(rt.lane_cap(), 2, "a clean flush doubles the cap back toward unlimited");
+    }
+
+    #[test]
+    fn pool_quarantines_tainted_contexts() {
+        // Satellite: a context that aborted a flush holds stale pending DFG
+        // nodes, partial device memory and an armed fault plan — the pool
+        // must drop it, never recycle it.
+        let (a, mut rt) = setup(PROGRAM, RuntimeOptions::default());
+        let group = a.blocks.blocks[0].groups[0].id;
+        let w = rt.mem_mut().upload(&Tensor::ones(&[2, 2])).unwrap();
+        let wv = rt.ready_value(w);
+        let x = rt.upload_inputs(&[&Tensor::ones(&[1, 2])]).unwrap()[0];
+        let kernel = rt.library().kernel_for_group(group).clone();
+        let args: Vec<ValueId> = kernel
+            .inputs
+            .iter()
+            .map(|inp| match inp.class {
+                acrobat_analysis::ArgClass::Batched => x,
+                acrobat_analysis::ArgClass::Shared => wv,
+            })
+            .collect();
+        rt.add_unit(group, 0, 0, 0, args, true);
+        rt.mem_mut().arm_fault(acrobat_tensor::FaultPlan::parse("launch:0:kernel").unwrap());
+        assert!(rt.flush().is_err());
+        assert!(rt.tainted());
+        assert!(rt.mem_mut().armed_fault().is_some(), "fault plan still armed at release");
+
+        let engine = rt.engine().clone();
+        let pool = ContextPool::new();
+        pool.release(rt);
+        assert_eq!(pool.idle_count(), 0, "tainted context dropped");
+        assert_eq!(pool.quarantined_count(), 1);
+
+        // The replacement context the pool hands out is pristine.
+        let mut fresh = pool.acquire(&engine);
+        assert!(fresh.mem_mut().armed_fault().is_none());
+        assert_eq!(fresh.stats(), &RuntimeStats::default());
+        assert!(!fresh.tainted());
+        fresh.flush().unwrap();
+        assert_eq!(fresh.stats().flushes, 0, "no stale pending nodes to execute");
+        pool.release(fresh);
+        assert_eq!(pool.idle_count(), 1, "clean contexts still pool");
+        assert_eq!(pool.quarantined_count(), 1);
+    }
+
+    #[test]
+    fn recycled_context_carries_no_stale_pending_nodes() {
+        // An *abandoned* (never-flushed, never-faulted) run is not tainted;
+        // recycling it must still not leak its pending DFG nodes, armed
+        // fault plan or device memory into the next request.
+        let (a, mut rt) = setup(PROGRAM, RuntimeOptions::default());
+        let group = a.blocks.blocks[0].groups[0].id;
+        let w = rt.mem_mut().upload(&Tensor::ones(&[2, 2])).unwrap();
+        let wv = rt.ready_value(w);
+        let x = rt.upload_inputs(&[&Tensor::ones(&[1, 2])]).unwrap()[0];
+        let kernel = rt.library().kernel_for_group(group).clone();
+        let args: Vec<ValueId> = kernel
+            .inputs
+            .iter()
+            .map(|inp| match inp.class {
+                acrobat_analysis::ArgClass::Batched => x,
+                acrobat_analysis::ArgClass::Shared => wv,
+            })
+            .collect();
+        rt.add_unit(group, 0, 0, 0, args, true);
+        rt.mem_mut().arm_fault(acrobat_tensor::FaultPlan::parse("launch:5:kernel").unwrap());
+        assert!(!rt.tainted());
+
+        let engine = rt.engine().clone();
+        let pool = ContextPool::new();
+        pool.release(rt);
+        assert_eq!(pool.idle_count(), 1, "clean context recycled");
+        let mut rt = pool.acquire(&engine);
+        assert!(rt.mem_mut().armed_fault().is_none(), "armed plan cleared");
+        let mem = rt.mem_mut().stats();
+        assert_eq!((mem.upload_bytes, mem.peak_elements), (0, 0), "device memory cleared");
+        rt.flush().unwrap();
+        assert_eq!(rt.stats().flushes, 0, "no stale pending nodes");
+        assert_eq!(rt.stats().kernel_launches, 0);
     }
 
     #[test]

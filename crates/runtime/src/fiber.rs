@@ -17,9 +17,51 @@
 //! device model's `fiber_switch_cost_us`, not measured from thread context
 //! switches.
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
+
+/// Structured watchdog failure from [`FiberHub::drive_timeout`]: the hub
+/// failed to reach a flush point (or termination) within the stall budget.
+///
+/// Carries a snapshot of the hub's counters so the error message pinpoints
+/// *what* is stuck (a runnable fiber spinning, a fork-join parent blocked on
+/// children, …) instead of a bare panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriveTimeout {
+    /// The stall budget that elapsed.
+    pub stalled_ms: u64,
+    /// Fibers counted runnable when the watchdog fired.
+    pub runnable: usize,
+    /// Fibers waiting for a flush.
+    pub waiting: usize,
+    /// Fibers woken by a flush but not yet resumed.
+    pub resuming: usize,
+    /// Fork-join parents parked in [`FiberHub::suspend_while`].
+    pub suspended: usize,
+    /// Flush generation reached before the stall.
+    pub generation: u64,
+}
+
+impl fmt::Display for DriveTimeout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fiber hub stalled for {}ms at generation {} \
+             (runnable {}, waiting {}, resuming {}, suspended {})",
+            self.stalled_ms,
+            self.generation,
+            self.runnable,
+            self.waiting,
+            self.resuming,
+            self.suspended
+        )
+    }
+}
+
+impl std::error::Error for DriveTimeout {}
 
 #[derive(Debug, Default)]
 struct HubState {
@@ -42,6 +84,10 @@ struct HubState {
     flushing: bool,
     /// Incremented after every flush; waiters from older generations wake.
     generation: u64,
+    /// Set by [`FiberHub::cancel`]: parked fibers drain (wake without a
+    /// flush) instead of waiting forever, so a failed or abandoned drive
+    /// never strands its fiber threads.
+    cancelled: bool,
 }
 
 /// Coordination point between fibers and the flush driver.
@@ -73,7 +119,10 @@ impl FiberHub {
         }
     }
 
-    /// Suspends the calling fiber until the next DFG flush completes.
+    /// Suspends the calling fiber until the next DFG flush completes — or
+    /// until the hub is [`FiberHub::cancel`]led, which wakes it without a
+    /// flush (callers then observe the run's poison/cancel state and
+    /// unwind).
     pub fn wait_for_flush(&self) {
         self.switches.fetch_add(1, Ordering::Relaxed);
         let mut st = self.state.lock();
@@ -83,11 +132,21 @@ impl FiberHub {
         if st.runnable == 0 {
             self.cv.notify_all(); // wake the driver
         }
-        while st.generation == my_gen {
+        while st.generation == my_gen && !st.cancelled {
+            self.cv.wait(&mut st);
+        }
+        // A cancel can land while the driver is mid-flush with the lock
+        // released; wait the flush out so a draining fiber never mutates
+        // the DFG (or trips the driver's runnable==0 assertion) during it.
+        while st.flushing {
             self.cv.wait(&mut st);
         }
         st.waiting -= 1;
-        st.resuming -= 1;
+        if st.generation != my_gen {
+            // Woken by a real flush: account the resume handshake.  A
+            // cancel-drain without a flush has no resume accounting.
+            st.resuming -= 1;
+        }
         st.runnable += 1;
         if st.resuming == 0 {
             self.cv.notify_all(); // let the driver re-evaluate
@@ -133,7 +192,30 @@ impl FiberHub {
     /// mean the flush raced a live fiber, which the protocol forbids (a
     /// fiber registered from inside [`FiberHub::suspend_while`] would do
     /// this; register fibers before suspending on them).
-    pub fn drive(&self, mut flush: impl FnMut()) {
+    pub fn drive(&self, flush: impl FnMut()) {
+        self.drive_timeout(flush, None).expect("unreachable: drive without a stall budget");
+    }
+
+    /// [`FiberHub::drive`] with a watchdog: if the hub fails to reach
+    /// quiescence (a flush point or termination) within `stall`, returns a
+    /// structured [`DriveTimeout`] instead of blocking forever.
+    ///
+    /// On timeout the caller owns recovery — typically poison the run and
+    /// [`FiberHub::cancel`] so parked fibers drain and their threads join.
+    ///
+    /// # Errors
+    ///
+    /// [`DriveTimeout`] with a snapshot of the hub counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fiber becomes runnable while `flush` runs (see
+    /// [`FiberHub::drive`]).
+    pub fn drive_timeout(
+        &self,
+        mut flush: impl FnMut(),
+        stall: Option<Duration>,
+    ) -> Result<(), DriveTimeout> {
         loop {
             {
                 let mut st = self.state.lock();
@@ -141,11 +223,34 @@ impl FiberHub {
                 // `suspend_while` with no waiting fibers is NOT termination:
                 // it resumes once its children finish and may reach further
                 // sync points that need this driver.
+                let mut stalled_since: Option<Instant> = None;
                 while st.runnable > 0 || st.resuming > 0 || (st.waiting == 0 && st.suspended > 0) {
-                    self.cv.wait(&mut st);
+                    match stall {
+                        None => self.cv.wait(&mut st),
+                        Some(limit) => {
+                            let started = *stalled_since.get_or_insert_with(Instant::now);
+                            let elapsed = started.elapsed();
+                            if elapsed >= limit {
+                                return Err(DriveTimeout {
+                                    stalled_ms: limit.as_millis() as u64,
+                                    runnable: st.runnable,
+                                    waiting: st.waiting,
+                                    resuming: st.resuming,
+                                    suspended: st.suspended,
+                                    generation: st.generation,
+                                });
+                            }
+                            let _ = self.cv.wait_for(&mut st, limit - elapsed);
+                        }
+                    }
                 }
                 if st.waiting == 0 {
-                    return; // everyone finished
+                    return Ok(()); // everyone finished
+                }
+                if st.cancelled {
+                    // Parked fibers are draining themselves; flushing for
+                    // them would execute work for a dead run.
+                    return Ok(());
                 }
                 st.flushing = true;
             }
@@ -157,6 +262,20 @@ impl FiberHub {
             st.generation += 1;
             self.cv.notify_all();
         }
+    }
+
+    /// Cancels the hub: every fiber parked in [`FiberHub::wait_for_flush`]
+    /// (now or later) wakes without a flush and drains, so fiber threads
+    /// can always be joined even after a timed-out or abandoned drive.
+    /// Idempotent.
+    pub fn cancel(&self) {
+        self.state.lock().cancelled = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether [`FiberHub::cancel`] was called.
+    pub fn is_cancelled(&self) -> bool {
+        self.state.lock().cancelled
     }
 
     /// Number of fiber suspensions observed so far.
@@ -240,5 +359,94 @@ mod tests {
     fn no_fibers_drive_returns_immediately() {
         let hub = FiberHub::new();
         hub.drive(|| panic!("no flush expected"));
+    }
+
+    #[test]
+    fn drive_timeout_completes_normally_within_budget() {
+        let hub = Arc::new(FiberHub::new());
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            hub.register();
+            let hub = hub.clone();
+            handles.push(std::thread::spawn(move || {
+                hub.wait_for_flush();
+                hub.finish();
+            }));
+        }
+        let flushes = Arc::new(AtomicUsize::new(0));
+        let fc = flushes.clone();
+        hub.drive_timeout(
+            move || {
+                fc.fetch_add(1, Ordering::SeqCst);
+            },
+            Some(std::time::Duration::from_secs(30)),
+        )
+        .expect("no stall");
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(flushes.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn drive_timeout_reports_stall_and_cancel_drains_parked_fibers() {
+        let hub = Arc::new(FiberHub::new());
+        // One fiber parks at a sync point; another stays "runnable" but
+        // stuck on an external event the driver knows nothing about.
+        hub.register();
+        hub.register();
+        let h = hub.clone();
+        let parked = std::thread::spawn(move || {
+            h.wait_for_flush();
+            h.finish();
+        });
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let h = hub.clone();
+        let stuck = std::thread::spawn(move || {
+            rx.recv().unwrap();
+            h.finish();
+        });
+
+        let err = hub
+            .drive_timeout(
+                || panic!("quiescence is unreachable"),
+                Some(std::time::Duration::from_millis(50)),
+            )
+            .expect_err("watchdog must fire");
+        // The parked fiber may or may not have reached its sync point when
+        // the watchdog fired; the stuck one is always counted runnable.
+        assert!(err.runnable >= 1, "the stuck fiber shows up in the snapshot: {err}");
+        assert_eq!(err.runnable + err.waiting, 2, "{err}");
+        assert!(err.to_string().contains("stalled for 50ms"), "{err}");
+
+        // Recovery: cancel drains the parked fiber without a flush, the
+        // external event releases the stuck one, and both threads join —
+        // no panicking watchdog, no stranded threads.
+        hub.cancel();
+        assert!(hub.is_cancelled());
+        tx.send(()).unwrap();
+        parked.join().unwrap();
+        stuck.join().unwrap();
+    }
+
+    #[test]
+    fn cancel_before_flush_skips_the_flush() {
+        // All fibers reach the sync point, but the hub is cancelled: drive
+        // must not execute work for a dead run, and the fibers drain.
+        let hub = Arc::new(FiberHub::new());
+        hub.cancel();
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            hub.register();
+            let hub = hub.clone();
+            handles.push(std::thread::spawn(move || {
+                hub.wait_for_flush(); // returns without a flush: cancelled
+                hub.finish();
+            }));
+        }
+        hub.drive(|| panic!("flush must not run for a cancelled hub"));
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 }

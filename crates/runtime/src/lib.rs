@@ -49,6 +49,7 @@ pub mod device;
 pub mod dfg;
 pub mod engine;
 pub mod fiber;
+pub mod resilience;
 pub mod scheduler;
 pub mod stats;
 
@@ -57,6 +58,7 @@ pub use context::ExecutionContext;
 pub use device::DeviceModel;
 pub use dfg::{Dfg, NodeId, ValueId};
 pub use engine::{ContextPool, Engine, RuntimeOptions};
-pub use fiber::FiberHub;
+pub use fiber::{DriveTimeout, FiberHub};
+pub use resilience::{CancelToken, Deadline, RetryPolicy};
 pub use scheduler::SchedulerKind;
 pub use stats::RuntimeStats;

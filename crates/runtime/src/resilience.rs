@@ -1,0 +1,201 @@
+//! Request-lifecycle resilience: deadlines, cooperative cancellation and
+//! transient-fault retry policy.
+//!
+//! ACROBAT's lazy-DFG runtime interleaves many requests' tensor work into
+//! shared flushes, so one faulty or slow request can poison its neighbours
+//! unless the runtime carries explicit per-request lifecycle state.  This
+//! module provides the three primitives the serving layer threads through
+//! an [`crate::ExecutionContext`]:
+//!
+//! * [`CancelToken`] — cooperative cancellation, checked at flush
+//!   boundaries and between batched launches;
+//! * [`Deadline`] — a latency budget, either *virtual* (compared against
+//!   the device model's accumulated time, deterministic and reproducible)
+//!   or *wall-clock* (a real serving SLA);
+//! * [`RetryPolicy`] — bounded retry with exponential backoff for
+//!   *transient* device faults ([`acrobat_tensor::FaultClass::Transient`]),
+//!   reusing the aborted-flush replan machinery: a failed flush leaves the
+//!   unexecuted suffix of the plan pending, so a retry simply replans and
+//!   reruns it, bit-for-bit.  Backoff is charged as virtual time to the
+//!   device cost model rather than slept.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use acrobat_tensor::TensorError;
+use serde::{Deserialize, Serialize};
+
+/// Cooperative cancellation flag shared between a request's submitter and
+/// its execution context.
+///
+/// Cloning is cheap (an `Arc` bump); all clones observe the same flag.
+/// Cancellation is *cooperative*: the runtime polls the token at flush
+/// boundaries and between batched kernel launches, so an in-flight batch
+/// always completes before the request observes [`TensorError::Cancelled`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation.  Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// A per-request latency budget.
+///
+/// The default is [`Deadline::Unlimited`].  Virtual deadlines compare
+/// against the *modeled* time a context has accumulated
+/// ([`crate::RuntimeStats::total_us`]), which makes deadline behaviour
+/// deterministic — the chaos harness relies on this to predict exactly
+/// which requests miss their budget.  Wall deadlines compare against real
+/// elapsed time, for actual serving SLAs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Deadline {
+    /// No deadline.
+    #[default]
+    Unlimited,
+    /// Budget in modeled microseconds; a check trips once the context's
+    /// accumulated modeled time reaches the budget (so a zero budget trips
+    /// on the first check, deterministically).
+    Virtual {
+        /// Modeled-microsecond budget.
+        budget_us: f64,
+    },
+    /// Wall-clock budget measured from `start`.
+    Wall {
+        /// When the request was admitted.
+        start: Instant,
+        /// Real-time budget.
+        budget: Duration,
+    },
+}
+
+impl Deadline {
+    /// A virtual deadline of `budget_us` modeled microseconds.
+    pub fn virtual_us(budget_us: f64) -> Deadline {
+        Deadline::Virtual { budget_us }
+    }
+
+    /// A wall-clock deadline of `budget` starting now.
+    pub fn wall(budget: Duration) -> Deadline {
+        Deadline::Wall { start: Instant::now(), budget }
+    }
+
+    /// Checks the budget against `spent_us` modeled microseconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DeadlineExceeded`] when the budget is spent.
+    pub fn check(&self, spent_us: f64) -> Result<(), TensorError> {
+        match *self {
+            Deadline::Unlimited => Ok(()),
+            Deadline::Virtual { budget_us } => {
+                if spent_us >= budget_us {
+                    Err(TensorError::DeadlineExceeded { spent_us, budget_us })
+                } else {
+                    Ok(())
+                }
+            }
+            Deadline::Wall { start, budget } => {
+                let elapsed = start.elapsed();
+                if elapsed > budget {
+                    Err(TensorError::DeadlineExceeded {
+                        spent_us: elapsed.as_secs_f64() * 1e6,
+                        budget_us: budget.as_secs_f64() * 1e6,
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// Bounded retry-with-backoff policy for transient device faults.
+///
+/// `max_retries == 0` (the default) disables retry entirely: every fault
+/// surfaces to the caller, preserving the pre-resilience behaviour.  With
+/// retries enabled, only faults classified
+/// [`acrobat_tensor::FaultClass::Transient`] are retried; fatal faults and
+/// interrupts (cancellation, deadline) surface immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum retry attempts per flush (0 = retry disabled).
+    pub max_retries: u32,
+    /// Backoff before retry attempt `n` is `backoff_base_us * 2^(n-1)`
+    /// modeled microseconds, charged to the context's statistics (and thus
+    /// counted against any virtual deadline) rather than slept.
+    pub backoff_base_us: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 0, backoff_base_us: 50.0 }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff charged before the `attempt`-th retry (1-based), µs.
+    pub fn backoff_us(&self, attempt: u32) -> f64 {
+        self.backoff_base_us * f64::from(2u32.saturating_pow(attempt.saturating_sub(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_is_shared() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        b.cancel(); // idempotent
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn virtual_deadline_trips_deterministically() {
+        assert!(Deadline::Unlimited.check(1e12).is_ok());
+        let d = Deadline::virtual_us(100.0);
+        assert!(d.check(99.9).is_ok());
+        let err = d.check(100.0).unwrap_err();
+        assert_eq!(err, TensorError::DeadlineExceeded { spent_us: 100.0, budget_us: 100.0 });
+        // A zero budget trips on the very first check.
+        assert!(Deadline::virtual_us(0.0).check(0.0).is_err());
+    }
+
+    #[test]
+    fn wall_deadline_trips_after_elapsing() {
+        let d = Deadline::wall(Duration::from_secs(3600));
+        assert!(d.check(0.0).is_ok());
+        let expired = Deadline::Wall {
+            start: Instant::now() - Duration::from_secs(2),
+            budget: Duration::ZERO,
+        };
+        assert!(matches!(expired.check(0.0), Err(TensorError::DeadlineExceeded { .. })));
+    }
+
+    #[test]
+    fn backoff_is_exponential() {
+        let p = RetryPolicy { max_retries: 3, backoff_base_us: 50.0 };
+        assert_eq!(p.backoff_us(1), 50.0);
+        assert_eq!(p.backoff_us(2), 100.0);
+        assert_eq!(p.backoff_us(3), 200.0);
+        assert_eq!(RetryPolicy::default().max_retries, 0, "retry is opt-in");
+    }
+}

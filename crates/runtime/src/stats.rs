@@ -46,6 +46,13 @@ pub struct RuntimeStats {
     pub aborted_flushes: u64,
     /// Fiber suspensions.
     pub fiber_switches: u64,
+    /// Transient-fault retries performed by the flush path.
+    pub retries: u64,
+    /// Modeled retry backoff charged as virtual time, µs.
+    pub retry_backoff_us: f64,
+    /// Graceful-degradation lane-cap reductions (batch-size downshifts)
+    /// taken after repeated aborted flushes.
+    pub downshifts: u64,
 
     /// High-water mark of simulated device memory, in `f32` elements.
     pub device_peak_elements: u64,
@@ -70,6 +77,7 @@ impl RuntimeStats {
             + self.kernel_time_us
             + self.cuda_api_us
             + self.fiber_us
+            + self.retry_backoff_us
     }
 
     /// Total modeled latency in milliseconds.
@@ -103,6 +111,9 @@ impl RuntimeStats {
         self.flushes += o.flushes;
         self.aborted_flushes += o.aborted_flushes;
         self.fiber_switches += o.fiber_switches;
+        self.retries += o.retries;
+        self.retry_backoff_us += o.retry_backoff_us;
+        self.downshifts += o.downshifts;
         self.device_peak_elements = self.device_peak_elements.max(o.device_peak_elements);
         self.host_wall_us += o.host_wall_us;
         self.program_host_us += o.program_host_us;
@@ -134,6 +145,9 @@ impl RuntimeStats {
             flushes: avg(self.flushes),
             aborted_flushes: avg(self.aborted_flushes),
             fiber_switches: avg(self.fiber_switches),
+            retries: avg(self.retries),
+            retry_backoff_us: self.retry_backoff_us / n,
+            downshifts: avg(self.downshifts),
             device_peak_elements: self.device_peak_elements,
             host_wall_us: self.host_wall_us / n,
             program_host_us: self.program_host_us / n,

@@ -9,11 +9,11 @@
 //!   (and equals it when the envelope is tight, e.g. fork-free traces).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::time::Duration;
 
 use acrobat_runtime::check::hubsim::{self, FiberOp};
-use acrobat_runtime::FiberHub;
+use acrobat_runtime::{DriveTimeout, FiberHub};
 use proptest::prelude::*;
 
 /// Runs one fiber's script on the current thread, forking children onto
@@ -43,9 +43,12 @@ fn run_script(hub: Arc<FiberHub>, script: Vec<FiberOp>, mut jitter: u64) {
     hub.finish();
 }
 
-/// Executes the whole trace on real threads; returns (flushes, switches).
-/// Panics if the hub fails to terminate within the watchdog timeout.
-fn run_real(scripts: &[Vec<FiberOp>], jitter_seed: u64) -> (u64, u64) {
+/// Executes the whole trace on real threads; returns (flushes, switches),
+/// or the structured stall snapshot if the hub fails to reach quiescence
+/// within the watchdog budget.  On a stall the hub is cancelled so every
+/// fiber thread drains and joins before the error is reported — no threads
+/// are leaked into later cases.
+fn run_real(scripts: &[Vec<FiberOp>], jitter_seed: u64) -> Result<(u64, u64), DriveTimeout> {
     let hub = Arc::new(FiberHub::new());
     let flushes = Arc::new(AtomicU64::new(0));
     let mut handles = Vec::new();
@@ -56,23 +59,27 @@ fn run_real(scripts: &[Vec<FiberOp>], jitter_seed: u64) -> (u64, u64) {
         let seed = jitter_seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15);
         handles.push(std::thread::spawn(move || run_script(h, s, seed)));
     }
-    let (tx, rx) = mpsc::channel();
     let driver = {
         let hub = Arc::clone(&hub);
         let flushes = Arc::clone(&flushes);
         std::thread::spawn(move || {
-            hub.drive(|| {
-                flushes.fetch_add(1, Ordering::SeqCst);
-            });
-            let _ = tx.send(());
+            hub.drive_timeout(
+                || {
+                    flushes.fetch_add(1, Ordering::SeqCst);
+                },
+                Some(Duration::from_secs(30)),
+            )
         })
     };
-    rx.recv_timeout(Duration::from_secs(30)).expect("FiberHub::drive failed to terminate");
-    driver.join().unwrap();
+    let drove = driver.join().unwrap();
+    if drove.is_err() {
+        // Drain parked fibers so their threads exit before we report.
+        hub.cancel();
+    }
     for h in handles {
         h.join().unwrap();
     }
-    (flushes.load(Ordering::SeqCst), hub.switch_count())
+    drove.map(|()| (flushes.load(Ordering::SeqCst), hub.switch_count()))
 }
 
 proptest! {
@@ -89,7 +96,8 @@ proptest! {
             Ok(p) => p,
             Err(e) => return Err(format!("protocol violation in model: {e}")),
         };
-        let (flushes, switches) = run_real(&scripts, jitter_seed);
+        let (flushes, switches) = run_real(&scripts, jitter_seed)
+            .map_err(|stall| format!("hub failed to terminate: {stall}"))?;
         prop_assert_eq!(switches, predicted.switches);
         prop_assert!(
             predicted.flushes_min <= flushes && flushes <= predicted.flushes_max,
@@ -109,7 +117,8 @@ proptest! {
         // Fork-free: flushes happen only at global quiescence, so the
         // count is schedule-independent — the max per-fiber wait count.
         prop_assert_eq!(predicted.exact_flushes(), *waits.iter().max().unwrap() as u64);
-        let (flushes, switches) = run_real(&scripts, jitter_seed);
+        let (flushes, switches) = run_real(&scripts, jitter_seed)
+            .map_err(|stall| format!("hub failed to terminate: {stall}"))?;
         prop_assert_eq!(flushes, predicted.exact_flushes());
         prop_assert_eq!(switches, waits.iter().sum::<usize>() as u64);
     }

@@ -116,49 +116,106 @@ pub enum FaultKind {
     Kernel,
 }
 
-/// Deterministic fault-injection plan: fail the `nth` (zero-based)
-/// operation at `site` with an error of `kind`.
+/// When an armed [`FaultPlan`] trips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Deterministic one-shot: fail the zero-based `nth` operation at the
+    /// plan's site, exactly once.
+    Nth(u64),
+    /// Seeded probabilistic fault storm: every operation at the plan's site
+    /// fails independently with probability `ppm / 1_000_000`, driven by a
+    /// splitmix64 stream seeded from `seed` — the same plan against the
+    /// same operation sequence trips at the same occurrences every time.
+    Rate {
+        /// Failure probability in parts per million.
+        ppm: u32,
+        /// Seed of the per-arming pseudo-random stream.
+        seed: u64,
+    },
+}
+
+/// Deterministic fault-injection plan: fail operations at `site` with an
+/// error of `kind`, either one-shot (`nth`) or as a seeded probabilistic
+/// storm (`rate=p`) — see [`FaultMode`].
 ///
-/// Used by the runtime's checked mode to prove that every mid-flush error
-/// path leaves the runtime well-defined and resumable.  Arm with
-/// [`DeviceMem::arm_fault`]; the plan fires at most once and stays armed
-/// (but spent) until [`DeviceMem::clear_fault`].
+/// Used by the runtime's checked mode and the chaos harness to prove that
+/// every mid-flush error path leaves the runtime well-defined and
+/// resumable.  Arm with [`DeviceMem::arm_fault`]; a one-shot plan fires at
+/// most once and stays armed (but spent) until [`DeviceMem::clear_fault`];
+/// a storm keeps rolling until cleared.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultPlan {
     /// Operation class to fail.
     pub site: FaultSite,
-    /// Zero-based occurrence to fail.
-    pub nth: u64,
+    /// One-shot occurrence or probabilistic storm.
+    pub mode: FaultMode,
     /// Error to produce.
     pub kind: FaultKind,
 }
 
 impl FaultPlan {
-    /// Parses the `site:nth:kind` syntax, e.g. `"launch:3:oom"` or
-    /// `"gather:0:kernel"`.
+    /// One-shot plan failing the zero-based `nth` operation at `site`.
+    pub fn nth(site: FaultSite, nth: u64, kind: FaultKind) -> FaultPlan {
+        FaultPlan { site, mode: FaultMode::Nth(nth), kind }
+    }
+
+    /// Seeded storm plan failing each operation at `site` with probability
+    /// `ppm / 1_000_000`.
+    pub fn storm(site: FaultSite, ppm: u32, seed: u64, kind: FaultKind) -> FaultPlan {
+        FaultPlan { site, mode: FaultMode::Rate { ppm, seed }, kind }
+    }
+
+    /// Parses the `site:nth:kind` one-shot syntax (e.g. `"launch:3:oom"`,
+    /// `"gather:0:kernel"`) or the `site:rate=p[@seed]:kind` storm syntax
+    /// (e.g. `"launch:rate=0.01:kernel"`, `"upload:rate=5%@42:oom"`), where
+    /// `p` is a probability in `[0, 1]` or a percentage.
     ///
     /// # Errors
     ///
     /// Returns a description of the malformed component.
     pub fn parse(s: &str) -> std::result::Result<FaultPlan, String> {
         let mut parts = s.split(':');
-        let (site, nth, kind) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
-            (Some(a), Some(b), Some(c), None) => (a, b, c),
-            _ => return Err(format!("expected site:nth:kind, got {s:?}")),
-        };
+        let (site, occurrence, kind) =
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(a), Some(b), Some(c), None) => (a, b, c),
+                _ => return Err(format!("expected site:nth:kind or site:rate=p:kind, got {s:?}")),
+            };
         let site = match site {
             "launch" => FaultSite::Launch,
             "gather" => FaultSite::Gather,
             "upload" => FaultSite::Upload,
             _ => return Err(format!("unknown fault site {site:?}")),
         };
-        let nth = nth.parse::<u64>().map_err(|e| format!("bad occurrence {nth:?}: {e}"))?;
+        let mode = if let Some(spec) = occurrence.strip_prefix("rate=") {
+            let (prob, seed) = match spec.split_once('@') {
+                Some((p, s)) => {
+                    (p, s.parse::<u64>().map_err(|e| format!("bad storm seed {s:?}: {e}"))?)
+                }
+                None => (spec, 0),
+            };
+            let fraction = match prob.strip_suffix('%') {
+                Some(pct) => {
+                    pct.parse::<f64>().map_err(|e| format!("bad rate {prob:?}: {e}"))? / 100.0
+                }
+                None => prob.parse::<f64>().map_err(|e| format!("bad rate {prob:?}: {e}"))?,
+            };
+            if !(0.0..=1.0).contains(&fraction) {
+                return Err(format!("rate {prob:?} outside [0, 1]"));
+            }
+            FaultMode::Rate { ppm: (fraction * 1e6).round() as u32, seed }
+        } else {
+            FaultMode::Nth(
+                occurrence
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad occurrence {occurrence:?}: {e}"))?,
+            )
+        };
         let kind = match kind {
             "oom" => FaultKind::Oom,
             "kernel" => FaultKind::Kernel,
             _ => return Err(format!("unknown fault kind {kind:?}")),
         };
-        Ok(FaultPlan { site, nth, kind })
+        Ok(FaultPlan { site, mode, kind })
     }
 }
 
@@ -181,6 +238,8 @@ pub struct DeviceMem {
     fault: Option<FaultPlan>,
     /// Operations counted per [`FaultSite`] since the plan was armed.
     fault_counts: [u64; 3],
+    /// Splitmix64 state driving [`FaultMode::Rate`] storms (seeded at arm).
+    fault_rng: u64,
 }
 
 impl fmt::Debug for DeviceMem {
@@ -204,6 +263,7 @@ impl DeviceMem {
             stats: MemStats::default(),
             fault: None,
             fault_counts: [0; 3],
+            fault_rng: 0,
         }
     }
 
@@ -240,16 +300,27 @@ impl DeviceMem {
         self.generation += 1;
     }
 
-    /// Arms deterministic fault injection: the plan's `nth` operation at its
-    /// site fails with the planned error.  Site counters restart at zero.
+    /// Arms deterministic fault injection: a one-shot plan fails its `nth`
+    /// operation; a storm plan fails each operation with its seeded
+    /// probability.  Site counters (and the storm stream) restart.
     pub fn arm_fault(&mut self, plan: FaultPlan) {
         self.fault = Some(plan);
         self.fault_counts = [0; 3];
+        self.fault_rng = match plan.mode {
+            FaultMode::Nth(_) => 0,
+            // Mix the seed so seed 0 does not start a degenerate stream.
+            FaultMode::Rate { seed, .. } => seed ^ 0x9E3779B97F4A7C15,
+        };
     }
 
     /// Disarms fault injection.
     pub fn clear_fault(&mut self) {
         self.fault = None;
+    }
+
+    /// The armed fault plan, if any.
+    pub fn armed_fault(&self) -> Option<FaultPlan> {
+        self.fault
     }
 
     /// Counts one operation at `site` against the armed fault plan and
@@ -259,15 +330,28 @@ impl DeviceMem {
     ///
     /// # Errors
     ///
-    /// Returns the armed plan's error on the planned occurrence.
+    /// Returns the armed plan's error on the planned occurrence (one-shot)
+    /// or on a seeded storm roll.
     pub fn trip_fault(&mut self, site: FaultSite) -> Result<()> {
         let Some(plan) = self.fault else { return Ok(()) };
         if plan.site != site {
             return Ok(());
         }
         let count = &mut self.fault_counts[site as usize];
-        let hit = *count == plan.nth;
+        let occurrence = *count;
         *count += 1;
+        let hit = match plan.mode {
+            FaultMode::Nth(nth) => occurrence == nth,
+            FaultMode::Rate { ppm, .. } => {
+                // splitmix64 step: one roll per counted operation.
+                self.fault_rng = self.fault_rng.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = self.fault_rng;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^= z >> 31;
+                (z % 1_000_000) < ppm as u64
+            }
+        };
         if !hit {
             return Ok(());
         }
@@ -276,7 +360,7 @@ impl DeviceMem {
                 requested: self.buf.len() * std::mem::size_of::<f32>(),
                 available: (self.buf.len() - self.top) * std::mem::size_of::<f32>(),
             }),
-            FaultKind::Kernel => Err(TensorError::Injected { site, nth: plan.nth }),
+            FaultKind::Kernel => Err(TensorError::Injected { site, nth: occurrence }),
         }
     }
 
@@ -639,16 +723,54 @@ mod tests {
     fn fault_plan_parse() {
         assert_eq!(
             FaultPlan::parse("launch:3:oom"),
-            Ok(FaultPlan { site: FaultSite::Launch, nth: 3, kind: FaultKind::Oom })
+            Ok(FaultPlan::nth(FaultSite::Launch, 3, FaultKind::Oom))
         );
         assert_eq!(
             FaultPlan::parse("gather:0:kernel"),
-            Ok(FaultPlan { site: FaultSite::Gather, nth: 0, kind: FaultKind::Kernel })
+            Ok(FaultPlan::nth(FaultSite::Gather, 0, FaultKind::Kernel))
         );
         assert!(FaultPlan::parse("launch:3").is_err());
         assert!(FaultPlan::parse("disk:1:oom").is_err());
         assert!(FaultPlan::parse("launch:x:oom").is_err());
         assert!(FaultPlan::parse("launch:1:panic").is_err());
+    }
+
+    #[test]
+    fn fault_plan_parse_rate() {
+        assert_eq!(
+            FaultPlan::parse("launch:rate=0.01:kernel"),
+            Ok(FaultPlan::storm(FaultSite::Launch, 10_000, 0, FaultKind::Kernel))
+        );
+        assert_eq!(
+            FaultPlan::parse("upload:rate=1%@42:oom"),
+            Ok(FaultPlan::storm(FaultSite::Upload, 10_000, 42, FaultKind::Oom))
+        );
+        assert_eq!(
+            FaultPlan::parse("gather:rate=0.001@7:kernel"),
+            Ok(FaultPlan::storm(FaultSite::Gather, 1_000, 7, FaultKind::Kernel))
+        );
+        assert!(FaultPlan::parse("launch:rate=2:kernel").is_err(), "p > 1 rejected");
+        assert!(FaultPlan::parse("launch:rate=-0.1:kernel").is_err());
+        assert!(FaultPlan::parse("launch:rate=x:kernel").is_err());
+        assert!(FaultPlan::parse("launch:rate=0.5@x:kernel").is_err());
+    }
+
+    #[test]
+    fn fault_storm_is_seed_deterministic_and_roughly_calibrated() {
+        let storm_hits = |seed: u64, ppm: u32, trials: u32| -> Vec<u32> {
+            let mut mem = DeviceMem::new(16);
+            mem.arm_fault(FaultPlan::storm(FaultSite::Launch, ppm, seed, FaultKind::Kernel));
+            (0..trials).filter(|_| mem.trip_fault(FaultSite::Launch).is_err()).collect()
+        };
+        // Same seed → identical hit sequence; different seed → different one.
+        let a = storm_hits(1, 200_000, 500);
+        assert_eq!(a, storm_hits(1, 200_000, 500));
+        assert_ne!(a, storm_hits(2, 200_000, 500));
+        // 20% nominal rate over 500 trials lands in a generous band.
+        assert!((50..=150).contains(&(a.len() as u32)), "got {} hits", a.len());
+        // Rate 0 never fires; rate 1.0 always fires.
+        assert!(storm_hits(3, 0, 100).is_empty());
+        assert_eq!(storm_hits(3, 1_000_000, 100).len(), 100);
     }
 
     #[test]
@@ -672,7 +794,7 @@ mod tests {
     #[test]
     fn injected_oom_reports_oom() {
         let mut mem = DeviceMem::new(1024);
-        mem.arm_fault(FaultPlan { site: FaultSite::Gather, nth: 0, kind: FaultKind::Oom });
+        mem.arm_fault(FaultPlan::nth(FaultSite::Gather, 0, FaultKind::Oom));
         let a = mem.upload(&Tensor::ones(&[2])).unwrap();
         let _pad = mem.alloc(&Shape::new(&[3])).unwrap();
         let b = mem.upload(&Tensor::ones(&[2])).unwrap();

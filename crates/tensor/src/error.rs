@@ -99,6 +99,45 @@ pub enum TensorError {
         /// Zero-based occurrence of that operation that failed.
         nth: u64,
     },
+    /// The request was cooperatively cancelled via its cancel token.
+    Cancelled,
+    /// The request exceeded its deadline budget.
+    DeadlineExceeded {
+        /// Modeled (or wall-clock) microseconds spent when the check fired.
+        spent_us: f64,
+        /// The request's budget in microseconds.
+        budget_us: f64,
+    },
+}
+
+/// Coarse recovery classification of a [`TensorError`], driving the
+/// runtime's retry policy: transient faults may be retried, fatal faults
+/// abort the request, interrupts (cancellation / deadline) are never
+/// retried and are reported as request outcomes rather than device errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Plausibly succeeds on retry (e.g. an injected kernel fault standing
+    /// in for a flaky accelerator launch).
+    Transient,
+    /// Deterministic or resource-exhaustion failure; retrying cannot help.
+    Fatal,
+    /// Cooperative interruption (cancellation or deadline); retrying is
+    /// wrong by definition.
+    Interrupt,
+}
+
+impl TensorError {
+    /// Classifies this error for the retry / recovery machinery.
+    pub fn fault_class(&self) -> FaultClass {
+        match self {
+            // Injected kernel faults model flaky-accelerator launches: the
+            // canonical transient error.  Everything shape/arity-like is a
+            // program bug, and OOM will recur on an identical replay.
+            TensorError::Injected { .. } => FaultClass::Transient,
+            TensorError::Cancelled | TensorError::DeadlineExceeded { .. } => FaultClass::Interrupt,
+            _ => FaultClass::Fatal,
+        }
+    }
 }
 
 impl fmt::Display for TensorError {
@@ -140,6 +179,10 @@ impl fmt::Display for TensorError {
             TensorError::EmptyBatch => write!(f, "batched kernel invoked with an empty batch"),
             TensorError::Injected { site, nth } => {
                 write!(f, "injected fault: {site} operation {nth} failed")
+            }
+            TensorError::Cancelled => write!(f, "request cancelled"),
+            TensorError::DeadlineExceeded { spent_us, budget_us } => {
+                write!(f, "deadline exceeded: spent {spent_us:.1}us of {budget_us:.1}us budget")
             }
         }
     }

@@ -43,9 +43,9 @@ pub mod ops;
 mod shape;
 mod tensor;
 
-pub use arena::{DeviceMem, DeviceTensor, FaultKind, FaultPlan, FaultSite, MemStats};
+pub use arena::{DeviceMem, DeviceTensor, FaultKind, FaultMode, FaultPlan, FaultSite, MemStats};
 pub use batch::{BatchMode, BatchStats};
-pub use error::TensorError;
+pub use error::{FaultClass, TensorError};
 pub use ops::{execute, execute_into, execute_slices, flops, infer_shape, PrimOp};
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -17,8 +17,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use acrobat_ir::{ExprKind, ParamKind};
-use acrobat_runtime::{Engine, ExecutionContext, RuntimeStats};
-use acrobat_tensor::{FaultPlan, Tensor};
+use acrobat_runtime::{CancelToken, Deadline, Engine, ExecutionContext, RuntimeStats};
+use acrobat_tensor::{FaultPlan, Tensor, TensorError};
 
 use crate::aot::AotBackend;
 use crate::interp::VmBackend;
@@ -81,6 +81,14 @@ pub struct RunOptions {
     /// (testing; see `acrobat_tensor::FaultPlan`).  The fault is scoped to
     /// this run's context only.
     pub fault: Option<FaultPlan>,
+    /// Virtual deadline budget in modeled microseconds
+    /// ([`Deadline::Virtual`]).  Deterministic: the same run with the same
+    /// budget always spends the same modeled time, so it either always or
+    /// never misses.
+    pub deadline_us: Option<f64>,
+    /// Cooperative cancellation token; polled at flush boundaries and
+    /// between batched launches.
+    pub cancel: Option<CancelToken>,
 }
 
 /// Whether the module contains tensor-dependent control flow.
@@ -149,7 +157,23 @@ impl Executable {
         opts: &RunOptions,
     ) -> Result<RunResult, VmError> {
         let session = &*self.session;
-        let main = session.analysis.module.functions.get("main").expect("main exists");
+        let result = self.run_request(session, params, instances, opts);
+        session.record_outcome(&result);
+        result
+    }
+
+    /// The full request lifecycle: admission, context acquisition and
+    /// arming, execution, and the completed/abandoned split.  Every exit
+    /// path either merges the run (success) or quarantines its context
+    /// without merging (failure) — a failed run never contributes
+    /// statistics to the session aggregate.
+    fn run_request(
+        &self,
+        session: &Session,
+        params: &BTreeMap<String, Tensor>,
+        instances: &[Vec<InputValue>],
+        opts: &RunOptions,
+    ) -> Result<RunResult, VmError> {
         if let Some(keys) = &opts.keys {
             if keys.len() != instances.len() {
                 return Err(VmError::Input(format!(
@@ -162,23 +186,69 @@ impl Executable {
         let keys: Vec<u64> =
             (0..instances.len()).map(|i| opts.keys.as_ref().map_or(i as u64, |k| k[i])).collect();
 
-        // Pin the engine and take a private execution context; everything
-        // below touches only run-local state.
+        // Pin the engine and pass the admission gate before acquiring any
+        // per-run resources; shed requests touch nothing but a counter.
         let run = RunSession::new(session);
+        let _permit = session.try_admit(run.engine().options().max_in_flight)?;
+
+        // Take a private execution context and arm its lifecycle state;
+        // everything below touches only run-local state.
         let mut ctx = run.acquire_context();
         if let Some(fault) = opts.fault {
             ctx.mem_mut().arm_fault(fault);
         }
+        if let Some(budget_us) = opts.deadline_us {
+            ctx.set_deadline(Deadline::virtual_us(budget_us));
+        }
+        if let Some(token) = &opts.cancel {
+            ctx.set_cancel(token.clone());
+        }
+
+        let (result, ctx) = self.run_pinned(session, &run, ctx, params, instances, &keys);
+        match result {
+            Ok((outputs, stats)) => {
+                // Merge into the session aggregate and pool the context.
+                run.finish(ctx, &stats);
+                Ok(RunResult { outputs, stats })
+            }
+            Err(e) => {
+                run.abandon(ctx);
+                Err(e)
+            }
+        }
+    }
+
+    /// Executes one admitted mini-batch on its pinned engine.  Returns the
+    /// context alongside the result so the caller can route it to the pool
+    /// (merge on success, quarantine on failure) from every exit path.
+    #[allow(clippy::too_many_lines)]
+    fn run_pinned(
+        &self,
+        session: &Session,
+        run: &RunSession<'_>,
+        mut ctx: ExecutionContext,
+        params: &BTreeMap<String, Tensor>,
+        instances: &[Vec<InputValue>],
+        keys: &[u64],
+    ) -> (Result<(Vec<OutputValue>, RuntimeStats), VmError>, ExecutionContext) {
+        let main = session.analysis.module.functions.get("main").expect("main exists");
 
         // Upload weights (outside the per-batch accounting, as weights
         // persist across mini-batches in a serving system).
         let mut param_values: BTreeMap<String, Value> = BTreeMap::new();
         for p in &main.params {
             if p.kind == ParamKind::Model {
-                let host = params.get(&p.name).ok_or_else(|| {
-                    VmError::Input(format!("missing model parameter ${}", p.name))
-                })?;
-                let dev = ctx.mem_mut().upload(host)?;
+                let host = match params.get(&p.name) {
+                    Some(h) => h,
+                    None => {
+                        let e = VmError::Input(format!("missing model parameter ${}", p.name));
+                        return (Err(e), ctx);
+                    }
+                };
+                let dev = match ctx.mem_mut().upload(host) {
+                    Ok(d) => d,
+                    Err(e) => return (Err(e.into()), ctx),
+                };
                 let vid = ctx.ready_value(dev);
                 param_values.insert(p.name.clone(), Value::Tensor(TensorRef::ready(vid)));
             }
@@ -189,16 +259,20 @@ impl Executable {
         let mut all_tensors: Vec<&Tensor> = Vec::new();
         for (i, inst) in instances.iter().enumerate() {
             if inst.len() != input_count {
-                return Err(VmError::Input(format!(
+                let e = VmError::Input(format!(
                     "instance {i} provides {} inputs, @main expects {input_count}",
                     inst.len()
-                )));
+                ));
+                return (Err(e), ctx);
             }
             for v in inst {
                 v.tensors(&mut all_tensors);
             }
         }
-        let mut ids = ctx.upload_inputs(&all_tensors)?.into_iter();
+        let mut ids = match ctx.upload_inputs(&all_tensors) {
+            Ok(v) => v.into_iter(),
+            Err(e) => return (Err(e.into()), ctx),
+        };
         let mut instance_args: Vec<Vec<Value>> = Vec::with_capacity(instances.len());
         for inst in instances {
             let mut args = Vec::with_capacity(main.params.len());
@@ -225,16 +299,21 @@ impl Executable {
         if session.fiber_mode {
             // The run's instance fibers share this run's context behind a
             // run-local mutex; other concurrent runs have their own.
+            let stall = {
+                let ms = run.engine().options().drive_timeout_ms;
+                (ms != 0).then(|| std::time::Duration::from_millis(ms))
+            };
             let cell = parking_lot::Mutex::new(ctx);
             let slots: Vec<parking_lot::Mutex<Option<Result<Value, VmError>>>> =
                 instance_args.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+            let mut stalled = None;
             std::thread::scope(|scope| {
                 for (i, args) in instance_args.into_iter().enumerate() {
                     run.hub.register();
                     let key = keys[i];
                     let slot = &slots[i];
                     let backend = &self.backend;
-                    let (run, cell) = (&run, &cell);
+                    let cell = &cell;
                     std::thread::Builder::new()
                         .stack_size(FIBER_STACK)
                         .spawn_scoped(scope, move || {
@@ -251,24 +330,38 @@ impl Executable {
                         })
                         .expect("spawn fiber");
                 }
-                run.hub.drive(|| {
-                    let mut rt = cell.lock();
-                    if let Err(e) = rt.flush() {
-                        drop(rt);
-                        run.poison(e.to_string());
-                    }
-                });
+                let drive = run.hub.drive_timeout(
+                    || {
+                        let mut rt = cell.lock();
+                        if let Err(e) = rt.flush() {
+                            drop(rt);
+                            run.poison(e);
+                        }
+                    },
+                    stall,
+                );
+                if let Err(timeout) = drive {
+                    // The watchdog fired: cancel the hub so parked fibers
+                    // drain and poison the run so running fibers fail fast
+                    // at their next sync, then let the scope join them.
+                    run.poison(TensorError::Cancelled);
+                    run.hub.cancel();
+                    stalled = Some(timeout);
+                }
             });
             ctx = cell.into_inner();
+            if let Some(timeout) = stalled {
+                return (Err(VmError::DriveTimeout(timeout)), ctx);
+            }
             for slot in slots {
-                let r = slot.into_inner().expect("fiber wrote its result")?;
-                results.push(r);
+                match slot.into_inner().expect("fiber wrote its result") {
+                    Ok(v) => results.push(v),
+                    Err(e) => return (Err(e), ctx),
+                }
             }
         } else {
             let backend = &self.backend;
             let (sequential, returned) = std::thread::scope(|scope| {
-                let run = &run;
-                let keys = &keys;
                 std::thread::Builder::new()
                     .stack_size(FIBER_STACK)
                     .spawn_scoped(scope, move || {
@@ -296,27 +389,33 @@ impl Executable {
                     .expect("executor panicked")
             });
             ctx = returned;
-            results = sequential?;
+            match sequential {
+                Ok(out) => results = out,
+                Err(e) => return (Err(e), ctx),
+            }
         }
         // Drain remaining work.  The hub is per-run, so its switch count is
         // exactly this run's fiber activity.
-        ctx.flush()?;
+        if let Err(e) = ctx.flush() {
+            return (Err(e.into()), ctx);
+        }
         ctx.charge_fiber_switches(run.hub.switch_count());
         let program_host_us = exec_start.elapsed().as_secs_f64() * 1e6;
 
         // Download outputs.
         let mut outputs = Vec::with_capacity(results.len());
         for v in results {
-            outputs.push(convert_output(&v, session, &mut ctx)?);
+            match convert_output(&v, session, &mut ctx) {
+                Ok(o) => outputs.push(o),
+                Err(e) => return (Err(e), ctx),
+            }
         }
 
         let mut stats = *ctx.stats();
         // Program host time excludes time spent inside flush (measured
         // separately as host_wall_us).
         stats.program_host_us = (program_host_us - stats.host_wall_us).max(0.0);
-        // Merge into the session aggregate and pool the context.
-        run.finish(ctx, &stats);
-        Ok(RunResult { outputs, stats })
+        (Ok((outputs, stats)), ctx)
     }
 }
 

@@ -29,5 +29,7 @@ pub mod session;
 pub mod value;
 
 pub use driver::{module_has_sync, BackendKind, Executable, RunOptions, RunResult};
-pub use session::{ExecCtx, Prng, RtHandle, RunSession, Session, VmError};
+pub use session::{
+    AdmitPermit, ExecCtx, Prng, RtHandle, RunSession, ServeOutcomes, Session, VmError,
+};
 pub use value::{InputValue, OutputValue, TensorRef, Value};

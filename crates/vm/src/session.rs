@@ -52,6 +52,27 @@ pub enum VmError {
     Unsupported(String),
     /// Malformed inputs.
     Input(String),
+    /// The request was cooperatively cancelled via its
+    /// [`acrobat_runtime::CancelToken`].
+    Cancelled,
+    /// The request exceeded its deadline budget.
+    DeadlineExceeded {
+        /// Microseconds spent when the deadline check fired.
+        spent_us: f64,
+        /// The request's budget in microseconds.
+        budget_us: f64,
+    },
+    /// Load shedding: the session's admission limit was reached, so the
+    /// request was rejected without acquiring an execution context.
+    Overloaded {
+        /// Runs in flight when the request arrived.
+        in_flight: usize,
+        /// The session's `max_in_flight` limit.
+        limit: usize,
+    },
+    /// The fiber hub stalled past its watchdog budget; the run was
+    /// cancelled and drained instead of hanging.
+    DriveTimeout(acrobat_runtime::DriveTimeout),
 }
 
 impl fmt::Display for VmError {
@@ -60,6 +81,14 @@ impl fmt::Display for VmError {
             VmError::Tensor(e) => write!(f, "tensor error: {e}"),
             VmError::Unsupported(s) => write!(f, "unsupported: {s}"),
             VmError::Input(s) => write!(f, "bad input: {s}"),
+            VmError::Cancelled => write!(f, "request cancelled"),
+            VmError::DeadlineExceeded { spent_us, budget_us } => {
+                write!(f, "deadline exceeded: spent {spent_us:.1}us of {budget_us:.1}us budget")
+            }
+            VmError::Overloaded { in_flight, limit } => {
+                write!(f, "overloaded: {in_flight} runs in flight (limit {limit}), request shed")
+            }
+            VmError::DriveTimeout(t) => write!(f, "{t}"),
         }
     }
 }
@@ -68,7 +97,30 @@ impl std::error::Error for VmError {}
 
 impl From<TensorError> for VmError {
     fn from(e: TensorError) -> Self {
-        VmError::Tensor(e)
+        match e {
+            TensorError::Cancelled => VmError::Cancelled,
+            TensorError::DeadlineExceeded { spent_us, budget_us } => {
+                VmError::DeadlineExceeded { spent_us, budget_us }
+            }
+            other => VmError::Tensor(other),
+        }
+    }
+}
+
+impl VmError {
+    /// Whether this is the load-shedding rejection.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, VmError::Overloaded { .. })
+    }
+
+    /// Whether this is a cooperative-cancellation outcome.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, VmError::Cancelled)
+    }
+
+    /// Whether this is a deadline miss.
+    pub fn is_deadline_exceeded(&self) -> bool {
+        matches!(self, VmError::DeadlineExceeded { .. })
     }
 }
 
@@ -255,6 +307,51 @@ struct Aggregate {
     stats: RuntimeStats,
     runs: u64,
     profile: BTreeMap<acrobat_codegen::KernelId, u64>,
+    outcomes: ServeOutcomes,
+}
+
+/// Terminal-outcome counters for every request submitted to a session,
+/// including requests that never acquired an execution context (shed at
+/// admission).  Completed runs are the only ones that contribute runtime
+/// statistics to [`Session::aggregate_stats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOutcomes {
+    /// Runs that finished and merged their statistics.
+    pub completed: u64,
+    /// Runs that failed with a fatal (non-interrupt) error.
+    pub failed: u64,
+    /// Runs cancelled via their [`acrobat_runtime::CancelToken`].
+    pub cancelled: u64,
+    /// Runs that exceeded their deadline budget.
+    pub deadline_exceeded: u64,
+    /// Requests rejected at admission (load shedding).
+    pub shed: u64,
+    /// Runs aborted by the fiber-hub stall watchdog.
+    pub timed_out: u64,
+}
+
+impl ServeOutcomes {
+    /// Total requests observed (every submitted request lands in exactly
+    /// one counter).
+    pub fn total(&self) -> u64 {
+        self.completed
+            + self.failed
+            + self.cancelled
+            + self.deadline_exceeded
+            + self.shed
+            + self.timed_out
+    }
+}
+
+/// RAII admission permit: holds one slot of the session's `max_in_flight`
+/// budget and releases it on drop.
+#[derive(Debug)]
+pub struct AdmitPermit<'s>(&'s std::sync::atomic::AtomicUsize);
+
+impl Drop for AdmitPermit<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+    }
 }
 
 /// The shared execution session for one compiled model.
@@ -284,6 +381,8 @@ pub struct Session {
     hoist_index: BTreeMap<ExprId, u64>,
     /// Statistics and PGO profile merged across completed runs.
     aggregate: Mutex<Aggregate>,
+    /// Admitted runs currently executing (admission-gate occupancy).
+    in_flight: std::sync::atomic::AtomicUsize,
 }
 
 impl fmt::Debug for Session {
@@ -317,6 +416,7 @@ impl Session {
             hoist_base,
             hoist_index,
             aggregate: Mutex::new(Aggregate::default()),
+            in_flight: std::sync::atomic::AtomicUsize::new(0),
         }
     }
 
@@ -347,6 +447,52 @@ impl Session {
     /// Drains the PGO profile aggregated across completed runs.
     pub fn take_profile(&self) -> BTreeMap<acrobat_codegen::KernelId, u64> {
         std::mem::take(&mut self.aggregate.lock().profile)
+    }
+
+    /// Terminal-outcome counters across every request submitted so far.
+    pub fn outcomes(&self) -> ServeOutcomes {
+        self.aggregate.lock().outcomes
+    }
+
+    /// Admitted runs currently executing.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Contexts the pool has quarantined (dropped instead of recycled)
+    /// because a run observed a fault, cancellation, or deadline miss.
+    pub fn quarantined_count(&self) -> u64 {
+        self.pool.quarantined_count()
+    }
+
+    /// Admission gate: claims an in-flight slot, or sheds the request when
+    /// `limit` (0 = unlimited) is already saturated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Overloaded`] when the limit is reached; no
+    /// execution context is acquired in that case.
+    pub fn try_admit(&self, limit: usize) -> Result<AdmitPermit<'_>, VmError> {
+        use std::sync::atomic::Ordering;
+        let prev = self.in_flight.fetch_add(1, Ordering::AcqRel);
+        if limit != 0 && prev >= limit {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            return Err(VmError::Overloaded { in_flight: prev, limit });
+        }
+        Ok(AdmitPermit(&self.in_flight))
+    }
+
+    /// Buckets a finished request into its terminal-outcome counter.
+    pub fn record_outcome<T>(&self, result: &Result<T, VmError>) {
+        let o = &mut self.aggregate.lock().outcomes;
+        match result {
+            Ok(_) => o.completed += 1,
+            Err(VmError::Cancelled) => o.cancelled += 1,
+            Err(VmError::DeadlineExceeded { .. }) => o.deadline_exceeded += 1,
+            Err(VmError::Overloaded { .. }) => o.shed += 1,
+            Err(VmError::DriveTimeout(_)) => o.timed_out += 1,
+            Err(_) => o.failed += 1,
+        }
     }
 
     /// Merges one completed run into the aggregate and returns its context
@@ -394,9 +540,9 @@ pub struct RunSession<'s> {
     /// Fiber coordination for this run (used when the model has
     /// tensor-dependent control flow).
     pub hub: FiberHub,
-    /// A flush failure (e.g. device OOM) that fibers must observe instead
-    /// of waiting forever.
-    poison: Mutex<Option<String>>,
+    /// A flush failure (e.g. device OOM, cancellation, deadline miss) that
+    /// fibers must observe instead of waiting forever.
+    poison: Mutex<Option<TensorError>>,
 }
 
 impl fmt::Debug for RunSession<'_> {
@@ -440,16 +586,26 @@ impl<'s> RunSession<'s> {
         self.session.finish_run(ctx, stats);
     }
 
-    /// Records a fatal flush failure; fibers observe it at their next sync.
-    pub fn poison(&self, msg: String) {
+    /// Abandons a failed run: the context is tainted and released, which
+    /// quarantines it at the pool instead of recycling it, and *no*
+    /// statistics are merged into the session aggregate.
+    pub fn abandon(&self, mut ctx: ExecutionContext) {
+        ctx.mark_tainted();
+        self.session.pool.release(ctx);
+    }
+
+    /// Records a flush failure; fibers observe it at their next sync.  The
+    /// first failure wins — later ones (typically cascades from draining)
+    /// are dropped.
+    pub fn poison(&self, e: TensorError) {
         let mut p = self.poison.lock();
         if p.is_none() {
-            *p = Some(msg);
+            *p = Some(e);
         }
     }
 
     /// The recorded failure, if any.
-    pub fn poisoned(&self) -> Option<String> {
+    pub fn poisoned(&self) -> Option<TensorError> {
         self.poison.lock().clone()
     }
 
@@ -554,8 +710,8 @@ impl<'s> RunSession<'s> {
             Pending,
         }
         loop {
-            if let Some(msg) = self.poisoned() {
-                return Err(VmError::Input(format!("runtime poisoned: {msg}")));
+            if let Some(e) = self.poisoned() {
+                return Err(e.into());
             }
             if let Some(vid) = r.get() {
                 let got = rt.with(|rt| -> Result<Got, VmError> {

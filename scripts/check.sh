@@ -34,4 +34,10 @@ RUST_TEST_THREADS=4 cargo test -q -p acrobat-bench --test concurrent_serving
 echo "==> serving throughput scaling (asserts >2x at 4 workers)"
 cargo run --release -p acrobat-bench --bin serving_throughput -- --quick
 
+echo "==> chaos serving (fault storms + deadlines + cancellation, 4 test threads)"
+RUST_TEST_THREADS=4 cargo test -q -p acrobat-bench --test chaos_serving
+
+echo "==> chaos smoke (seeded 50-case storm/deadline/cancel mix)"
+cargo run --release -p acrobat-bench --bin chaos_sweep -- --smoke --cases 50 --seed 1
+
 echo "All checks passed."

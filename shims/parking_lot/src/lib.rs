@@ -48,6 +48,17 @@ impl<T> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Whether a [`Condvar::wait_for`] returned because the timeout elapsed.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True if the wait ended by timing out rather than a notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 /// Condition variable compatible with [`Mutex`].
 #[derive(Debug, Default)]
 pub struct Condvar(sync::Condvar);
@@ -63,6 +74,20 @@ impl Condvar {
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.0.take().expect("guard present");
         guard.0 = Some(self.0.wait(inner).unwrap_or_else(sync::PoisonError::into_inner));
+    }
+
+    /// Like [`Condvar::wait`], but gives up after `timeout`; the lock is
+    /// re-acquired before returning either way.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard present");
+        let (inner, result) =
+            self.0.wait_timeout(inner, timeout).unwrap_or_else(sync::PoisonError::into_inner);
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result.timed_out())
     }
 
     /// Wakes one waiter.
