@@ -6,13 +6,14 @@
 //! [`SchedulerScratch`] and [`Plan`] — exactly what
 //! `ExecutionContext::flush` runs — so steady-state allocations are zero.  The reference side re-allocates
 //! its `BTreeMap`s per call, as the seed did.  Recorded output:
-//! `bench_results/flush_hot_path.txt`.
+//! `bench_results/flush_hot_path.txt`; with `--json` the per-benchmark
+//! means additionally land in `bench_results/BENCH_flush_hot_path.json`.
 
 use acrobat_codegen::KernelId;
 use acrobat_runtime::scheduler::{self, reference, Plan, SchedulerScratch};
 use acrobat_runtime::{Dfg, SchedulerKind};
 use acrobat_tensor::{DeviceMem, Tensor};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 
 /// Chain-structured DFG of ~`nodes` nodes: `nodes / DEPTH` instances, each
 /// a 25-deep chain rotating over four kernels and two shared-operand
@@ -79,4 +80,14 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(300));
     targets = bench_10k, bench_100k
 }
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    if acrobat_bench::json_flag() {
+        let records: Vec<acrobat_bench::JsonRecord> = criterion::take_results()
+            .into_iter()
+            .map(|r| acrobat_bench::JsonRecord::new(r.name, "mean_ns", r.mean_ns))
+            .collect();
+        acrobat_bench::write_bench_json("flush_hot_path", &records);
+    }
+}

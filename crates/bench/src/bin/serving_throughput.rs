@@ -22,12 +22,13 @@
 //! Wall-clock time is also recorded for reference, but this container runs
 //! on a single CPU, so wall-clock cannot scale and is not the metric.
 //!
-//! Writes `bench_results/serving_throughput.txt`.
+//! Writes `bench_results/serving_throughput.txt`; with `--json` the same
+//! rows additionally land in `bench_results/BENCH_serving_throughput.json`.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use acrobat_bench::{quick_flag, suite};
+use acrobat_bench::{json_flag, quick_flag, suite, write_bench_json, JsonRecord};
 use acrobat_core::{compile, CompileOptions, Model, RuntimeStats, Tensor};
 use acrobat_models::{ModelSize, ModelSpec};
 use acrobat_vm::InputValue;
@@ -159,4 +160,16 @@ fn main() {
     std::fs::write("bench_results/serving_throughput.txt", out)
         .expect("write bench_results/serving_throughput.txt");
     eprintln!("wrote bench_results/serving_throughput.txt");
+
+    if json_flag() {
+        let mut records = Vec::new();
+        for r in &rows {
+            let config = format!("workers={}", r.workers);
+            records.push(JsonRecord::new(&config, "makespan_ms", r.makespan_ms));
+            records.push(JsonRecord::new(&config, "req_per_s", r.throughput));
+            records.push(JsonRecord::new(&config, "speedup_vs_1", r.throughput / base));
+            records.push(JsonRecord::new(&config, "wall_ms", r.wall_ms));
+        }
+        write_bench_json("serving_throughput", &records);
+    }
 }

@@ -247,8 +247,10 @@ impl FuzzCase {
 }
 
 /// The scheduler/ablation matrix every fuzz case runs under: all three
-/// schedulers × gather-fusion × coarsening, all in checked mode, plus the
-/// unbatched eager configuration (also checked).
+/// schedulers × gather-fusion × coarsening × {sequential, 4-worker
+/// parallel execution}, all in checked mode, plus the unbatched eager
+/// configuration (also checked).  The parallel axis must be bit-for-bit
+/// invisible: same plan, same outputs, real threads.
 pub fn config_matrix() -> Vec<(String, CompileOptions)> {
     let mut out = Vec::new();
     for scheduler in
@@ -256,11 +258,19 @@ pub fn config_matrix() -> Vec<(String, CompileOptions)> {
     {
         for gather_fusion in [false, true] {
             for coarsen in [false, true] {
-                let mut o = CompileOptions::default().with_checked(true);
-                o.runtime.scheduler = scheduler;
-                o.runtime.gather_fusion = gather_fusion;
-                o.runtime.coarsen = coarsen;
-                out.push((format!("{scheduler:?}/gf={gather_fusion}/co={coarsen}"), o));
+                for parallel_workers in [0, 4] {
+                    let mut o = CompileOptions::default().with_checked(true);
+                    o.runtime.scheduler = scheduler;
+                    o.runtime.gather_fusion = gather_fusion;
+                    o.runtime.coarsen = coarsen;
+                    o.runtime.parallel_workers = parallel_workers;
+                    out.push((
+                        format!(
+                            "{scheduler:?}/gf={gather_fusion}/co={coarsen}/par={parallel_workers}"
+                        ),
+                        o,
+                    ));
+                }
             }
         }
     }

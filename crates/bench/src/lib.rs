@@ -114,6 +114,74 @@ pub fn quick_flag() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// Whether `--json` was passed on the command line (machine-readable
+/// bench output in addition to the text tables).
+pub fn json_flag() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// One machine-readable benchmark datum for `bench_results/BENCH_<name>.json`.
+#[derive(Debug, Clone)]
+pub struct JsonRecord {
+    /// Configuration label, e.g. `"treelstm/streams=4+copy"`.
+    pub config: String,
+    /// Metric name, e.g. `"modeled_ms"`.
+    pub metric: String,
+    /// Metric value.
+    pub value: f64,
+}
+
+impl JsonRecord {
+    /// Convenience constructor.
+    pub fn new(config: impl Into<String>, metric: impl Into<String>, value: f64) -> JsonRecord {
+        JsonRecord { config: config.into(), metric: metric.into(), value }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes `bench_results/BENCH_<bench>.json`: a JSON array of
+/// `{bench, config, metric, value}` objects — the perf-trajectory record.
+/// The workspace has no JSON dependency, so the document is emitted by
+/// hand (non-finite values become `null`).
+pub fn write_bench_json(bench: &str, records: &[JsonRecord]) {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let value = if r.value.is_finite() { format!("{}", r.value) } else { "null".into() };
+        out.push_str(&format!(
+            "  {{\"bench\": \"{}\", \"config\": \"{}\", \"metric\": \"{}\", \"value\": {}}}{}\n",
+            json_escape(bench),
+            json_escape(&r.config),
+            json_escape(&r.metric),
+            value,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    // Anchor on the workspace root: criterion benches run with CWD = the
+    // crate directory, bins with CWD = the invocation directory; both must
+    // land in the repo-level bench_results/.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    std::fs::create_dir_all(&dir).expect("bench_results dir");
+    let path = dir.join(format!("BENCH_{bench}.json"));
+    std::fs::write(&path, out).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    eprintln!("wrote bench_results/BENCH_{bench}.json");
+}
+
 /// Renders an aligned text table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");
@@ -174,6 +242,13 @@ mod tests {
                 assert!(d.ms > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn json_escaping_is_sound() {
+        assert_eq!(json_escape("plain/config=1"), "plain/config=1");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! Results are bit-identical between the modes (enforced by property tests).
 
 use acrobat_analysis::ArgClass;
-use acrobat_tensor::arena::batched_shape;
+use acrobat_tensor::arena::{batched_shape, ExecView};
 use acrobat_tensor::batch::BatchMode;
 use acrobat_tensor::{execute_slices, DeviceMem, DeviceTensor, Shape, TensorError};
 
@@ -133,10 +133,14 @@ pub fn run_batched_kernel(
     run_batched_kernel_ref(mem, program, &args.as_ref(), batch, mode)
 }
 
-/// Borrowed-argument form of [`run_batched_kernel`] — the actual executor.
-/// Callers that already hold tensor handles elsewhere (a DFG value table)
-/// bind them by reference via [`bind_args_ref`] and avoid per-lane handle
-/// clones entirely.
+/// Borrowed-argument form of [`run_batched_kernel`].  Callers that already
+/// hold tensor handles elsewhere (a DFG value table) bind them by reference
+/// via [`bind_args_ref`] and avoid per-lane handle clones entirely.
+///
+/// Structurally this is [`prepare_batched_kernel`] + [`execute_prepared`]
+/// over all lanes + [`finish_prepared`] — the same machinery the parallel
+/// executor drives, so sequential and parallel execution are bit-for-bit
+/// identical by construction.
 ///
 /// # Errors
 ///
@@ -148,6 +152,62 @@ pub fn run_batched_kernel_ref(
     batch: usize,
     mode: BatchMode,
 ) -> Result<(Vec<Vec<DeviceTensor>>, KernelLaunchStats), TensorError> {
+    let prep = prepare_batched_kernel(mem, program, args, batch, mode)?;
+    let mut scratch = ExecScratch::default();
+    execute_prepared(&mem.exec_view(), program, &prep, 0..batch, &mut scratch)?;
+    let outputs = finish_prepared(mem, &prep)?;
+    Ok((outputs, prep.stats))
+}
+
+/// A resolved input slot of a prepared launch: absolute element offsets
+/// into the arena, one per lane (shared slots repeat one offset).
+#[derive(Debug)]
+enum Slot {
+    Shared { offset: usize, shape: Shape },
+    PerLane { offsets: Vec<usize>, shape: Shape },
+}
+
+/// A batched kernel launch after argument resolution and output
+/// reservation, ready to execute.
+///
+/// Prepared launches decouple the *sequential* effects of a launch (fault
+/// accounting, gather staging, output allocation — everything touching
+/// `&mut DeviceMem`) from the *pure* lane computation, which then runs
+/// through a shared [`ExecView`] on any thread, over any partition of the
+/// lane range.  `stream`/`level` carry the device-timeline placement and
+/// flush-plan dependency level assigned by the runtime (0 when unused).
+#[derive(Debug)]
+pub struct PreparedLaunch {
+    slots: Vec<Slot>,
+    out_handles: Vec<DeviceTensor>,
+    /// Cost-relevant observations (complete: gathers already happened
+    /// during preparation).
+    pub stats: KernelLaunchStats,
+    /// Lane count of the launch.
+    pub batch: usize,
+    /// Simulated compute stream the launch was placed on.
+    pub stream: u32,
+    /// Dependency level of the batch within its flush plan (same-level
+    /// batches are independent).
+    pub level: u32,
+}
+
+/// Resolves arguments, performs explicit gathers and reserves outputs for
+/// one batched launch — every effect that must happen in plan order — and
+/// returns the launch ready for [`execute_prepared`].
+///
+/// # Errors
+///
+/// As for [`run_batched_kernel`]; additionally counts one launch against an
+/// armed fault plan, so fault occurrence numbering follows preparation
+/// order (== plan order) regardless of how execution is parallelized.
+pub fn prepare_batched_kernel(
+    mem: &mut DeviceMem,
+    program: &KernelProgram,
+    args: &BatchedArgsRef<'_>,
+    batch: usize,
+    mode: BatchMode,
+) -> Result<PreparedLaunch, TensorError> {
     if batch == 0 {
         return Err(TensorError::EmptyBatch);
     }
@@ -168,10 +228,6 @@ pub fn run_batched_kernel_ref(
     };
 
     // Resolve every input slot to per-lane offsets (shared slots repeat).
-    enum Slot {
-        Shared { offset: usize, shape: Shape },
-        PerLane { offsets: Vec<usize>, shape: Shape },
-    }
     let mut slots: Vec<Slot> = Vec::with_capacity(args.args.len());
     for (input, arg) in program.inputs.iter().zip(&args.args) {
         match (input.class, arg) {
@@ -247,15 +303,47 @@ pub fn run_batched_kernel_ref(
         }
     }
 
-    // Allocate batched outputs (contiguous per slot, back to back).
+    // Reserve batched outputs (contiguous per slot, back to back).  This is
+    // the deterministic output placement that keeps parallel execution
+    // bit-for-bit: offsets depend only on preparation order, never on which
+    // worker executes which lanes.
     let mut out_handles: Vec<DeviceTensor> = Vec::with_capacity(program.outputs.len());
     for (_, _, shape) in &program.outputs {
         out_handles.push(mem.alloc(&batched_shape(shape, batch))?);
         stats.output_bytes += (shape.byte_size() * batch) as u64;
     }
-    let split_at = out_handles.first().map(|h| h.offset()).unwrap_or_else(|| mem.used());
 
-    // Scratch registers for instruction results.
+    Ok(PreparedLaunch { slots, out_handles, stats, batch, stream: 0, level: 0 })
+}
+
+/// Reusable per-worker working memory for [`execute_prepared`]: instruction
+/// scratch registers, kept alive across launches so steady-state execution
+/// reallocates nothing once buffer capacities warm up.
+#[derive(Debug, Default)]
+pub struct ExecScratch {
+    regs: Vec<Vec<f32>>,
+    reg_shapes: Vec<Option<Shape>>,
+}
+
+/// Executes the lanes `lane_range` of a prepared launch through a shared
+/// arena view.
+///
+/// Pure with respect to the arena apart from writes into the launch's own
+/// reserved output regions at lane-deterministic offsets, so any partition
+/// of the lane range across workers produces identical memory contents.
+///
+/// # Errors
+///
+/// Returns [`TensorError`] on kernel failures.
+pub fn execute_prepared(
+    view: &ExecView<'_>,
+    program: &KernelProgram,
+    prep: &PreparedLaunch,
+    lane_range: std::ops::Range<usize>,
+    scratch: &mut ExecScratch,
+) -> Result<(), TensorError> {
+    debug_assert!(lane_range.end <= prep.batch);
+    // (Re)bind the scratch registers to this program.
     let max_reg = program
         .instrs
         .iter()
@@ -264,29 +352,36 @@ pub fn run_batched_kernel_ref(
         .max()
         .map(|m| m as usize + 1)
         .unwrap_or(0);
-    let mut scratch: Vec<Vec<f32>> = vec![Vec::new(); max_reg];
-    let mut reg_shapes: Vec<Option<Shape>> = vec![None; max_reg];
+    scratch.regs.resize_with(max_reg, Vec::new);
+    scratch.reg_shapes.clear();
+    scratch.reg_shapes.resize(max_reg, None);
     for k in &program.instrs {
-        scratch[k.out.0 as usize] = vec![0.0; k.shape.numel()];
-        reg_shapes[k.out.0 as usize] = Some(k.shape.clone());
+        let buf = &mut scratch.regs[k.out.0 as usize];
+        buf.clear();
+        buf.resize(k.shape.numel(), 0.0);
+        scratch.reg_shapes[k.out.0 as usize] = Some(k.shape.clone());
     }
 
-    let (lo, hi) = mem.split_at_mut(split_at);
-    for lane in 0..batch {
-        // Bind input registers to slices for this lane.
+    for lane in lane_range {
+        // Bind input registers to slices for this lane.  SAFETY: inputs
+        // were fully written before this launch's execution phase (they are
+        // uploads, earlier flushes' outputs, earlier runs' outputs or
+        // gather staging filled during preparation) and no concurrent work
+        // unit writes them — same-level batches never consume each other.
         let mut input_views: Vec<Option<(&[f32], Shape)>> = vec![None; max_reg];
-        for (slot, input) in slots.iter().zip(&program.inputs) {
+        for (slot, input) in prep.slots.iter().zip(&program.inputs) {
             let (offset, shape) = match slot {
                 Slot::Shared { offset, shape } => (*offset, shape.clone()),
                 Slot::PerLane { offsets, shape } => (offsets[lane], shape.clone()),
             };
-            input_views[input.reg.0 as usize] = Some((&lo[offset..offset + shape.numel()], shape));
+            let slice = unsafe { view.read(offset, shape.numel()) };
+            input_views[input.reg.0 as usize] = Some((slice, shape));
         }
         // Execute instructions into scratch.  Registers are SSA-style (the
         // destination is always fresh), so taking the output buffer out of
         // the register file before borrowing the argument registers is safe.
         for k in &program.instrs {
-            let mut out_buf = std::mem::take(&mut scratch[k.out.0 as usize]);
+            let mut out_buf = std::mem::take(&mut scratch.regs[k.out.0 as usize]);
             {
                 let mut ins: Vec<(&[f32], &Shape)> = Vec::with_capacity(k.args.len());
                 for a in &k.args {
@@ -294,29 +389,42 @@ pub fn run_batched_kernel_ref(
                     if let Some((slice, shape)) = &input_views[i] {
                         ins.push((slice, shape));
                     } else {
-                        let shape = reg_shapes[i].as_ref().expect("register defined");
-                        ins.push((&scratch[i], shape));
+                        let shape = scratch.reg_shapes[i].as_ref().expect("register defined");
+                        ins.push((&scratch.regs[i], shape));
                     }
                 }
                 execute_slices(&k.op, &ins, &mut out_buf)?;
             }
-            scratch[k.out.0 as usize] = out_buf;
+            scratch.regs[k.out.0 as usize] = out_buf;
         }
-        // Copy escaping registers into the batched output allocations.
-        for ((_, reg, shape), handle) in program.outputs.iter().zip(&out_handles) {
+        // Copy escaping registers into the reserved output regions.
+        // SAFETY: each output region was freshly bump-allocated for this
+        // launch and this `lane` sub-range is written by exactly one work
+        // unit — concurrent writes are disjoint by construction.
+        for ((_, reg, shape), handle) in program.outputs.iter().zip(&prep.out_handles) {
             let n = shape.numel();
-            let dst_start = handle.offset() - split_at + lane * n;
-            hi[dst_start..dst_start + n].copy_from_slice(&scratch[reg.0 as usize]);
+            let dst = unsafe { view.write(handle.offset() + lane * n, n) };
+            dst.copy_from_slice(&scratch.regs[reg.0 as usize]);
         }
     }
+    Ok(())
+}
 
-    // Build per-lane views of each output slot.
-    let mut outputs: Vec<Vec<DeviceTensor>> = Vec::with_capacity(program.outputs.len());
-    for ((_, _, shape), handle) in program.outputs.iter().zip(&out_handles) {
-        outputs.push(mem.scatter_views(handle, batch)?.into_iter().collect());
-        debug_assert_eq!(shape.numel() * batch, handle.numel());
+/// Builds the per-lane output views of an executed prepared launch.
+///
+/// # Errors
+///
+/// Returns [`TensorError::StaleHandle`] if the arena was reset since
+/// preparation (cannot happen in the flush path).
+pub fn finish_prepared(
+    mem: &DeviceMem,
+    prep: &PreparedLaunch,
+) -> Result<Vec<Vec<DeviceTensor>>, TensorError> {
+    let mut outputs: Vec<Vec<DeviceTensor>> = Vec::with_capacity(prep.out_handles.len());
+    for handle in &prep.out_handles {
+        outputs.push(mem.scatter_views(handle, prep.batch)?);
     }
-    Ok((outputs, stats))
+    Ok(outputs)
 }
 
 /// Convenience: executes a program for a single instance (`batch == 1`),
@@ -514,6 +622,59 @@ mod tests {
         for (x, y) in a[0].iter().zip(&b[0]) {
             assert_eq!(mem.read(x).unwrap(), mem.read(y).unwrap());
         }
+    }
+
+    #[test]
+    fn partitioned_execution_is_bit_identical() {
+        let (_, lib) = compile(
+            "def @main($w: Tensor[(2, 2)], %x: Tensor[(1, 2)]) -> Tensor[(1, 2)] {
+                sigmoid(matmul(%x, $w))
+            }",
+        );
+        let program = lib.kernel(crate::KernelId(0));
+        let run = |splits: &[std::ops::Range<usize>]| -> Vec<u32> {
+            let mut mem = DeviceMem::new(1 << 16);
+            let w = mem.upload(&Tensor::from_fn(&[2, 2], |i| (i as f32 * 0.7).cos())).unwrap();
+            let batch = 5;
+            let mut lanes: Vec<Vec<DeviceTensor>> = Vec::new();
+            for l in 0..batch {
+                let x = mem.upload(&Tensor::fill(&[1, 2], l as f32 * 0.3 - 0.6)).unwrap();
+                let lane: Vec<DeviceTensor> = program
+                    .inputs
+                    .iter()
+                    .map(|i| if i.class == ArgClass::Batched { x.clone() } else { w.clone() })
+                    .collect();
+                lanes.push(lane);
+            }
+            let refs = bind_args_ref(program, batch, |lane, slot| &lanes[lane][slot]);
+            let prep =
+                prepare_batched_kernel(&mut mem, program, &refs, batch, BatchMode::GatherFused)
+                    .unwrap();
+            let view = mem.exec_view();
+            if splits.len() > 1 {
+                // Execute the partitions on real threads, one scratch each.
+                std::thread::scope(|s| {
+                    for r in splits {
+                        let r = r.clone();
+                        let prep = &prep;
+                        s.spawn(move || {
+                            let mut scratch = ExecScratch::default();
+                            execute_prepared(&view, program, prep, r, &mut scratch).unwrap();
+                        });
+                    }
+                });
+            } else {
+                let mut scratch = ExecScratch::default();
+                for r in splits {
+                    execute_prepared(&view, program, &prep, r.clone(), &mut scratch).unwrap();
+                }
+            }
+            let outs = finish_prepared(&mem, &prep).unwrap();
+            outs[0].iter().flat_map(|t| mem.read(t).unwrap().iter().map(|f| f.to_bits())).collect()
+        };
+        let sequential = run(std::slice::from_ref(&(0..5)));
+        assert_eq!(run(&[0..2, 2..5]), sequential, "2-way partition");
+        assert_eq!(run(&[0..1, 1..2, 2..3, 3..4, 4..5]), sequential, "per-lane partition");
     }
 
     #[test]

@@ -32,6 +32,9 @@ pub struct DeviceModel {
     pub min_utilization: f64,
     /// Fixed cost of one host↔device transfer operation, µs.
     pub memcpy_overhead_us: f64,
+    /// Effective host↔device (PCIe) bandwidth, bytes per µs.
+    #[serde(default = "default_pcie_bytes_per_us")]
+    pub pcie_bytes_per_us: f64,
     /// Host cost of constructing one DFG node, µs.
     pub dfg_node_cost_us: f64,
     /// Host cost of one inline-depth scheduling decision, µs (bucket
@@ -55,6 +58,7 @@ impl Default for DeviceModel {
             saturation_elements: 49_152.0,
             min_utilization: 0.02,
             memcpy_overhead_us: 10.0,
+            pcie_bytes_per_us: default_pcie_bytes_per_us(),
             dfg_node_cost_us: 0.45,
             sched_inline_cost_us: 0.08,
             sched_dyn_depth_cost_us: 0.30,
@@ -105,9 +109,14 @@ impl DeviceModel {
 
     /// Host↔device transfer time, µs, for `bytes` moved in `ops` calls.
     pub fn memcpy_time_us(&self, bytes: u64, ops: u64) -> f64 {
-        // PCIe-ish 12 GB/s effective.
-        bytes as f64 / 12_000.0 + ops as f64 * self.memcpy_overhead_us
+        bytes as f64 / self.pcie_bytes_per_us + ops as f64 * self.memcpy_overhead_us
     }
+}
+
+/// PCIe-ish 12 GB/s effective (calibrated to a Gen3 ×16 link under real
+/// pinned-memory transfer efficiency, matching the paper's RTX 3070 host).
+fn default_pcie_bytes_per_us() -> f64 {
+    12_000.0
 }
 
 #[cfg(test)]
@@ -182,5 +191,16 @@ mod tests {
         let many = m.memcpy_time_us(1_000_000, 100);
         let one = m.memcpy_time_us(1_000_000, 1);
         assert!(many > one + 900.0);
+    }
+
+    #[test]
+    fn pcie_bandwidth_is_tunable_and_defaults_compatibly() {
+        let m = DeviceModel::default();
+        assert_eq!(m.pcie_bytes_per_us, 12_000.0);
+        // Doubling the link speed halves the bandwidth term only.
+        let fast = DeviceModel { pcie_bytes_per_us: 24_000.0, ..m };
+        let base = m.memcpy_time_us(1_200_000, 0);
+        assert_eq!(fast.memcpy_time_us(1_200_000, 0), base / 2.0);
+        assert_eq!(fast.memcpy_time_us(0, 3), m.memcpy_time_us(0, 3));
     }
 }

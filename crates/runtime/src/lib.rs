@@ -52,6 +52,7 @@ pub mod fiber;
 pub mod resilience;
 pub mod scheduler;
 pub mod stats;
+pub mod timeline;
 
 pub use check::FlushChecker;
 pub use context::ExecutionContext;
@@ -62,3 +63,4 @@ pub use fiber::{DriveTimeout, FiberHub};
 pub use resilience::{CancelToken, Deadline, RetryPolicy};
 pub use scheduler::SchedulerKind;
 pub use stats::RuntimeStats;
+pub use timeline::{DeviceTimeline, TimelineOptions};

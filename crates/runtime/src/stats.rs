@@ -21,6 +21,12 @@ pub struct RuntimeStats {
     pub cuda_api_us: f64,
     /// Host time in fiber context switches, µs.
     pub fiber_us: f64,
+    /// Modeled time recovered by device-timeline overlap (multi-stream,
+    /// copy engine, host/device concurrency — [`crate::timeline`]), µs.
+    /// Exactly `0.0` in the default serialized configuration, where the
+    /// critical path equals the serial sum of charges.
+    #[serde(default)]
+    pub overlap_saved_us: f64,
 
     /// DFG nodes constructed.
     pub nodes: u64,
@@ -65,11 +71,13 @@ pub struct RuntimeStats {
 }
 
 impl RuntimeStats {
-    /// Total modeled latency: host overheads + device time, µs.
+    /// Total modeled latency, µs: the per-account charges minus the time
+    /// recovered by timeline overlap ([`crate::timeline`]) — i.e. the
+    /// critical path through host lane, compute streams and copy engine.
     ///
-    /// Host and device work are serialized here (the paper's models are
-    /// latency-bound at these batch sizes; asynchronous overlap is already
-    /// reflected in the per-activity constants).
+    /// With overlap disabled (the default: one stream, no copy engine,
+    /// synchronous host) `overlap_saved_us` is exactly `0.0` and this is
+    /// the plain serial sum, as in the original scalar accumulator.
     pub fn total_us(&self) -> f64 {
         self.dfg_construction_us
             + self.scheduling_us
@@ -78,6 +86,7 @@ impl RuntimeStats {
             + self.cuda_api_us
             + self.fiber_us
             + self.retry_backoff_us
+            - self.overlap_saved_us
     }
 
     /// Total modeled latency in milliseconds.
@@ -100,6 +109,7 @@ impl RuntimeStats {
         self.kernel_time_us += o.kernel_time_us;
         self.cuda_api_us += o.cuda_api_us;
         self.fiber_us += o.fiber_us;
+        self.overlap_saved_us += o.overlap_saved_us;
         self.nodes += o.nodes;
         self.kernel_launches += o.kernel_launches;
         self.gather_copies += o.gather_copies;
@@ -134,6 +144,7 @@ impl RuntimeStats {
             kernel_time_us: self.kernel_time_us / n,
             cuda_api_us: self.cuda_api_us / n,
             fiber_us: self.fiber_us / n,
+            overlap_saved_us: self.overlap_saved_us / n,
             nodes: avg(self.nodes),
             kernel_launches: avg(self.kernel_launches),
             gather_copies: avg(self.gather_copies),
@@ -170,6 +181,21 @@ mod tests {
         assert!((a.total_us() - 160.0).abs() < 1e-9);
         let avg = a.scaled(2.0);
         assert_eq!(avg.kernel_time_us, 75.0);
+    }
+
+    #[test]
+    fn overlap_saved_reduces_total() {
+        let s = RuntimeStats {
+            kernel_time_us: 100.0,
+            memcpy_us: 40.0,
+            overlap_saved_us: 30.0,
+            ..Default::default()
+        };
+        assert!((s.total_us() - 110.0).abs() < 1e-12);
+        let mut a = s;
+        a.merge(&s);
+        assert_eq!(a.overlap_saved_us, 60.0);
+        assert_eq!(a.scaled(2.0).overlap_saved_us, 30.0);
     }
 
     #[test]

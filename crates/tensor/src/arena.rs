@@ -473,6 +473,19 @@ impl DeviceMem {
         (lo, hi)
     }
 
+    /// A raw shared view of the whole arena for parallel kernel execution
+    /// ([`ExecView`]).  All output regions must have been reserved (bump
+    /// allocated) *before* taking the view — the view cannot allocate —
+    /// and concurrent writers must target disjoint regions (see the
+    /// [`ExecView`] contract).
+    pub fn exec_view(&mut self) -> ExecView<'_> {
+        ExecView {
+            ptr: self.buf.as_mut_ptr(),
+            len: self.buf.len(),
+            _life: std::marker::PhantomData,
+        }
+    }
+
     pub(crate) fn make_handle(&self, offset: usize, shape: Shape) -> DeviceTensor {
         DeviceTensor { offset, shape, generation: self.generation }
     }
@@ -558,6 +571,68 @@ impl DeviceMem {
         let inner = instance_shape(batched.shape(), batch);
         let n = inner.numel();
         Ok((0..batch).map(|i| self.make_handle(batched.offset + i * n, inner.clone())).collect())
+    }
+}
+
+/// A thread-shareable raw view of a [`DeviceMem`] arena, used by the
+/// parallel kernel executor to run independent batched launches of one
+/// flush concurrently.
+///
+/// The view mutably borrows the arena for its lifetime (no allocation,
+/// upload or reset can interleave), but deliberately bypasses Rust's
+/// aliasing checks *within* the buffer so that multiple workers can write
+/// their own output regions simultaneously.  Safety therefore rests on the
+/// executor's output-reservation discipline:
+///
+/// * every region passed to [`ExecView::write`] was freshly bump-allocated
+///   for exactly one work unit — output allocations never overlap, so
+///   concurrent writes are disjoint by construction;
+/// * every region passed to [`ExecView::read`] was fully written before
+///   the parallel phase began (inputs of the current run were produced by
+///   *earlier* runs or uploads — same-level batches never read each
+///   other's outputs).
+#[derive(Clone, Copy)]
+pub struct ExecView<'a> {
+    ptr: *mut f32,
+    len: usize,
+    _life: std::marker::PhantomData<&'a mut f32>,
+}
+
+// SAFETY: the view is only useful across threads, and the read/write
+// contract above makes concurrent access race-free; `f32` has no drop or
+// validity hazards.
+unsafe impl Send for ExecView<'_> {}
+unsafe impl Sync for ExecView<'_> {}
+
+impl fmt::Debug for ExecView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecView").field("len", &self.len).finish()
+    }
+}
+
+impl ExecView<'_> {
+    /// Reads `len` elements at `offset`.
+    ///
+    /// # Safety
+    ///
+    /// The region must not be concurrently written (see the type-level
+    /// contract: reads target data produced before the parallel phase).
+    pub unsafe fn read(&self, offset: usize, len: usize) -> &[f32] {
+        debug_assert!(offset + len <= self.len, "ExecView read out of bounds");
+        unsafe { std::slice::from_raw_parts(self.ptr.add(offset), len) }
+    }
+
+    /// Mutably accesses `len` elements at `offset`.
+    ///
+    /// # Safety
+    ///
+    /// The region must be exclusively owned by the caller for the duration
+    /// of the borrow (freshly reserved output, disjoint from every other
+    /// work unit's outputs and from all concurrent reads).
+    #[allow(clippy::mut_from_ref)] // aliasing is governed by the documented contract
+    pub unsafe fn write(&self, offset: usize, len: usize) -> &mut [f32] {
+        debug_assert!(offset + len <= self.len, "ExecView write out of bounds");
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(offset), len) }
     }
 }
 
@@ -803,6 +878,31 @@ mod tests {
         let (g, copied) = mem.gather(&[&a, &b]).unwrap();
         assert!(copied);
         assert_eq!(mem.read(&g).unwrap(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn exec_view_disjoint_parallel_writes() {
+        let mut mem = DeviceMem::new(64);
+        let src = mem.upload(&Tensor::from_fn(&[8], |i| i as f32)).unwrap();
+        let a = mem.alloc(&Shape::new(&[4])).unwrap();
+        let b = mem.alloc(&Shape::new(&[4])).unwrap();
+        let view = mem.exec_view();
+        std::thread::scope(|s| {
+            for (dst, half) in [(&a, 0usize), (&b, 4)] {
+                let src = &src;
+                s.spawn(move || {
+                    // SAFETY: `src` was written before the view was taken;
+                    // `a`/`b` are disjoint fresh allocations, one per thread.
+                    let input = unsafe { view.read(src.offset() + half, 4) };
+                    let out = unsafe { view.write(dst.offset(), 4) };
+                    for (o, i) in out.iter_mut().zip(input) {
+                        *o = i * 2.0;
+                    }
+                });
+            }
+        });
+        assert_eq!(mem.read(&a).unwrap(), &[0.0, 2.0, 4.0, 6.0]);
+        assert_eq!(mem.read(&b).unwrap(), &[8.0, 10.0, 12.0, 14.0]);
     }
 
     #[test]

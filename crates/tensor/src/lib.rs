@@ -43,7 +43,9 @@ pub mod ops;
 mod shape;
 mod tensor;
 
-pub use arena::{DeviceMem, DeviceTensor, FaultKind, FaultMode, FaultPlan, FaultSite, MemStats};
+pub use arena::{
+    DeviceMem, DeviceTensor, ExecView, FaultKind, FaultMode, FaultPlan, FaultSite, MemStats,
+};
 pub use batch::{BatchMode, BatchStats};
 pub use error::{FaultClass, TensorError};
 pub use ops::{execute, execute_into, execute_slices, flops, infer_shape, PrimOp};

@@ -40,4 +40,7 @@ RUST_TEST_THREADS=4 cargo test -q -p acrobat-bench --test chaos_serving
 echo "==> chaos smoke (seeded 50-case storm/deadline/cancel mix)"
 cargo run --release -p acrobat-bench --bin chaos_sweep -- --smoke --cases 50 --seed 1
 
+echo "==> timeline smoke (quick suite, asserts streams=1 vs streams=4 outputs identical)"
+cargo run --release -p acrobat-bench --bin timeline_overlap -- --quick
+
 echo "All checks passed."

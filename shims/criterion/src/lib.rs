@@ -10,7 +10,31 @@
 
 use std::fmt::Display;
 use std::hint;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Summary statistics of one completed benchmark, retrievable via
+/// [`take_results`] by harnesses that post-process (e.g. JSON output).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark name (`group/function/id`).
+    pub name: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, nanoseconds per iteration.
+    pub max_ns: f64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drains every benchmark result recorded so far, in execution order.
+/// Real criterion has no such hook; this shim exposes one so bench mains
+/// can emit machine-readable records after the run.
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut *RESULTS.lock().unwrap())
+}
 
 /// Re-export matching `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
@@ -208,6 +232,12 @@ fn run_one(name: &str, warm_up: Duration, measurement: Duration, mut f: impl FnM
     let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = b.samples.iter().cloned().fold(0.0f64, f64::max);
     println!("{name:<48} time: [{} {} {}]", fmt_ns(min), fmt_ns(mean), fmt_ns(max));
+    RESULTS.lock().unwrap().push(BenchResult {
+        name: name.to_string(),
+        mean_ns: mean,
+        min_ns: min,
+        max_ns: max,
+    });
 }
 
 /// Declares a benchmark group runner, mirroring criterion's macro forms.
@@ -254,5 +284,9 @@ mod tests {
             b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
         });
         g.finish();
+        let results = take_results();
+        assert!(results.iter().any(|r| r.name == "noop"));
+        assert!(results.iter().any(|r| r.name == "grp/x"));
+        assert!(results.iter().all(|r| r.min_ns <= r.mean_ns && r.mean_ns <= r.max_ns));
     }
 }

@@ -37,10 +37,12 @@ fn build(spec: &ModelSpec, options: &CompileOptions) -> Model {
 
 /// Chaos-mode compile options: transient-fault retry on, everything else
 /// default.  Both the chaos model and the fault-free reference use these,
-/// so outputs are comparable bit for bit.
-fn chaos_options() -> CompileOptions {
+/// so outputs are comparable bit for bit.  `parallel_workers > 0` also
+/// exercises the worker-pool kernel execution path under chaos.
+fn chaos_options(parallel_workers: usize) -> CompileOptions {
     let mut options = CompileOptions::default();
     options.runtime.retry = RetryPolicy { max_retries: 3, backoff_base_us: 10.0 };
+    options.runtime.parallel_workers = parallel_workers;
     options
 }
 
@@ -108,8 +110,14 @@ struct Tally {
 }
 
 /// One chaos round over one model spec; asserts all lifecycle properties.
-fn chaos_round(spec: &ModelSpec, threads: usize, runs_per_thread: usize, seed: u64) {
-    let options = chaos_options();
+fn chaos_round(
+    spec: &ModelSpec,
+    threads: usize,
+    runs_per_thread: usize,
+    seed: u64,
+    parallel_workers: usize,
+) {
+    let options = chaos_options(parallel_workers);
     // Fault-free serial reference on a separate model, so the chaos model's
     // outcome ledger stays exactly the chaos traffic.
     let reference_model = build(spec, &options);
@@ -260,7 +268,7 @@ fn chaos_round(spec: &ModelSpec, threads: usize, runs_per_thread: usize, seed: u
 #[test]
 fn chaos_serving_sequential_model() {
     let spec = suite(ModelSize::Small, true).remove(0);
-    chaos_round(&spec, 4, 6, 0xC0A5_0001);
+    chaos_round(&spec, 4, 6, 0xC0A5_0001, 0);
 }
 
 /// Chaos over the fiber-mode model (DRNN: tensor-dependent control flow,
@@ -268,7 +276,24 @@ fn chaos_serving_sequential_model() {
 #[test]
 fn chaos_serving_fiber_model() {
     let spec = suite(ModelSize::Small, true).remove(4);
-    chaos_round(&spec, 3, 4, 0xC0A5_0002);
+    chaos_round(&spec, 3, 4, 0xC0A5_0002, 0);
+}
+
+/// The sequential-model chaos round with worker-pool kernel execution:
+/// survivors (including storm-hit requests rescued by retry) must still be
+/// bit-for-bit identical to the fault-free reference, and the outcome
+/// ledger must stay exactly consistent.
+#[test]
+fn chaos_serving_sequential_model_parallel_exec() {
+    let spec = suite(ModelSize::Small, true).remove(0);
+    chaos_round(&spec, 4, 6, 0xC0A5_0003, 4);
+}
+
+/// The fiber-model chaos round with worker-pool kernel execution.
+#[test]
+fn chaos_serving_fiber_model_parallel_exec() {
+    let spec = suite(ModelSize::Small, true).remove(4);
+    chaos_round(&spec, 3, 4, 0xC0A5_0004, 4);
 }
 
 /// Deterministic load shedding: with `max_in_flight = 1` and the single
@@ -354,39 +379,44 @@ fn overload_under_concurrency_sheds_cleanly() {
 #[test]
 fn serial_fault_storm_sweep_is_classified_and_consistent() {
     let spec = suite(ModelSize::Small, true).remove(0);
-    let model = build(&spec, &chaos_options());
-    let instances = (spec.make_instances)(0x5707, 3);
-    let reference = {
-        let clean = build(&spec, &chaos_options());
-        clean.run(&spec.params, &instances).expect("reference").outputs
-    };
-
-    let mut completed = 0u64;
-    let mut failed = 0u64;
-    for storm_seed in 0..16u64 {
-        let plan = format!("launch:rate=5%@{storm_seed}:kernel");
-        let opts = RunOptions {
-            fault: Some(FaultPlan::parse(&plan).expect("plan parses")),
-            ..RunOptions::default()
+    // The parallel-execution axis: the same storm sweep must classify and
+    // survive identically whether kernels run sequentially or on the
+    // worker pool (fault occurrence order is prepare-phase, plan-order).
+    for parallel_workers in [0usize, 4] {
+        let model = build(&spec, &chaos_options(parallel_workers));
+        let instances = (spec.make_instances)(0x5707, 3);
+        let reference = {
+            let clean = build(&spec, &chaos_options(parallel_workers));
+            clean.run(&spec.params, &instances).expect("reference").outputs
         };
-        match model.run_with(&spec.params, &instances, &opts) {
-            Ok(r) => {
-                assert_outputs_equal(&spec, &reference, &r.outputs, "storm survivor");
-                completed += 1;
-            }
-            Err(e) => {
-                assert!(
-                    matches!(e.as_vm(), Some(VmError::Tensor(TensorError::Injected { .. }))),
-                    "storm failure class: {e}"
-                );
-                failed += 1;
+
+        let mut completed = 0u64;
+        let mut failed = 0u64;
+        for storm_seed in 0..16u64 {
+            let plan = format!("launch:rate=5%@{storm_seed}:kernel");
+            let opts = RunOptions {
+                fault: Some(FaultPlan::parse(&plan).expect("plan parses")),
+                ..RunOptions::default()
+            };
+            match model.run_with(&spec.params, &instances, &opts) {
+                Ok(r) => {
+                    assert_outputs_equal(&spec, &reference, &r.outputs, "storm survivor");
+                    completed += 1;
+                }
+                Err(e) => {
+                    assert!(
+                        matches!(e.as_vm(), Some(VmError::Tensor(TensorError::Injected { .. }))),
+                        "storm failure class: {e}"
+                    );
+                    failed += 1;
+                }
             }
         }
+        assert!(completed > 0, "at 5% with retry, some storms are survivable");
+        let outcomes = model.outcomes();
+        assert_eq!(outcomes.completed, completed);
+        assert_eq!(outcomes.failed, failed);
+        assert!(model.quarantined_count() >= failed, "failed storms always quarantine");
+        assert_eq!(model.runs_completed(), completed);
     }
-    assert!(completed > 0, "at 5% with retry, some storms are survivable");
-    let outcomes = model.outcomes();
-    assert_eq!(outcomes.completed, completed);
-    assert_eq!(outcomes.failed, failed);
-    assert!(model.quarantined_count() >= failed, "failed storms always quarantine");
-    assert_eq!(model.runs_completed(), completed);
 }

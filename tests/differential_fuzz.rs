@@ -57,19 +57,23 @@ fn random_dag_workloads_agree_bit_for_bit() {
             [SchedulerKind::InlineDepth, SchedulerKind::DynamicDepth, SchedulerKind::Agenda]
         {
             for gather_fusion in [false, true] {
-                let options = RuntimeOptions {
-                    scheduler,
-                    gather_fusion,
-                    checked: true,
-                    ..RuntimeOptions::default()
-                };
-                let got = dag_outputs(case_seed, &options)
-                    .unwrap_or_else(|e| panic!("seed {case_seed} {scheduler:?}: {e}"));
-                assert_eq!(
-                    bits(&got),
-                    want,
-                    "seed {case_seed} {scheduler:?}/gf={gather_fusion} diverged from eager"
-                );
+                for parallel_workers in [0, 3] {
+                    let options = RuntimeOptions {
+                        scheduler,
+                        gather_fusion,
+                        checked: true,
+                        parallel_workers,
+                        ..RuntimeOptions::default()
+                    };
+                    let got = dag_outputs(case_seed, &options)
+                        .unwrap_or_else(|e| panic!("seed {case_seed} {scheduler:?}: {e}"));
+                    assert_eq!(
+                        bits(&got),
+                        want,
+                        "seed {case_seed} {scheduler:?}/gf={gather_fusion}/par={parallel_workers} \
+                         diverged from eager"
+                    );
+                }
             }
         }
     }
