@@ -1,15 +1,21 @@
 //! Flush hot-path benchmark: scheduler planning cost on large synthetic
-//! DFGs, optimized implementations vs the straight transcriptions of the
-//! seed algorithms (`scheduler::reference`).
+//! DFGs — optimized implementations vs the straight transcriptions of the
+//! seed algorithms (`scheduler::reference`), and the plan-cache path split
+//! into warm-up (first-seen shape) and steady-state (repeated shape) so
+//! cache wins are not averaged away.
 //!
-//! The optimized side measures `plan_into` with a reused
-//! [`SchedulerScratch`] and [`Plan`] — exactly what
-//! `ExecutionContext::flush` runs — so steady-state allocations are zero.  The reference side re-allocates
-//! its `BTreeMap`s per call, as the seed did.  Recorded output:
+//! The `optimized` side measures `plan_into` with a reused
+//! [`SchedulerScratch`] and [`Plan`] — exactly what a cache-off
+//! `ExecutionContext::flush` runs.  `cached_warmup` clears both cache
+//! levels every iteration (signature probe + fresh schedule + freeze +
+//! publish); `cached_steady` probes a warmed cache and must hit every
+//! iteration (signature check + O(n) remap).  Recorded output:
 //! `bench_results/flush_hot_path.txt`; with `--json` the per-benchmark
-//! means additionally land in `bench_results/BENCH_flush_hot_path.json`.
+//! means, per-scheduler `steady_speedup_vs_off` ratios and the measured
+//! steady-state hit rate land in `bench_results/BENCH_flush_hot_path.json`.
 
 use acrobat_codegen::KernelId;
+use acrobat_runtime::plan_cache::{plan_cached, CacheConfig, CacheOutcome, PlanCache, PlanL1};
 use acrobat_runtime::scheduler::{self, reference, Plan, SchedulerScratch};
 use acrobat_runtime::{Dfg, SchedulerKind};
 use acrobat_tensor::{DeviceMem, Tensor};
@@ -17,12 +23,14 @@ use criterion::{criterion_group, BenchmarkId, Criterion};
 
 /// Chain-structured DFG of ~`nodes` nodes: `nodes / DEPTH` instances, each
 /// a 25-deep chain rotating over four kernels and two shared-operand
-/// signatures — the shape a batched RNN/TreeLSTM flush sees.
+/// signatures — the shape a batched RNN/TreeLSTM flush sees.  Signature
+/// tracking is on (what a plan-cache-enabled context's DFG does).
 fn synthetic_dfg(nodes: usize) -> Dfg {
     const DEPTH: usize = 25;
     let instances = nodes / DEPTH;
     let mut mem = DeviceMem::new(1 << 22);
     let mut dfg = Dfg::new();
+    dfg.set_signature_tracking(true);
     let x = mem.upload(&Tensor::ones(&[4])).unwrap();
     for i in 0..instances {
         let mut v = dfg.ready_value(x.clone());
@@ -38,6 +46,10 @@ fn synthetic_dfg(nodes: usize) -> Dfg {
 const KINDS: [SchedulerKind; 3] =
     [SchedulerKind::InlineDepth, SchedulerKind::DynamicDepth, SchedulerKind::Agenda];
 
+fn cache_cfg(kind: SchedulerKind) -> CacheConfig {
+    CacheConfig { kind, gather_fusion: true, coarsen: true, lane_cap: 0, share: true }
+}
+
 fn bench_size(c: &mut Criterion, nodes: usize, reference_agenda: bool) {
     let dfg = synthetic_dfg(nodes);
     let mut group = c.benchmark_group(format!("flush_hot_path_{}k", nodes / 1000));
@@ -47,6 +59,35 @@ fn bench_size(c: &mut Criterion, nodes: usize, reference_agenda: bool) {
             let mut plan = Plan::default();
             b.iter(|| {
                 scheduler::plan_into(kind, &dfg, &mut scratch, &mut plan);
+                std::hint::black_box(plan.num_batches())
+            });
+        });
+        group.bench_function(BenchmarkId::new("cached_warmup", format!("{kind:?}")), |b| {
+            let shared = PlanCache::new();
+            let mut l1 = PlanL1::new();
+            let mut scratch = SchedulerScratch::new();
+            let mut plan = Plan::default();
+            let cfg = cache_cfg(kind);
+            b.iter(|| {
+                // First-seen shape: both cache levels are cold.
+                l1.clear();
+                shared.clear();
+                let out = plan_cached(&cfg, &dfg, &mut scratch, &mut l1, &shared, &mut plan);
+                debug_assert!(matches!(out, CacheOutcome::Miss { .. }));
+                std::hint::black_box(plan.num_batches())
+            });
+        });
+        group.bench_function(BenchmarkId::new("cached_steady", format!("{kind:?}")), |b| {
+            let shared = PlanCache::new();
+            let mut l1 = PlanL1::new();
+            let mut scratch = SchedulerScratch::new();
+            let mut plan = Plan::default();
+            let cfg = cache_cfg(kind);
+            // Warm once; every measured probe is a repeated shape.
+            plan_cached(&cfg, &dfg, &mut scratch, &mut l1, &shared, &mut plan);
+            b.iter(|| {
+                let out = plan_cached(&cfg, &dfg, &mut scratch, &mut l1, &shared, &mut plan);
+                debug_assert_eq!(out, CacheOutcome::Hit);
                 std::hint::black_box(plan.num_batches())
             });
         });
@@ -62,6 +103,24 @@ fn bench_size(c: &mut Criterion, nodes: usize, reference_agenda: bool) {
         }
     }
     group.finish();
+}
+
+/// Measured steady-state hit rate: a warmed cache probed `probes` times.
+fn steady_hit_rate(nodes: usize, probes: usize) -> f64 {
+    let dfg = synthetic_dfg(nodes);
+    let shared = PlanCache::new();
+    let mut l1 = PlanL1::new();
+    let mut scratch = SchedulerScratch::new();
+    let mut plan = Plan::default();
+    let cfg = cache_cfg(SchedulerKind::InlineDepth);
+    plan_cached(&cfg, &dfg, &mut scratch, &mut l1, &shared, &mut plan);
+    let mut hits = 0usize;
+    for _ in 0..probes {
+        if plan_cached(&cfg, &dfg, &mut scratch, &mut l1, &shared, &mut plan) == CacheOutcome::Hit {
+            hits += 1;
+        }
+    }
+    hits as f64 / probes as f64
 }
 
 fn bench_10k(c: &mut Criterion) {
@@ -84,10 +143,34 @@ criterion_group! {
 fn main() {
     benches();
     if acrobat_bench::json_flag() {
-        let records: Vec<acrobat_bench::JsonRecord> = criterion::take_results()
-            .into_iter()
-            .map(|r| acrobat_bench::JsonRecord::new(r.name, "mean_ns", r.mean_ns))
+        let results = criterion::take_results();
+        let mut records: Vec<acrobat_bench::JsonRecord> = results
+            .iter()
+            .map(|r| acrobat_bench::JsonRecord::new(r.name.clone(), "mean_ns", r.mean_ns))
             .collect();
+        // Steady-state repeated-shape speedup vs the cache-off scheduler,
+        // per size and kind (the acceptance metric for plan memoization).
+        let mean = |name: String| results.iter().find(|r| r.name == name).map(|r| r.mean_ns);
+        for size in ["10k", "100k"] {
+            let g = format!("flush_hot_path_{size}");
+            for kind in KINDS {
+                let off = mean(format!("{g}/optimized/{kind:?}"));
+                let steady = mean(format!("{g}/cached_steady/{kind:?}"));
+                if let (Some(off), Some(steady)) = (off, steady) {
+                    records.push(acrobat_bench::JsonRecord::new(
+                        format!("{g}/steady_speedup_vs_off/{kind:?}"),
+                        "ratio",
+                        off / steady,
+                    ));
+                }
+            }
+        }
+        // Machine-readable hit rate of the warmed cache.
+        records.push(acrobat_bench::JsonRecord::new(
+            "flush_hot_path_10k/plan_cache",
+            "steady_hit_rate",
+            steady_hit_rate(10_000, 200),
+        ));
         acrobat_bench::write_bench_json("flush_hot_path", &records);
     }
 }

@@ -4,6 +4,10 @@
 //! threads (`W` ∈ {1, 2, 4, 8}), exercising the Engine / ExecutionContext
 //! split for real: the engine is `Arc`-shared, each request runs in its own
 //! pooled context, and no shared lock is taken on the flush hot path.
+//! Every configuration is served twice — plan cache off (the paper
+//! configuration, rescheduling every flush) and plan cache on (structural
+//! window signatures resolve repeated shapes to a frozen plan + remap) —
+//! so the memoization win shows up directly in the p50 modeled latency.
 //!
 //! Throughput is computed in **modeled virtual time**, consistent with the
 //! repo-wide convention that reported latencies are modeled milliseconds
@@ -47,10 +51,13 @@ fn device_us(s: &RuntimeStats) -> f64 {
 }
 
 struct Row {
+    cache: bool,
     workers: usize,
     requests: usize,
     makespan_ms: f64,
     throughput: f64,
+    p50_ms: f64,
+    hit_rate: f64,
     wall_ms: f64,
 }
 
@@ -60,6 +67,7 @@ fn serve(
     instances: &[Vec<InputValue>],
     workers: usize,
     requests: usize,
+    cache: bool,
 ) -> Row {
     let per_worker = requests / workers;
     let start = std::time::Instant::now();
@@ -81,11 +89,26 @@ fn serve(
     let busiest_host: f64 =
         worker_stats.iter().map(|runs| runs.iter().map(host_us).sum::<f64>()).fold(0.0, f64::max);
     let makespan_us = total_device.max(busiest_host);
+
+    // Per-request modeled latency (host + device of that request alone);
+    // the plan cache shows up here as reduced scheduling_us on hits.
+    let mut latencies: Vec<f64> =
+        worker_stats.iter().flatten().map(|s| host_us(s) + device_us(s)).collect();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let p50_ms = latencies[latencies.len() / 2] / 1e3;
+
+    let hits: u64 = worker_stats.iter().flatten().map(|s| s.plan_cache_hits).sum();
+    let misses: u64 = worker_stats.iter().flatten().map(|s| s.plan_cache_misses).sum();
+    let hit_rate = if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 };
+
     Row {
+        cache,
         workers,
         requests,
         makespan_ms: makespan_us / 1e3,
         throughput: requests as f64 / (makespan_us / 1e6),
+        p50_ms,
+        hit_rate,
         wall_ms,
     }
 }
@@ -98,12 +121,23 @@ fn main() {
     // representative serving workload.
     let spec: ModelSpec = suite(ModelSize::Small, true).remove(0);
     let model = compile(&spec.source, &CompileOptions::default()).expect("model compiles");
+    let model_cached = compile(&spec.source, &CompileOptions::default().with_plan_cache(true))
+        .expect("cached model compiles");
     let instances = (spec.make_instances)(0x5E57E, batch);
 
-    let rows: Vec<Row> = WORKER_COUNTS
+    // Cache-off rows first (the paper configuration), then cache-on.  The
+    // cache-on model is shared across worker counts, so its engine-level
+    // cache warms on the first configuration's first flushes and stays warm
+    // — exactly what a long-lived serving process sees.
+    let mut rows: Vec<Row> = WORKER_COUNTS
         .iter()
-        .map(|&w| serve(&model, &spec.params, &instances, w, requests))
+        .map(|&w| serve(&model, &spec.params, &instances, w, requests, false))
         .collect();
+    rows.extend(
+        WORKER_COUNTS
+            .iter()
+            .map(|&w| serve(&model_cached, &spec.params, &instances, w, requests, true)),
+    );
 
     let base = rows[0].throughput;
     let mut out = String::new();
@@ -117,6 +151,10 @@ fn main() {
     .unwrap();
     writeln!(out, "# One shared compiled model; each request acquires its own pooled").unwrap();
     writeln!(out, "# ExecutionContext (zero shared-lock acquisitions on the flush path).").unwrap();
+    writeln!(out, "# cache=on rows serve from a second compiled model with flush-plan").unwrap();
+    writeln!(out, "# memoization enabled: repeated window shapes hit the shared PlanCache")
+        .unwrap();
+    writeln!(out, "# and skip scheduling (p50_ms is per-request modeled latency).").unwrap();
     writeln!(out, "#").unwrap();
     writeln!(out, "# Throughput is modeled virtual time (repo convention, DESIGN.md §1):").unwrap();
     writeln!(out, "#   host work (DFG construction, scheduling, fibers, CUDA API calls)").unwrap();
@@ -129,31 +167,55 @@ fn main() {
     writeln!(out, "#").unwrap();
     writeln!(
         out,
-        "{:>7}  {:>8}  {:>12}  {:>12}  {:>12}  {:>9}",
-        "workers", "requests", "makespan_ms", "req_per_s", "speedup_vs_1", "wall_ms"
+        "{:>5}  {:>7}  {:>8}  {:>12}  {:>12}  {:>12}  {:>8}  {:>8}  {:>9}",
+        "cache",
+        "workers",
+        "requests",
+        "makespan_ms",
+        "req_per_s",
+        "speedup_vs_1",
+        "p50_ms",
+        "hit_rate",
+        "wall_ms"
     )
     .unwrap();
     for r in &rows {
         writeln!(
             out,
-            "{:>7}  {:>8}  {:>12.3}  {:>12.1}  {:>12.2}  {:>9.1}",
+            "{:>5}  {:>7}  {:>8}  {:>12.3}  {:>12.1}  {:>12.2}  {:>8.3}  {:>8.2}  {:>9.1}",
+            if r.cache { "on" } else { "off" },
             r.workers,
             r.requests,
             r.makespan_ms,
             r.throughput,
             r.throughput / base,
+            r.p50_ms,
+            r.hit_rate,
             r.wall_ms
         )
         .unwrap();
     }
     print!("{out}");
 
-    let four = rows.iter().find(|r| r.workers == 4).expect("4-worker row");
+    let four = rows.iter().find(|r| r.workers == 4 && !r.cache).expect("4-worker cache-off row");
     let scaling = four.throughput / base;
     println!("\n4-worker speedup on the simulated device: {scaling:.2}x");
     assert!(
         scaling > 2.0,
         "serving must scale >2x at 4 workers on the simulated device, got {scaling:.2}x"
+    );
+
+    let off_p50 = rows.iter().find(|r| r.workers == 1 && !r.cache).unwrap().p50_ms;
+    let on = rows.iter().find(|r| r.workers == 1 && r.cache).unwrap();
+    println!(
+        "plan cache @1 worker: p50 {off_p50:.3} ms -> {:.3} ms, steady hit rate {:.0}%",
+        on.p50_ms,
+        on.hit_rate * 100.0
+    );
+    assert!(
+        on.p50_ms <= off_p50,
+        "plan cache must not regress p50 modeled latency ({:.3} ms vs {off_p50:.3} ms)",
+        on.p50_ms
     );
 
     std::fs::create_dir_all("bench_results").expect("bench_results dir");
@@ -164,10 +226,13 @@ fn main() {
     if json_flag() {
         let mut records = Vec::new();
         for r in &rows {
-            let config = format!("workers={}", r.workers);
+            let config =
+                format!("cache={}/workers={}", if r.cache { "on" } else { "off" }, r.workers);
             records.push(JsonRecord::new(&config, "makespan_ms", r.makespan_ms));
             records.push(JsonRecord::new(&config, "req_per_s", r.throughput));
             records.push(JsonRecord::new(&config, "speedup_vs_1", r.throughput / base));
+            records.push(JsonRecord::new(&config, "p50_ms", r.p50_ms));
+            records.push(JsonRecord::new(&config, "plan_cache_hit_rate", r.hit_rate));
             records.push(JsonRecord::new(&config, "wall_ms", r.wall_ms));
         }
         write_bench_json("serving_throughput", &records);

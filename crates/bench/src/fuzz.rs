@@ -248,9 +248,13 @@ impl FuzzCase {
 
 /// The scheduler/ablation matrix every fuzz case runs under: all three
 /// schedulers × gather-fusion × coarsening × {sequential, 4-worker
-/// parallel execution}, all in checked mode, plus the unbatched eager
-/// configuration (also checked).  The parallel axis must be bit-for-bit
-/// invisible: same plan, same outputs, real threads.
+/// parallel execution} × {plan cache off, on}, all in checked mode, plus
+/// the unbatched eager configuration (also checked, both cache settings).
+/// The parallel axis must be bit-for-bit invisible: same plan, same
+/// outputs, real threads.  The plan-cache axis must be equally invisible —
+/// and because every configuration is checked, every cache hit the fuzzer
+/// produces passes the cached ≡ freshly-scheduled bit-identity gate
+/// (`acrobat_runtime::check::validate_cached_plan`).
 pub fn config_matrix() -> Vec<(String, CompileOptions)> {
     let mut out = Vec::new();
     for scheduler in
@@ -259,24 +263,31 @@ pub fn config_matrix() -> Vec<(String, CompileOptions)> {
         for gather_fusion in [false, true] {
             for coarsen in [false, true] {
                 for parallel_workers in [0, 4] {
-                    let mut o = CompileOptions::default().with_checked(true);
-                    o.runtime.scheduler = scheduler;
-                    o.runtime.gather_fusion = gather_fusion;
-                    o.runtime.coarsen = coarsen;
-                    o.runtime.parallel_workers = parallel_workers;
-                    out.push((
-                        format!(
-                            "{scheduler:?}/gf={gather_fusion}/co={coarsen}/par={parallel_workers}"
-                        ),
-                        o,
-                    ));
+                    for plan_cache in [false, true] {
+                        let mut o = CompileOptions::default().with_checked(true);
+                        o.runtime.scheduler = scheduler;
+                        o.runtime.gather_fusion = gather_fusion;
+                        o.runtime.coarsen = coarsen;
+                        o.runtime.parallel_workers = parallel_workers;
+                        o.runtime.plan_cache = plan_cache;
+                        out.push((
+                            format!(
+                                "{scheduler:?}/gf={gather_fusion}/co={coarsen}\
+                                 /par={parallel_workers}/pc={plan_cache}"
+                            ),
+                            o,
+                        ));
+                    }
                 }
             }
         }
     }
-    let mut eager = CompileOptions::default().with_checked(true);
-    eager.runtime.eager = true;
-    out.push(("eager".into(), eager));
+    for plan_cache in [false, true] {
+        let mut eager = CompileOptions::default().with_checked(true);
+        eager.runtime.eager = true;
+        eager.runtime.plan_cache = plan_cache;
+        out.push((format!("eager/pc={plan_cache}"), eager));
+    }
     out
 }
 

@@ -91,6 +91,15 @@ impl CompileOptions {
         self
     }
 
+    /// Enable or disable flush-plan memoization
+    /// (`acrobat_runtime::plan_cache`): repeated pending-window shapes are
+    /// served by remapping a frozen plan instead of rescheduling.  Off by
+    /// default (the paper configuration reschedules every flush).
+    pub fn with_plan_cache(mut self, on: bool) -> CompileOptions {
+        self.runtime.plan_cache = on;
+        self
+    }
+
     /// Options for one rung of the Fig. 5 ablation ladder.
     pub fn at_level(level: OptLevel) -> CompileOptions {
         let mut o = CompileOptions::default();

@@ -155,6 +155,47 @@ impl FlushChecker {
     }
 }
 
+/// Checked-mode gate for plan-cache hits ([`crate::plan_cache`]): re-runs
+/// the optimized scheduler from scratch on the live pending window and
+/// asserts the cached, remapped plan is bit-for-bit identical — batch
+/// partition, launch order, flat-CSR layout, decision count — and that
+/// every batch's binding layout (kernel, shared-operand signature) is
+/// homogeneous on the *current* DFG, not just the one the plan was frozen
+/// from.  The differential fuzzer runs the whole config matrix in checked
+/// mode, so every hit it produces passes through here.
+///
+/// # Panics
+///
+/// Panics if the cached plan diverges from a fresh schedule in any way (a
+/// signature collision or a remap bug — both runtime bugs).
+pub fn validate_cached_plan(dfg: &Dfg, cached: &Plan, kind: SchedulerKind) {
+    let mut scratch = scheduler::SchedulerScratch::new();
+    let mut fresh = Plan::default();
+    scheduler::plan_into(kind, dfg, &mut scratch, &mut fresh);
+    assert_eq!(
+        cached.decisions, fresh.decisions,
+        "checked mode: cached plan's decision count diverges from a fresh schedule"
+    );
+    assert!(
+        *cached == fresh,
+        "checked mode: cached plan is not bit-identical to a fresh schedule \
+         (cached {:?} vs fresh {:?})",
+        cached.to_batches(),
+        fresh.to_batches()
+    );
+    for batch in cached.batches() {
+        let head = dfg.node(batch[0]);
+        for &id in batch {
+            let n = dfg.node(id);
+            assert_eq!(
+                (n.kernel, n.shared_sig),
+                (head.kernel, head.shared_sig),
+                "checked mode: cached batch binding layout is not homogeneous on the live DFG"
+            );
+        }
+    }
+}
+
 pub mod hubsim {
     //! Deterministic single-threaded explorer for the fiber/flush protocol.
     //!

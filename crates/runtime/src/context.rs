@@ -47,6 +47,12 @@ pub struct ExecutionContext {
     /// Scheduler working memory, reused across flushes so steady-state
     /// planning performs no allocations.
     sched_scratch: SchedulerScratch,
+    /// Per-context plan-cache front ([`crate::plan_cache::PlanL1`]):
+    /// absorbs steady-state probes so a warm flush touches no shared
+    /// state.  Deliberately *retained* across [`ExecutionContext::reset`]
+    /// — a pooled context's warm set is what makes repeated-shape serving
+    /// hit without ever taking the shared cache's read lock.
+    plan_l1: crate::plan_cache::PlanL1,
     /// The current flush's plan, reused for the same reason.
     plan_buf: Plan,
     /// The simulated device timeline ([`crate::timeline`]): every modeled
@@ -81,14 +87,17 @@ impl ExecutionContext {
     pub fn new(engine: Arc<Engine>) -> ExecutionContext {
         let device_memory = engine.options().device_memory;
         let timeline = DeviceTimeline::new(engine.options().timeline);
+        let mut dfg = Dfg::new();
+        dfg.set_signature_tracking(engine.options().plan_cache);
         ExecutionContext {
             engine,
             mem: DeviceMem::new(device_memory),
-            dfg: Dfg::new(),
+            dfg,
             stats: RuntimeStats::default(),
             units: 0,
             profile: Default::default(),
             sched_scratch: SchedulerScratch::new(),
+            plan_l1: crate::plan_cache::PlanL1::new(),
             plan_buf: Plan::default(),
             timeline,
             levels: BatchLevels::new(),
@@ -186,6 +195,11 @@ impl ExecutionContext {
         self.mem.clear_fault();
         let _ = self.mem.take_stats();
         self.dfg = Dfg::new();
+        self.dfg.set_signature_tracking(self.engine.options().plan_cache);
+        // `plan_l1` is NOT cleared: frozen plans are engine-scoped (the
+        // context is pinned to its engine by the pool's `Arc::ptr_eq`
+        // check), so the warm set carries over and the next request's
+        // repeated shapes hit without touching shared state.
         self.stats = RuntimeStats::default();
         self.units = 0;
         self.profile.clear();
@@ -379,6 +393,7 @@ impl ExecutionContext {
             units,
             profile,
             sched_scratch,
+            plan_l1,
             plan_buf,
             timeline,
             levels,
@@ -391,7 +406,41 @@ impl ExecutionContext {
         let library = engine.library();
         let model = engine.model();
         let options = engine.options();
-        scheduler::plan_into(options.scheduler, dfg, sched_scratch, plan_buf);
+        // Plan-cache path ([`crate::plan_cache`]): probe the per-context L1
+        // then the engine's shared cache on the window's structural
+        // signature; a hit remaps the frozen plan onto the current window,
+        // a miss falls back to `plan_into` and (for healthy, undownshifted
+        // contexts) publishes the result.
+        let cache_outcome = if options.plan_cache {
+            let cfg = crate::plan_cache::CacheConfig::from_options(options, *lane_cap, *tainted);
+            Some(crate::plan_cache::plan_cached(
+                &cfg,
+                dfg,
+                sched_scratch,
+                plan_l1,
+                engine.plan_cache(),
+                plan_buf,
+            ))
+        } else {
+            scheduler::plan_into(options.scheduler, dfg, sched_scratch, plan_buf);
+            None
+        };
+        match cache_outcome {
+            Some(crate::plan_cache::CacheOutcome::Hit) => {
+                stats.plan_cache_hits += 1;
+                if options.checked {
+                    // Every hit must be bit-identical to a fresh schedule,
+                    // including the batch binding layout.
+                    crate::check::validate_cached_plan(dfg, plan_buf, options.scheduler);
+                }
+            }
+            Some(crate::plan_cache::CacheOutcome::Miss { evicted }) => {
+                stats.plan_cache_misses += 1;
+                stats.plan_cache_evictions += evicted;
+            }
+            Some(crate::plan_cache::CacheOutcome::Bypass) => stats.plan_cache_misses += 1,
+            None => {}
+        }
         let mut checker = options
             .checked
             .then(|| crate::check::FlushChecker::validate_plan(dfg, plan_buf, options.scheduler));
@@ -408,7 +457,23 @@ impl ExecutionContext {
         } else {
             1.0
         };
-        let sched_us = plan_buf.decisions as f64 * per_decision * unit_ratio;
+        // With the cache on, every flush pays signature folding per node;
+        // a hit replaces the per-decision scheduling work with the O(n)
+        // remap, a miss pays folding on top of the full schedule.
+        let node_window = plan_buf.num_nodes() as f64;
+        let sig_us = match cache_outcome {
+            Some(crate::plan_cache::CacheOutcome::Hit) => {
+                node_window * (model.sched_sig_cost_us + model.sched_remap_cost_us) * unit_ratio
+            }
+            Some(_) => node_window * model.sched_sig_cost_us * unit_ratio,
+            None => 0.0,
+        };
+        let decision_us = match cache_outcome {
+            Some(crate::plan_cache::CacheOutcome::Hit) => 0.0,
+            _ => plan_buf.decisions as f64 * per_decision * unit_ratio,
+        };
+        let sched_us = sig_us + decision_us;
+        stats.plan_sig_us += sig_us;
         stats.scheduling_us += sched_us;
         timeline.host(sched_us);
         stats.overlap_saved_us = timeline.overlap_saved_us();

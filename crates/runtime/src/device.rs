@@ -44,6 +44,15 @@ pub struct DeviceModel {
     pub sched_dyn_depth_cost_us: f64,
     /// Host cost per node of agenda-based scheduling, µs.
     pub sched_agenda_cost_us: f64,
+    /// Host cost per node of folding the window signature during DFG
+    /// construction ([`crate::plan_cache`]), µs.  Charged on every flush
+    /// with the plan cache on, hit or miss.
+    #[serde(default = "default_sched_sig_cost_us")]
+    pub sched_sig_cost_us: f64,
+    /// Host cost per node of rebinding a cached plan onto the current
+    /// window (plan-cache hit dispatch), µs.
+    #[serde(default = "default_sched_remap_cost_us")]
+    pub sched_remap_cost_us: f64,
     /// Host cost of one fiber context switch, µs.
     pub fiber_switch_cost_us: f64,
 }
@@ -63,6 +72,8 @@ impl Default for DeviceModel {
             sched_inline_cost_us: 0.08,
             sched_dyn_depth_cost_us: 0.30,
             sched_agenda_cost_us: 0.60,
+            sched_sig_cost_us: default_sched_sig_cost_us(),
+            sched_remap_cost_us: default_sched_remap_cost_us(),
             fiber_switch_cost_us: 0.35,
         }
     }
@@ -117,6 +128,17 @@ impl DeviceModel {
 /// pinned-memory transfer efficiency, matching the paper's RTX 3070 host).
 fn default_pcie_bytes_per_us() -> f64 {
     12_000.0
+}
+
+/// One hash fold over metadata already in registers — an order of
+/// magnitude cheaper than even the inline scheduler's bucket insert.
+fn default_sched_sig_cost_us() -> f64 {
+    0.01
+}
+
+/// One offset add + store per node on a plan-cache hit.
+fn default_sched_remap_cost_us() -> f64 {
+    0.005
 }
 
 #[cfg(test)]

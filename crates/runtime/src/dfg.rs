@@ -62,6 +62,51 @@ pub struct DfgNode {
 /// Sentinel for "not in the pending set" in [`Dfg::pending_pos`].
 const NOT_PENDING: u32 = u32::MAX;
 
+/// Seed of the primary window-signature accumulator.
+const WIN_SEED0: u64 = 0x243F6A8885A308D3; // π digits
+/// Seed of the verification accumulator (independent chain).
+const WIN_SEED1: u64 = 0x13198A2E03707344; // more π digits
+/// Per-token tweak applied to the verification chain so the two
+/// accumulators never fold identical inputs.
+const WIN_TWEAK: u64 = 0xA4093822299F31D0;
+
+/// One splitmix64-style mixing round (the workspace-standard finalizer,
+/// matching `scheduler::hash_key`): folds `v` into accumulator `h`.
+#[inline]
+fn sig_fold(h: u64, v: u64) -> u64 {
+    let mut x = h ^ v.wrapping_mul(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Structural signature of the current pending *window* — the nodes
+/// appended since the pending set was last empty — consumed by
+/// [`crate::plan_cache`].
+///
+/// The signature is order-independent over lane identity: it folds each
+/// node's kernel, phase, depth, shared-operand signature and the *relative*
+/// (window-local) position of each pending argument's producer, so two
+/// windows with the same structure hash equal regardless of which request,
+/// instance numbers or absolute `NodeId`/`ValueId` offsets produced them.
+/// Two independent accumulators are kept (different seeds, tweaked token
+/// streams), so a silent false hit requires a simultaneous 2×64-bit
+/// collision; cache probes compare both plus the window length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WindowSig {
+    /// Primary accumulator.
+    pub sig: u64,
+    /// Independent verification accumulator.
+    pub check: u64,
+    /// Window length in nodes.
+    pub n: u32,
+    /// First `NodeId` of the window: a clean window is built append-only
+    /// from an empty pending set, so its ids are exactly
+    /// `base..base + n` — which is what makes cached-plan remapping a
+    /// single offset add.
+    pub base: u64,
+}
+
 /// Packs the inline grouping key `(phase, depth, kernel)` into one integer
 /// whose natural order is the lexicographic tuple order; `shared_sig` is
 /// kept alongside as the second key component.
@@ -112,6 +157,22 @@ pub struct Dfg {
     bucket_lookup: std::collections::HashMap<(u128, u64), u32>,
     /// Per node, its bucket index (dense, parallel to `nodes`).
     bucket_of: Vec<u32>,
+    /// Primary window-signature accumulator (see [`WindowSig`]), folded
+    /// incrementally by [`Dfg::add_node`] while the window grows
+    /// append-only from an empty pending set.
+    win_sig: u64,
+    /// Independent verification accumulator.
+    win_check: u64,
+    /// First node id of the current window.
+    win_base: u64,
+    /// Set when a partial completion (eager drain, aborted-flush retry)
+    /// breaks the append-only-window property; the signature is then
+    /// unavailable until the pending set next empties.
+    win_dirty: bool,
+    /// Whether `add_node` folds the signature at all.  Off by default so
+    /// cache-off construction cost is unchanged; enabled by contexts whose
+    /// engine has the plan cache on.
+    win_track: bool,
 }
 
 impl Dfg {
@@ -140,6 +201,41 @@ impl Dfg {
         output_slots: usize,
     ) -> (NodeId, Vec<ValueId>) {
         let id = NodeId(self.nodes.len() as u64);
+        if self.win_track {
+            if self.pending.is_empty() {
+                // First node after a drain: a new window starts here.
+                self.win_sig = WIN_SEED0;
+                self.win_check = WIN_SEED1;
+                self.win_base = id.0;
+                self.win_dirty = false;
+            }
+            if !self.win_dirty {
+                let mut s0 = self.win_sig;
+                let mut s1 = self.win_check;
+                let mut fold = |v: u64| {
+                    s0 = sig_fold(s0, v);
+                    s1 = sig_fold(s1, v ^ WIN_TWEAK);
+                };
+                fold(((phase as u64) << 32) | kernel.0 as u64);
+                fold(depth);
+                fold(shared_sig);
+                fold(args.len() as u64);
+                for a in &args {
+                    // Dependency topology in window-relative coordinates:
+                    // a pending argument folds the distance to its
+                    // producer (id-delta), a materialized one folds a
+                    // sentinel — so the signature is independent of
+                    // absolute id offsets.
+                    let tok = match &self.values[a.0 as usize] {
+                        ValueState::Pending { producer, .. } => ((id.0 - producer.0) << 1) | 1,
+                        ValueState::Ready(_) => 0,
+                    };
+                    fold(tok);
+                }
+                self.win_sig = s0;
+                self.win_check = s1;
+            }
+        }
         let outputs: Vec<ValueId> = (0..output_slots)
             .map(|slot| {
                 let vid = ValueId(self.values.len() as u64);
@@ -249,6 +345,14 @@ impl Dfg {
         } else if b.ids.len() >= 16 && b.ids.len() >= 2 * b.pending as usize {
             let pending_pos = &self.pending_pos;
             b.ids.retain(|id| pending_pos[id.0 as usize] != NOT_PENDING);
+        }
+        // A completion that leaves other nodes pending breaks the
+        // append-only-window property: the remaining pending set is no
+        // longer `base..base + n`, so the incremental signature is stale.
+        // Draining completely is fine — the next `add_node` starts a fresh
+        // window and resets the accumulators.
+        if self.win_track && !self.pending.is_empty() {
+            self.win_dirty = true;
         }
     }
 
@@ -439,6 +543,37 @@ impl Dfg {
     /// Total nodes ever created (the DFG-construction count in Table 5).
     pub fn node_count(&self) -> u64 {
         self.nodes.len() as u64
+    }
+
+    /// Enables or disables incremental window-signature folding (see
+    /// [`WindowSig`]).  Kept off by default so cache-off DFG construction
+    /// pays nothing; turning it on mid-graph marks the signature dirty
+    /// until the pending set next drains (a half-observed window must
+    /// never hash clean).
+    pub fn set_signature_tracking(&mut self, on: bool) {
+        self.win_track = on;
+        self.win_dirty = !self.pending.is_empty();
+    }
+
+    /// The structural signature of the current pending window, if it is
+    /// clean: tracking is on, the window grew append-only from an empty
+    /// pending set, and nothing was partially completed since.  `None`
+    /// sends the caller down the uncached scheduling path.
+    pub fn window_signature(&self) -> Option<WindowSig> {
+        if !self.win_track || self.win_dirty || self.pending.is_empty() {
+            return None;
+        }
+        debug_assert_eq!(
+            self.win_base + self.pending.len() as u64,
+            self.nodes.len() as u64,
+            "clean window must span a contiguous id range"
+        );
+        Some(WindowSig {
+            sig: self.win_sig,
+            check: self.win_check,
+            n: self.pending.len() as u32,
+            base: self.win_base,
+        })
     }
 }
 

@@ -49,6 +49,7 @@ pub mod device;
 pub mod dfg;
 pub mod engine;
 pub mod fiber;
+pub mod plan_cache;
 pub mod resilience;
 pub mod scheduler;
 pub mod stats;
@@ -57,9 +58,10 @@ pub mod timeline;
 pub use check::FlushChecker;
 pub use context::ExecutionContext;
 pub use device::DeviceModel;
-pub use dfg::{Dfg, NodeId, ValueId};
+pub use dfg::{Dfg, NodeId, ValueId, WindowSig};
 pub use engine::{ContextPool, Engine, RuntimeOptions};
 pub use fiber::{DriveTimeout, FiberHub};
+pub use plan_cache::{CacheConfig, CacheOutcome, CachedPlan, PlanCache, PlanL1};
 pub use resilience::{CancelToken, Deadline, RetryPolicy};
 pub use scheduler::SchedulerKind;
 pub use stats::RuntimeStats;

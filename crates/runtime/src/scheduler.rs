@@ -60,12 +60,14 @@ pub enum SchedulerKind {
 /// an offsets table — so planning performs O(1) allocations regardless of
 /// how many batches it emits, and none at all when the plan is reused
 /// through [`plan_into`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Plan {
-    /// Concatenated batch contents, in launch order.
-    nodes: Vec<NodeId>,
+    /// Concatenated batch contents, in launch order.  Crate-visible so
+    /// [`crate::plan_cache`] can freeze plans into window-relative
+    /// coordinates and remap them back without copying through batches.
+    pub(crate) nodes: Vec<NodeId>,
     /// Batch `b` is `nodes[offsets[b] as usize..offsets[b + 1] as usize]`.
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
     /// Elementary decisions performed (bucket inserts, heap ops, scans).
     pub decisions: u64,
 }

@@ -59,6 +59,22 @@ pub struct RuntimeStats {
     /// Graceful-degradation lane-cap reductions (batch-size downshifts)
     /// taken after repeated aborted flushes.
     pub downshifts: u64,
+    /// Flushes served by remapping a frozen plan ([`crate::plan_cache`]).
+    #[serde(default)]
+    pub plan_cache_hits: u64,
+    /// Flushes that scheduled fresh with the plan cache enabled (including
+    /// signature bypasses after partial completions).
+    #[serde(default)]
+    pub plan_cache_misses: u64,
+    /// Shared-cache entries evicted by this context's publishes.
+    #[serde(default)]
+    pub plan_cache_evictions: u64,
+    /// Host time folding window signatures and remapping cached plans, µs.
+    /// A sub-account of `scheduling_us` (already included there — not
+    /// added again by [`RuntimeStats::total_us`]); exactly `0.0` with the
+    /// plan cache off.
+    #[serde(default)]
+    pub plan_sig_us: f64,
 
     /// High-water mark of simulated device memory, in `f32` elements.
     pub device_peak_elements: u64,
@@ -124,6 +140,10 @@ impl RuntimeStats {
         self.retries += o.retries;
         self.retry_backoff_us += o.retry_backoff_us;
         self.downshifts += o.downshifts;
+        self.plan_cache_hits += o.plan_cache_hits;
+        self.plan_cache_misses += o.plan_cache_misses;
+        self.plan_cache_evictions += o.plan_cache_evictions;
+        self.plan_sig_us += o.plan_sig_us;
         self.device_peak_elements = self.device_peak_elements.max(o.device_peak_elements);
         self.host_wall_us += o.host_wall_us;
         self.program_host_us += o.program_host_us;
@@ -159,6 +179,10 @@ impl RuntimeStats {
             retries: avg(self.retries),
             retry_backoff_us: self.retry_backoff_us / n,
             downshifts: avg(self.downshifts),
+            plan_cache_hits: avg(self.plan_cache_hits),
+            plan_cache_misses: avg(self.plan_cache_misses),
+            plan_cache_evictions: avg(self.plan_cache_evictions),
+            plan_sig_us: self.plan_sig_us / n,
             device_peak_elements: self.device_peak_elements,
             host_wall_us: self.host_wall_us / n,
             program_host_us: self.program_host_us / n,

@@ -43,4 +43,7 @@ cargo run --release -p acrobat-bench --bin chaos_sweep -- --smoke --cases 50 --s
 echo "==> timeline smoke (quick suite, asserts streams=1 vs streams=4 outputs identical)"
 cargo run --release -p acrobat-bench --bin timeline_overlap -- --quick
 
+echo "==> plan-cache smoke (steady-state hit rate >= 90%, cache-on == cache-off bit-for-bit)"
+cargo test -q -p acrobat-bench --test plan_cache
+
 echo "All checks passed."

@@ -38,11 +38,14 @@ fn build(spec: &ModelSpec, options: &CompileOptions) -> Model {
 /// Chaos-mode compile options: transient-fault retry on, everything else
 /// default.  Both the chaos model and the fault-free reference use these,
 /// so outputs are comparable bit for bit.  `parallel_workers > 0` also
-/// exercises the worker-pool kernel execution path under chaos.
-fn chaos_options(parallel_workers: usize) -> CompileOptions {
+/// exercises the worker-pool kernel execution path under chaos;
+/// `plan_cache` turns on flush-plan memoization (the reference stays
+/// cache-off, so survivor equality also proves cache-on ≡ cache-off).
+fn chaos_options(parallel_workers: usize, plan_cache: bool) -> CompileOptions {
     let mut options = CompileOptions::default();
     options.runtime.retry = RetryPolicy { max_retries: 3, backoff_base_us: 10.0 };
     options.runtime.parallel_workers = parallel_workers;
+    options.runtime.plan_cache = plan_cache;
     options
 }
 
@@ -116,11 +119,13 @@ fn chaos_round(
     runs_per_thread: usize,
     seed: u64,
     parallel_workers: usize,
+    plan_cache: bool,
 ) {
-    let options = chaos_options(parallel_workers);
-    // Fault-free serial reference on a separate model, so the chaos model's
-    // outcome ledger stays exactly the chaos traffic.
-    let reference_model = build(spec, &options);
+    let options = chaos_options(parallel_workers, plan_cache);
+    // Fault-free serial reference on a separate cache-off model, so the
+    // chaos model's outcome ledger stays exactly the chaos traffic — and,
+    // with `plan_cache`, survivors additionally prove cache-on ≡ cache-off.
+    let reference_model = build(spec, &chaos_options(parallel_workers, false));
     let instances = (spec.make_instances)(0xC8A0, 4);
     let reference =
         reference_model.run(&spec.params, &instances).expect("fault-free reference").outputs;
@@ -257,6 +262,9 @@ fn chaos_round(
     sum_eq!(aborted_flushes);
     sum_eq!(retries);
     sum_eq!(downshifts);
+    sum_eq!(plan_cache_hits);
+    sum_eq!(plan_cache_misses);
+    sum_eq!(plan_cache_evictions);
 
     // The model stays healthy after the storm.
     let after = model.run(&spec.params, &instances).expect("run after chaos").outputs;
@@ -268,7 +276,7 @@ fn chaos_round(
 #[test]
 fn chaos_serving_sequential_model() {
     let spec = suite(ModelSize::Small, true).remove(0);
-    chaos_round(&spec, 4, 6, 0xC0A5_0001, 0);
+    chaos_round(&spec, 4, 6, 0xC0A5_0001, 0, false);
 }
 
 /// Chaos over the fiber-mode model (DRNN: tensor-dependent control flow,
@@ -276,7 +284,7 @@ fn chaos_serving_sequential_model() {
 #[test]
 fn chaos_serving_fiber_model() {
     let spec = suite(ModelSize::Small, true).remove(4);
-    chaos_round(&spec, 3, 4, 0xC0A5_0002, 0);
+    chaos_round(&spec, 3, 4, 0xC0A5_0002, 0, false);
 }
 
 /// The sequential-model chaos round with worker-pool kernel execution:
@@ -286,14 +294,31 @@ fn chaos_serving_fiber_model() {
 #[test]
 fn chaos_serving_sequential_model_parallel_exec() {
     let spec = suite(ModelSize::Small, true).remove(0);
-    chaos_round(&spec, 4, 6, 0xC0A5_0003, 4);
+    chaos_round(&spec, 4, 6, 0xC0A5_0003, 4, false);
 }
 
 /// The fiber-model chaos round with worker-pool kernel execution.
 #[test]
 fn chaos_serving_fiber_model_parallel_exec() {
     let spec = suite(ModelSize::Small, true).remove(4);
-    chaos_round(&spec, 3, 4, 0xC0A5_0004, 4);
+    chaos_round(&spec, 3, 4, 0xC0A5_0004, 4, false);
+}
+
+/// The sequential-model chaos round with flush-plan memoization on: every
+/// survivor must stay bit-for-bit identical to the *cache-off* fault-free
+/// reference, and fault-observing (tainted/quarantined) contexts must not
+/// poison the shared plan cache for the clean requests hitting it.
+#[test]
+fn chaos_serving_sequential_model_plan_cache() {
+    let spec = suite(ModelSize::Small, true).remove(0);
+    chaos_round(&spec, 4, 6, 0xC0A5_0005, 0, true);
+}
+
+/// The fiber-model chaos round with flush-plan memoization on.
+#[test]
+fn chaos_serving_fiber_model_plan_cache() {
+    let spec = suite(ModelSize::Small, true).remove(4);
+    chaos_round(&spec, 3, 4, 0xC0A5_0006, 0, true);
 }
 
 /// Deterministic load shedding: with `max_in_flight = 1` and the single
@@ -383,10 +408,10 @@ fn serial_fault_storm_sweep_is_classified_and_consistent() {
     // survive identically whether kernels run sequentially or on the
     // worker pool (fault occurrence order is prepare-phase, plan-order).
     for parallel_workers in [0usize, 4] {
-        let model = build(&spec, &chaos_options(parallel_workers));
+        let model = build(&spec, &chaos_options(parallel_workers, false));
         let instances = (spec.make_instances)(0x5707, 3);
         let reference = {
-            let clean = build(&spec, &chaos_options(parallel_workers));
+            let clean = build(&spec, &chaos_options(parallel_workers, false));
             clean.run(&spec.params, &instances).expect("reference").outputs
         };
 

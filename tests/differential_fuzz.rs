@@ -3,9 +3,10 @@
 //!
 //! Every generated program/workload must agree **bit-for-bit** across:
 //! the host reference evaluator, all three schedulers × gather-fusion ×
-//! coarsening (checked mode), unbatched eager execution, and the
-//! DyNet-sim baseline.  The `fuzz` binary runs the same generators at
-//! larger scale (`--cases 500` by default).
+//! coarsening × plan-cache {off, on} (checked mode — every cache hit is
+//! gated by the cached ≡ freshly-scheduled invariant), unbatched eager
+//! execution, and the DyNet-sim baseline.  The `fuzz` binary runs the
+//! same generators at larger scale (`--cases 500` by default).
 
 use acrobat_bench::fuzz::{config_matrix, dag_outputs, FuzzCase};
 use acrobat_runtime::{RuntimeOptions, SchedulerKind};
@@ -58,21 +59,24 @@ fn random_dag_workloads_agree_bit_for_bit() {
         {
             for gather_fusion in [false, true] {
                 for parallel_workers in [0, 3] {
-                    let options = RuntimeOptions {
-                        scheduler,
-                        gather_fusion,
-                        checked: true,
-                        parallel_workers,
-                        ..RuntimeOptions::default()
-                    };
-                    let got = dag_outputs(case_seed, &options)
-                        .unwrap_or_else(|e| panic!("seed {case_seed} {scheduler:?}: {e}"));
-                    assert_eq!(
-                        bits(&got),
-                        want,
-                        "seed {case_seed} {scheduler:?}/gf={gather_fusion}/par={parallel_workers} \
-                         diverged from eager"
-                    );
+                    for plan_cache in [false, true] {
+                        let options = RuntimeOptions {
+                            scheduler,
+                            gather_fusion,
+                            checked: true,
+                            parallel_workers,
+                            plan_cache,
+                            ..RuntimeOptions::default()
+                        };
+                        let got = dag_outputs(case_seed, &options)
+                            .unwrap_or_else(|e| panic!("seed {case_seed} {scheduler:?}: {e}"));
+                        assert_eq!(
+                            bits(&got),
+                            want,
+                            "seed {case_seed} {scheduler:?}/gf={gather_fusion}\
+                             /par={parallel_workers}/pc={plan_cache} diverged from eager"
+                        );
+                    }
                 }
             }
         }

@@ -1,0 +1,130 @@
+//! Integration tests for flush-plan memoization over the real model suite:
+//! cache-on serving is bit-for-bit identical to cache-off, steady-state
+//! requests are served almost entirely from the cache, and checked mode
+//! gates every hit with the cached ≡ freshly-scheduled invariant.
+
+use acrobat_bench::suite;
+use acrobat_core::{compile, CompileOptions, Model};
+use acrobat_models::{ModelSize, ModelSpec};
+use acrobat_vm::OutputValue;
+
+fn assert_bit_identical(spec: &ModelSpec, want: &[OutputValue], got: &[OutputValue], label: &str) {
+    assert_eq!(want.len(), got.len(), "{}: {label}: instance count", spec.name);
+    for (i, (w, g)) in want.iter().zip(got).enumerate() {
+        let (wt, gt) = ((spec.flatten_output)(w), (spec.flatten_output)(g));
+        assert_eq!(wt.len(), gt.len(), "{}: {label}: instance {i} tensor count", spec.name);
+        for (j, (a, b)) in wt.iter().zip(&gt).enumerate() {
+            assert_eq!(a.data(), b.data(), "{}: {label}: instance {i} tensor {j}", spec.name);
+        }
+    }
+}
+
+fn build(spec: &ModelSpec, options: &CompileOptions) -> Model {
+    compile(&spec.source, options).unwrap_or_else(|e| panic!("{} compiles: {e}", spec.name))
+}
+
+/// Cache-on ≡ cache-off over the whole suite, on both the warm-up request
+/// (miss path: schedule + freeze + publish) and steady-state requests
+/// (hit path: signature probe + remap).
+#[test]
+fn cache_on_matches_cache_off_bit_for_bit() {
+    for spec in suite(ModelSize::Small, true) {
+        let instances = (spec.make_instances)(0x9CAC, 4);
+        let off = build(&spec, &CompileOptions::default());
+        let on = build(&spec, &CompileOptions::default().with_plan_cache(true));
+        let want = off.run(&spec.params, &instances).expect("cache-off run").outputs;
+        for round in 0..3 {
+            let got = on.run(&spec.params, &instances).expect("cache-on run").outputs;
+            assert_bit_identical(&spec, &want, &got, &format!("round {round}"));
+        }
+        // The off model never touches the cache machinery.
+        let off_stats = off.stats();
+        assert_eq!(off_stats.plan_cache_hits, 0, "{}: cache-off hits", spec.name);
+        assert_eq!(off_stats.plan_cache_misses, 0, "{}: cache-off misses", spec.name);
+        assert_eq!(off_stats.plan_sig_us, 0.0, "{}: cache-off signature time", spec.name);
+    }
+}
+
+/// After one warm-up request per model, steady-state requests must resolve
+/// their flush windows from the cache at ≥ 90% (the check.sh smoke gate —
+/// in practice it is 100%: identical requests replay identical windows).
+///
+/// Fiber-mode models (`tensor_dependent`) are exempt from the rate gate:
+/// their fibers are OS threads, so the lane *interleave* of a window varies
+/// run to run even though the lane multiset (and every output bit) does
+/// not.  A novel interleave is a novel launch order, which the signature
+/// must — and does — distinguish; those windows fall back to `plan_into`
+/// and still publish, so repeated interleaves hit (asserted below as
+/// "some hits", not a rate).
+#[test]
+fn steady_state_hit_rate_is_at_least_90_percent() {
+    for spec in suite(ModelSize::Small, true) {
+        let instances = (spec.make_instances)(0x57EA, 4);
+        let model = build(&spec, &CompileOptions::default().with_plan_cache(true));
+
+        let warm = model.run(&spec.params, &instances).expect("warm-up").stats;
+        assert!(warm.plan_cache_misses > 0, "{}: first request must miss", spec.name);
+
+        let (mut hits, mut misses) = (0u64, 0u64);
+        let mut sig_us = 0.0;
+        for _ in 0..5 {
+            let s = model.run(&spec.params, &instances).expect("steady request").stats;
+            hits += s.plan_cache_hits;
+            misses += s.plan_cache_misses;
+            sig_us += s.plan_sig_us;
+        }
+        let rate = hits as f64 / (hits + misses).max(1) as f64;
+        if spec.properties.tensor_dependent {
+            assert!(
+                hits > 0,
+                "{}: repeated fiber interleaves must still hit ({hits}/{misses})",
+                spec.name
+            );
+        } else {
+            assert!(
+                rate >= 0.9,
+                "{}: steady-state hit rate {rate:.2} ({hits} hits / {misses} misses)",
+                spec.name
+            );
+        }
+        assert!(sig_us > 0.0, "{}: flushes must charge signature time", spec.name);
+    }
+}
+
+/// Steady-state scheduling is cheaper with the cache than without: a hit
+/// charges only the signature + remap model costs, never per-decision cost.
+#[test]
+fn steady_state_scheduling_is_cheaper_than_cache_off() {
+    let spec = suite(ModelSize::Small, true).remove(0);
+    let instances = (spec.make_instances)(0x5CED, 6);
+    let off = build(&spec, &CompileOptions::default());
+    let on = build(&spec, &CompileOptions::default().with_plan_cache(true));
+    let off_sched = off.run(&spec.params, &instances).expect("off").stats.scheduling_us;
+    on.run(&spec.params, &instances).expect("warm-up");
+    let on_sched = on.run(&spec.params, &instances).expect("steady").stats.scheduling_us;
+    assert!(
+        on_sched < off_sched,
+        "{}: steady-state scheduling {on_sched:.3}us must beat cache-off {off_sched:.3}us",
+        spec.name
+    );
+}
+
+/// Checked mode replans every hit from scratch and asserts the cached plan
+/// is bit-identical (decisions, partition, launch order) before use — the
+/// run must complete, actually exercise hits, and stay correct.
+#[test]
+fn checked_mode_gates_every_hit() {
+    for spec in suite(ModelSize::Small, true) {
+        let instances = (spec.make_instances)(0xC4EC, 4);
+        let reference = build(&spec, &CompileOptions::default());
+        let want = reference.run(&spec.params, &instances).expect("reference").outputs;
+        let checked =
+            build(&spec, &CompileOptions::default().with_plan_cache(true).with_checked(true));
+        checked.run(&spec.params, &instances).expect("checked warm-up");
+        let steady = checked.run(&spec.params, &instances).expect("checked steady");
+        if !spec.properties.tensor_dependent {
+            assert!(steady.stats.plan_cache_hits > 0, "{}: checked steady run must hit", spec.name);
+        }
+        assert_bit_identical(&spec, &want, &steady.outputs, "checked steady");
+    }
+}
