@@ -51,7 +51,7 @@ fn cache_cfg(kind: SchedulerKind) -> CacheConfig {
 }
 
 fn bench_size(c: &mut Criterion, nodes: usize, reference_agenda: bool) {
-    let dfg = synthetic_dfg(nodes);
+    let mut dfg = synthetic_dfg(nodes);
     let mut group = c.benchmark_group(format!("flush_hot_path_{}k", nodes / 1000));
     for kind in KINDS {
         group.bench_function(BenchmarkId::new("optimized", format!("{kind:?}")), |b| {
@@ -72,7 +72,7 @@ fn bench_size(c: &mut Criterion, nodes: usize, reference_agenda: bool) {
                 // First-seen shape: both cache levels are cold.
                 l1.clear();
                 shared.clear();
-                let out = plan_cached(&cfg, &dfg, &mut scratch, &mut l1, &shared, &mut plan);
+                let out = plan_cached(&cfg, &mut dfg, &mut scratch, &mut l1, &shared, &mut plan);
                 debug_assert!(matches!(out, CacheOutcome::Miss { .. }));
                 std::hint::black_box(plan.num_batches())
             });
@@ -84,9 +84,9 @@ fn bench_size(c: &mut Criterion, nodes: usize, reference_agenda: bool) {
             let mut plan = Plan::default();
             let cfg = cache_cfg(kind);
             // Warm once; every measured probe is a repeated shape.
-            plan_cached(&cfg, &dfg, &mut scratch, &mut l1, &shared, &mut plan);
+            plan_cached(&cfg, &mut dfg, &mut scratch, &mut l1, &shared, &mut plan);
             b.iter(|| {
-                let out = plan_cached(&cfg, &dfg, &mut scratch, &mut l1, &shared, &mut plan);
+                let out = plan_cached(&cfg, &mut dfg, &mut scratch, &mut l1, &shared, &mut plan);
                 debug_assert_eq!(out, CacheOutcome::Hit);
                 std::hint::black_box(plan.num_batches())
             });
@@ -107,16 +107,18 @@ fn bench_size(c: &mut Criterion, nodes: usize, reference_agenda: bool) {
 
 /// Measured steady-state hit rate: a warmed cache probed `probes` times.
 fn steady_hit_rate(nodes: usize, probes: usize) -> f64 {
-    let dfg = synthetic_dfg(nodes);
+    let mut dfg = synthetic_dfg(nodes);
     let shared = PlanCache::new();
     let mut l1 = PlanL1::new();
     let mut scratch = SchedulerScratch::new();
     let mut plan = Plan::default();
     let cfg = cache_cfg(SchedulerKind::InlineDepth);
-    plan_cached(&cfg, &dfg, &mut scratch, &mut l1, &shared, &mut plan);
+    plan_cached(&cfg, &mut dfg, &mut scratch, &mut l1, &shared, &mut plan);
     let mut hits = 0usize;
     for _ in 0..probes {
-        if plan_cached(&cfg, &dfg, &mut scratch, &mut l1, &shared, &mut plan) == CacheOutcome::Hit {
+        if plan_cached(&cfg, &mut dfg, &mut scratch, &mut l1, &shared, &mut plan)
+            == CacheOutcome::Hit
+        {
             hits += 1;
         }
     }

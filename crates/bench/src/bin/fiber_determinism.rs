@@ -1,0 +1,91 @@
+//! `fiber_determinism`: run-to-run and worker-count determinism smoke for
+//! fiber-mode (tensor-dependent) models under plan memoization.
+//!
+//! Each tensor-dependent model in the quick suite is compiled with the
+//! plan cache on, warmed with one request, then served `--requests`
+//! identical requests from `--workers` threads.  For every model the tool
+//! prints one JSON line with only *worker-invariant* quantities:
+//!
+//! - `hits` / `misses` / `hit_rate`: aggregate plan-cache counters over
+//!   the steady-state requests (every steady request must resolve from the
+//!   shared cache regardless of which worker serves it);
+//! - `sig_chain`: the per-request window-signature digest
+//!   ([`acrobat_core::RuntimeStats::plan_sig_chain`]), asserted identical
+//!   across *all* requests — lane-canonical signing makes it a pure
+//!   function of the request, not of the fiber interleave or the worker.
+//!
+//! `scripts/check.sh` runs this twice (`--workers 1` and `--workers 4`)
+//! and diffs the stdout: any interleave- or partition-dependent signature
+//! shows up as a byte difference.  The tool itself asserts a ≥ 90%
+//! steady-state hit rate per model and exits nonzero on violation.
+
+use acrobat_bench::suite;
+use acrobat_core::{compile, CompileOptions, RuntimeStats};
+use acrobat_models::ModelSize;
+
+fn arg_value(args: &[String], flag: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("{flag} expects a number")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let workers = arg_value(&args, "--workers").unwrap_or(1).max(1);
+    let requests = arg_value(&args, "--requests").unwrap_or(8);
+    assert!(requests.is_multiple_of(workers), "--requests must divide evenly across --workers");
+    let per_worker = requests / workers;
+
+    for spec in suite(ModelSize::Small, true) {
+        if !spec.properties.tensor_dependent {
+            continue;
+        }
+        let instances = (spec.make_instances)(0xF1BE, 4);
+        let model = compile(&spec.source, &CompileOptions::default().with_plan_cache(true))
+            .unwrap_or_else(|e| panic!("{} compiles: {e}", spec.name));
+        // Warm-up: publish the request's windows into the engine's shared
+        // cache so every steady-state request below can hit from any
+        // worker's cold per-context L1.
+        model.run(&spec.params, &instances).expect("warm-up request");
+
+        let stats: Vec<RuntimeStats> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (model, params, instances) = (&model, &spec.params, &instances);
+                    scope.spawn(move || {
+                        (0..per_worker)
+                            .map(|_| model.run(params, instances).expect("steady request").stats)
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+        });
+
+        let hits: u64 = stats.iter().map(|s| s.plan_cache_hits).sum();
+        let misses: u64 = stats.iter().map(|s| s.plan_cache_misses).sum();
+        let rate = hits as f64 / (hits + misses).max(1) as f64;
+        let chain = stats[0].plan_sig_chain;
+        assert_ne!(chain, 0, "{}: requests must sign their windows", spec.name);
+        for (i, s) in stats.iter().enumerate() {
+            assert_eq!(
+                s.plan_sig_chain, chain,
+                "{}: request {i} signed a different window stream — \
+                 signatures are interleave-dependent",
+                spec.name
+            );
+        }
+        assert!(
+            rate >= 0.9,
+            "{}: steady-state hit rate {rate:.2} ({hits} hits / {misses} misses) under {workers} \
+             worker(s)",
+            spec.name
+        );
+        println!(
+            "{{\"model\":\"{}\",\"requests\":{requests},\"hits\":{hits},\"misses\":{misses},\
+             \"hit_rate\":{rate:.4},\"sig_chain\":\"{chain:016x}\"}}",
+            spec.name
+        );
+    }
+}

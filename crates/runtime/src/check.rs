@@ -216,22 +216,23 @@ pub mod hubsim {
     //! * **schedule independence** — the switch count equals the number of
     //!   sync points in the trace, on every interleaving; [`explore`]
     //!   asserts this confluence.  Flush counts are schedule-independent
-    //!   for fork-free traces (flushes happen only at global quiescence)
-    //!   but *not* in general: when a fork-join parent becomes joinable
-    //!   while siblings sit at sync points, the driver may legitimately
-    //!   flush before the parent re-acquires the hub lock, splitting what
-    //!   another schedule serves as one flush into two.  That race is
-    //!   benign (no wakeup is lost — the parent's own sync point gets a
-    //!   later flush) and exists in the real [`crate::FiberHub`] too, so
-    //!   [`explore`] reports the observed `[flushes_min, flushes_max]`
-    //!   envelope, [`exhaustive`] computes the *tight* envelope over all
-    //!   schedules, and tests assert exactness (`min == max`) exactly
-    //!   where the protocol guarantees it.
+    //!   too, fork-join traces included: the join-handoff protocol
+    //!   ([`crate::FiberHub::finish_child`] hands the parent a `joinable`
+    //!   baton under the hub lock, and the driver holds flushes while one
+    //!   is outstanding) closed the historical benign race where the driver
+    //!   could flush in the gap between "children finished" and "parent
+    //!   re-registered", splitting one window into two on some schedules.
+    //!   [`explore`] still reports the observed
+    //!   `[flushes_min, flushes_max]` envelope and [`exhaustive`] the tight
+    //!   one over all schedules — under the current protocol tests assert
+    //!   they are *exact* (`min == max`) on every trace, which is what
+    //!   makes fiber-mode DFG window boundaries (and therefore plan-cache
+    //!   signature streams) deterministic run to run.
     //!
     //! `legacy = true` replays the pre-fix protocol (resume not gated on an
     //! in-progress flush; driver returns while fork-join parents are still
-    //! suspended) and exists so regression tests can prove the explorer
-    //! actually finds those bugs.
+    //! suspended; no join handoff) and exists so regression tests can prove
+    //! the explorer actually finds those bugs.
 
     /// One action in a fiber's script.
     #[derive(Debug, Clone)]
@@ -239,8 +240,8 @@ pub mod hubsim {
         /// Suspend at a sync point until the next flush
         /// (`FiberHub::wait_for_flush`).
         Wait,
-        /// Register and spawn one child fiber per script, then suspend-join
-        /// them (`FiberHub::suspend_while`).
+        /// Fork one child fiber per script (`FiberHub::fork`), then park
+        /// joining them (`FiberHub::join_while`).
         Fork(Vec<Vec<FiberOp>>),
     }
 
@@ -287,8 +288,11 @@ pub mod hubsim {
         /// Children registered and spawned; about to take the suspend lock
         /// section (`runnable -= 1; suspended += 1`).
         PreSuspend,
-        /// Parked inside `suspend_while`'s join; resumes when all children
+        /// Parked inside `join_while`'s join; resumes when all children
         /// finished (and, in the fixed protocol, no flush is in progress).
+        /// In the fixed protocol a parent whose children all finished is
+        /// *joinable*: the driver refuses to start a flush until it has
+        /// resumed (the join handoff).
         Suspended,
         /// Parked at a sync point taken at generation `gen`.
         Waiting {
@@ -408,7 +412,17 @@ pub mod hubsim {
                     // are suspended with nobody at a sync point: they will
                     // resume and may need flushes.  The legacy driver
                     // returned early in that state (the lost-wakeup bug).
-                    let hold = !legacy && self.hub.waiting == 0 && self.hub.suspended > 0;
+                    // It also holds the flush while any *joinable* parent
+                    // (children all finished, resume imminent) exists — the
+                    // join-handoff protocol: flushing in that gap would make
+                    // the flush boundary a race against the parent's wakeup,
+                    // i.e. a schedule-dependent DFG window.
+                    let joinable = self
+                        .fibers
+                        .iter()
+                        .any(|f| f.state == FiberState::Suspended && f.unjoined == 0);
+                    let hold =
+                        !legacy && ((self.hub.waiting == 0 && self.hub.suspended > 0) || joinable);
                     if quiesced && !hold {
                         out.push(Step::Driver);
                     }
@@ -663,10 +677,10 @@ pub mod hubsim {
         pub switches: u64,
         /// Fewest flushes any schedule performed.
         pub flushes_min: u64,
-        /// Most flushes any schedule performed.  Equals `flushes_min` for
-        /// fork-free traces; may exceed it when a joinable fork-join parent
-        /// races the driver (see the module docs — benign, and present in
-        /// the real hub).
+        /// Most flushes any schedule performed.  Under the join-handoff
+        /// protocol this equals `flushes_min` on every trace — fork-join
+        /// included — because flushes only happen at true global
+        /// quiescence (see the module docs).  Legacy mode can diverge.
         pub flushes_max: u64,
     }
 
@@ -796,18 +810,43 @@ mod tests {
     }
 
     #[test]
-    fn explorer_random_trees_are_clean_under_fixed_protocol() {
-        let mut saw_divergence = false;
+    fn explorer_random_trees_have_exact_flush_counts() {
+        // Under the join-handoff protocol the flush count is
+        // schedule-independent on *every* trace, fork-join included: the
+        // driver never flushes while a joinable parent is in flight, so
+        // flushes happen only at true global quiescence.  (Before the
+        // handoff this corpus exhibited a benign join/flush race and the
+        // envelope could only be asserted as a containment.)
         for trace_seed in 0..40u64 {
             let scripts = hubsim::random_scripts(trace_seed, 1 + (trace_seed as usize % 4), 4, 2);
             let stats = hubsim::explore(&scripts, trace_seed.wrapping_mul(31), 25, false)
                 .unwrap_or_else(|e| panic!("trace seed {trace_seed}: {e}"));
-            assert!(stats.flushes_min <= stats.flushes_max);
-            saw_divergence |= stats.flushes_min != stats.flushes_max;
+            assert_eq!(
+                stats.flushes_min, stats.flushes_max,
+                "trace seed {trace_seed}: flush count diverged across schedules"
+            );
         }
-        // The benign join/flush race must actually show up in the corpus —
-        // otherwise the envelope reporting is untested.
-        assert!(saw_divergence, "no trace exercised the benign join/flush race");
+    }
+
+    #[test]
+    fn exhaustive_proves_join_handoff_closes_the_boundary_race() {
+        // The exact trace from the old benign race: a parent whose child
+        // finishes without syncing, while a sibling waits.  Legacy-lineage
+        // protocols served 1 or 2 flushes depending on whether the driver
+        // won the race against the parent's resume; the handoff pins it.
+        let scripts = vec![vec![FiberOp::Fork(vec![vec![]]), FiberOp::Wait], vec![FiberOp::Wait]];
+        let exact = hubsim::exhaustive(&scripts, false).unwrap();
+        assert_eq!(exact.exact_flushes(), 1, "parent's wait must coalesce into the sibling's");
+        // Deeper variant: the race window also existed at every fork level.
+        let nested = vec![
+            vec![
+                FiberOp::Fork(vec![vec![FiberOp::Fork(vec![vec![]]), FiberOp::Wait]]),
+                FiberOp::Wait,
+            ],
+            vec![FiberOp::Wait, FiberOp::Wait],
+        ];
+        let exact = hubsim::exhaustive(&nested, false).unwrap();
+        assert_eq!(exact.flushes_min, exact.flushes_max, "nested fork-join must stay exact");
     }
 
     #[test]

@@ -265,6 +265,25 @@ impl ExecutionContext {
         args: Vec<ValueId>,
         unit_head: bool,
     ) -> Vec<ValueId> {
+        let lane = crate::dfg::lane::root(instance);
+        self.add_unit_in_lane(group, instance, lane, depth, phase, args, unit_head)
+    }
+
+    /// [`ExecutionContext::add_unit`] with an explicit fiber-lane key (see
+    /// [`crate::dfg::lane`]): fiber-mode drivers pass each fiber's
+    /// fork-path lane so lane-canonical window signing is invariant to the
+    /// OS interleaving of fibers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_unit_in_lane(
+        &mut self,
+        group: GroupId,
+        instance: usize,
+        lane: u64,
+        depth: u64,
+        phase: u32,
+        args: Vec<ValueId>,
+        unit_head: bool,
+    ) -> Vec<ValueId> {
         let library = self.engine.library();
         let kernel = library.kernel_id_for_group(group);
         let program = library.kernel(kernel);
@@ -286,10 +305,18 @@ impl ExecutionContext {
             self.timeline.host(cost);
             self.stats.overlap_saved_us = self.timeline.overlap_saved_us();
         }
-        let (_, outs) =
-            self.dfg.add_node(kernel, instance, depth, phase, shared_sig, args, outputs);
+        let (_, outs) = self
+            .dfg
+            .add_node_in_lane(kernel, instance, lane, depth, phase, shared_sig, args, outputs);
         self.stats.nodes = self.dfg.node_count();
         outs
+    }
+
+    /// Enables lane-canonical window signing on this context's DFG (see
+    /// [`crate::Dfg::set_lane_canonical`]).  Fiber-mode drivers call this
+    /// once per run, before the first [`ExecutionContext::add_unit_in_lane`].
+    pub fn set_lane_canonical(&mut self, on: bool) {
+        self.dfg.set_lane_canonical(on);
     }
 
     /// The tensor behind a value, if already materialized.
@@ -425,6 +452,18 @@ impl ExecutionContext {
             scheduler::plan_into(options.scheduler, dfg, sched_scratch, plan_buf);
             None
         };
+        if cache_outcome.is_some() {
+            // Run-to-run determinism audit trail: XOR the window's
+            // signature token (accumulators + length, NOT the run-varying
+            // base) into an order-independent digest.  XOR makes the
+            // digest invariant to flush order and to how windows are
+            // partitioned across worker contexts, so two runs of the same
+            // workload — at any worker count — must agree bit for bit.
+            // Dirty (bypassed) windows have no signature and fold nothing.
+            if let Some(w) = dfg.window_signature() {
+                stats.plan_sig_chain ^= w.chain_token();
+            }
+        }
         match cache_outcome {
             Some(crate::plan_cache::CacheOutcome::Hit) => {
                 stats.plan_cache_hits += 1;
@@ -457,16 +496,21 @@ impl ExecutionContext {
         } else {
             1.0
         };
-        // With the cache on, every flush pays signature folding per node;
-        // a hit replaces the per-decision scheduling work with the O(n)
-        // remap, a miss pays folding on top of the full schedule.
+        // With the cache on, every *signed* flush pays signature folding
+        // per node; a hit replaces the per-decision scheduling work with
+        // the O(n) remap, a miss pays folding on top of the full schedule.
+        // A bypassed (dirty) window was never signed — incremental folding
+        // stopped the moment the window went dirty and the probe never ran
+        // — so it must not be charged signing cost it didn't pay.
         let node_window = plan_buf.num_nodes() as f64;
         let sig_us = match cache_outcome {
             Some(crate::plan_cache::CacheOutcome::Hit) => {
                 node_window * (model.sched_sig_cost_us + model.sched_remap_cost_us) * unit_ratio
             }
-            Some(_) => node_window * model.sched_sig_cost_us * unit_ratio,
-            None => 0.0,
+            Some(crate::plan_cache::CacheOutcome::Miss { .. }) => {
+                node_window * model.sched_sig_cost_us * unit_ratio
+            }
+            Some(crate::plan_cache::CacheOutcome::Bypass) | None => 0.0,
         };
         let decision_us = match cache_outcome {
             Some(crate::plan_cache::CacheOutcome::Hit) => 0.0,
@@ -1355,6 +1399,70 @@ mod tests {
         assert_eq!(rt.stats().retries, 2, "bounded by max_retries");
         assert_eq!(rt.stats().aborted_flushes, 3, "initial attempt + 2 retries");
         assert_eq!(rt.stats().retry_backoff_us, 50.0 + 100.0, "exponential backoff");
+    }
+
+    /// A retry that replans a partially completed window takes the dirty
+    /// `Bypass` path: the window was never signed (incremental folding
+    /// stopped at the first completion), so the bypass must charge *zero*
+    /// signing cost — a faulted-and-retried run's `plan_sig_us` balances
+    /// exactly with a clean run's, which signed the same window once.
+    /// Regression test: the bypass used to fall into the `Miss` arm and
+    /// double-charge `sched_sig_cost_us` for folding that never happened.
+    #[test]
+    fn retry_bypass_charges_no_signing_cost() {
+        use crate::resilience::RetryPolicy;
+        let src = "def @main($w1: Tensor[(2, 2)], $w2: Tensor[(2, 2)], %x: Tensor[(1, 2)]) -> Tensor[(1, 2)] {
+            matmul(matmul(%x, $w1), $w2)
+        }";
+        let build = |options: RuntimeOptions| {
+            let (a, mut rt) = setup(src, options);
+            let block = &a.blocks.blocks[0];
+            let (g0, g1) = (block.groups[0].id, block.groups[1].id);
+            let w1 = rt.mem_mut().upload(&Tensor::from_fn(&[2, 2], |i| i as f32)).unwrap();
+            let w1v = rt.ready_value(w1);
+            let w2 = rt.mem_mut().upload(&Tensor::from_fn(&[2, 2], |i| 1.0 - i as f32)).unwrap();
+            let w2v = rt.ready_value(w2);
+            let mut outs = Vec::new();
+            for i in 0..3 {
+                let x = rt.upload_inputs(&[&Tensor::fill(&[1, 2], i as f32 - 1.0)]).unwrap()[0];
+                let o0 = rt.add_unit(g0, i, 0, 0, vec![x, w1v], true);
+                outs.push(rt.add_unit(g1, i, 1, 0, vec![o0[0], w2v], false)[0]);
+            }
+            (rt, outs)
+        };
+        let retry = RetryPolicy { max_retries: 2, backoff_base_us: 50.0 };
+        let opts = RuntimeOptions { plan_cache: true, checked: true, retry, ..Default::default() };
+
+        // Clean reference: one signed miss covering the 6-node window.
+        let (mut clean, outs) = build(opts);
+        clean.flush().unwrap();
+        let clean_stats = *clean.stats();
+        assert_eq!(clean_stats.plan_cache_misses, 1);
+        assert!(clean_stats.plan_sig_us > 0.0, "a signed miss charges folding");
+        let want: Vec<Tensor> = outs.iter().map(|o| clean.download(*o).unwrap()).collect();
+
+        // Faulted run: batch 0 completes, batch 1 faults, the retry replans
+        // the 3-node pending suffix through the dirty-window bypass.
+        let (mut rt, outs) = build(opts);
+        rt.mem_mut().arm_fault(acrobat_tensor::FaultPlan::parse("launch:1:kernel").unwrap());
+        rt.flush().expect("transient fault retried to success");
+        let s = *rt.stats();
+        assert_eq!(s.retries, 1);
+        assert_eq!(
+            s.plan_cache_misses, 2,
+            "signed first attempt + bypassed retry both count as misses"
+        );
+        assert_eq!(
+            s.plan_sig_us, clean_stats.plan_sig_us,
+            "the bypassed retry must charge zero signing cost"
+        );
+        assert_eq!(
+            s.plan_sig_chain, clean_stats.plan_sig_chain,
+            "only the signed window folds into the determinism digest"
+        );
+        for (o, w) in outs.iter().zip(&want) {
+            assert_eq!(rt.download(*o).unwrap().data(), w.data(), "retry is bit-for-bit");
+        }
     }
 
     #[test]

@@ -80,6 +80,36 @@ fn sig_fold(h: u64, v: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Deterministic fiber-lane identities for lane-canonical signature mode.
+///
+/// A *lane* is one fiber's append stream.  Its key is derived purely from
+/// the fiber's structural position — the instance index for a top-level
+/// fiber, the fork path (parent lane × branch index) for a child spawned by
+/// `parallel(...)` — never from thread ids or arrival order, so the same
+/// program produces the same lane keys on every run and every OS schedule.
+/// Two *sequential* generations of fibers (a parent calling `parallel`
+/// twice) legitimately share a key; their appends are join-ordered, so the
+/// merged lane content is still deterministic.
+pub mod lane {
+    use super::sig_fold;
+
+    /// Seed for root-lane derivation (π digits, like the window seeds).
+    const LANE_SEED: u64 = 0x452821E638D01377;
+
+    /// Lane key of a top-level fiber (one per mini-batch instance).
+    #[inline]
+    pub fn root(instance: usize) -> u64 {
+        sig_fold(LANE_SEED, instance as u64)
+    }
+
+    /// Lane key of the `branch`-th child forked from a fiber with lane key
+    /// `parent`.
+    #[inline]
+    pub fn child(parent: u64, branch: usize) -> u64 {
+        sig_fold(parent, branch as u64 + 1)
+    }
+}
+
 /// Structural signature of the current pending *window* — the nodes
 /// appended since the pending set was last empty — consumed by
 /// [`crate::plan_cache`].
@@ -107,6 +137,17 @@ pub struct WindowSig {
     pub base: u64,
 }
 
+impl WindowSig {
+    /// Order-independent audit token for cross-run signature comparison:
+    /// mixes both accumulators and the window length but *not* `base`,
+    /// which legitimately varies run to run with allocation history.
+    /// XORing the tokens of every signed window yields a digest invariant
+    /// to flush order and to how windows are partitioned across contexts.
+    pub fn chain_token(&self) -> u64 {
+        sig_fold(sig_fold(sig_fold(0x9E3779B97F4A7C15, self.sig), self.check), self.n as u64)
+    }
+}
+
 /// Packs the inline grouping key `(phase, depth, kernel)` into one integer
 /// whose natural order is the lexicographic tuple order; `shared_sig` is
 /// kept alongside as the second key component.
@@ -127,6 +168,42 @@ pub(crate) struct InlineBucket {
     pub(crate) ids: Vec<NodeId>,
     /// How many of `ids` are still pending.
     pub(crate) pending: u32,
+}
+
+/// Per-lane signature accumulator for lane-canonical window signing: one
+/// fiber lane's private `(sig, check)` chains plus its append count.
+#[derive(Debug, Clone, Copy)]
+struct LaneAcc {
+    /// Structural lane key (see [`lane`]).
+    key: u64,
+    /// Primary accumulator, seeded per lane from [`WIN_SEED0`].
+    sig: u64,
+    /// Verification accumulator, seeded per lane from [`WIN_SEED1`].
+    check: u64,
+    /// Nodes appended to this lane in the current window.
+    len: u32,
+}
+
+/// Lazily-derived canonical ordering of the current window (lane-canonical
+/// mode): window-offset → canonical rank and its inverse, plus the combined
+/// interleave-invariant [`WindowSig`].  Invalidated on every append or
+/// completion, rebuilt at most once per window by
+/// [`Dfg::window_signature`].
+#[derive(Debug, Default)]
+struct CanonState {
+    /// Whether `rank`/`order`/`win` describe the current window.
+    valid: bool,
+    /// `rank[off]` = canonical position of the node at window offset `off`.
+    rank: Vec<u32>,
+    /// Inverse permutation: `order[pos]` = window offset at canonical
+    /// position `pos`.
+    order: Vec<u32>,
+    /// Lane slots sorted by lane key (scratch for the combine).
+    lane_order: Vec<u32>,
+    /// Per lane slot, the canonical position of its first node.
+    lane_start: Vec<u32>,
+    /// Memoized combined signature for the current window.
+    win: Option<WindowSig>,
 }
 
 /// The dataflow graph plus its value table.
@@ -173,6 +250,22 @@ pub struct Dfg {
     /// cache-off construction cost is unchanged; enabled by contexts whose
     /// engine has the plan cache on.
     win_track: bool,
+    /// Lane-canonical signing mode: instead of one arrival-ordered fold,
+    /// each fiber lane accumulates its own chains and the window signature
+    /// is combined over lanes *sorted by lane key*, making it invariant to
+    /// the OS interleaving of fiber appends.  Enabled by fiber-mode
+    /// drivers; sequential models keep the cheaper single-chain fold (and
+    /// its exact PR-6 signature values).
+    lane_canon: bool,
+    /// Per-lane accumulators for the current window (lane-canonical mode).
+    lanes: Vec<LaneAcc>,
+    /// Lane key → index into `lanes`.
+    lane_slots: std::collections::HashMap<u64, u32>,
+    /// Per window offset, `(lane slot, index within lane)` — parallel to
+    /// the window's id range `win_base..`.
+    node_lane: Vec<(u32, u32)>,
+    /// Lazily-built canonical ordering + combined signature.
+    canon: CanonState,
 }
 
 impl Dfg {
@@ -189,11 +282,38 @@ impl Dfg {
     }
 
     /// Appends a node; returns its output [`ValueId`]s (one per slot).
+    ///
+    /// Sequential-model entry point: the node is signed on the root lane
+    /// of its instance.  Fiber-mode callers use [`Dfg::add_node_in_lane`]
+    /// with a fork-path lane key instead.
     #[allow(clippy::too_many_arguments)]
     pub fn add_node(
         &mut self,
         kernel: KernelId,
         instance: usize,
+        depth: u64,
+        phase: u32,
+        shared_sig: u64,
+        args: Vec<ValueId>,
+        output_slots: usize,
+    ) -> (NodeId, Vec<ValueId>) {
+        let lane = lane::root(instance);
+        self.add_node_in_lane(kernel, instance, lane, depth, phase, shared_sig, args, output_slots)
+    }
+
+    /// Appends a node on an explicit fiber lane (see [`lane`]); returns its
+    /// output [`ValueId`]s (one per slot).
+    ///
+    /// In lane-canonical mode the node's signature tokens are folded into
+    /// its *lane's* private accumulator rather than the arrival-ordered
+    /// global chain, so the resulting [`WindowSig`] depends only on lane
+    /// content and lane keys — never on the OS interleaving of appends.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_node_in_lane(
+        &mut self,
+        kernel: KernelId,
+        instance: usize,
+        lane: u64,
         depth: u64,
         phase: u32,
         shared_sig: u64,
@@ -208,33 +328,42 @@ impl Dfg {
                 self.win_check = WIN_SEED1;
                 self.win_base = id.0;
                 self.win_dirty = false;
+                self.lanes.clear();
+                self.lane_slots.clear();
+                self.node_lane.clear();
             }
             if !self.win_dirty {
-                let mut s0 = self.win_sig;
-                let mut s1 = self.win_check;
-                let mut fold = |v: u64| {
-                    s0 = sig_fold(s0, v);
-                    s1 = sig_fold(s1, v ^ WIN_TWEAK);
-                };
-                fold(((phase as u64) << 32) | kernel.0 as u64);
-                fold(depth);
-                fold(shared_sig);
-                fold(args.len() as u64);
-                for a in &args {
-                    // Dependency topology in window-relative coordinates:
-                    // a pending argument folds the distance to its
-                    // producer (id-delta), a materialized one folds a
-                    // sentinel — so the signature is independent of
-                    // absolute id offsets.
-                    let tok = match &self.values[a.0 as usize] {
-                        ValueState::Pending { producer, .. } => ((id.0 - producer.0) << 1) | 1,
-                        ValueState::Ready(_) => 0,
+                if self.lane_canon {
+                    self.fold_lane_tokens(id, lane, kernel, depth, phase, shared_sig, &args);
+                } else {
+                    let mut s0 = self.win_sig;
+                    let mut s1 = self.win_check;
+                    let mut fold = |v: u64| {
+                        s0 = sig_fold(s0, v);
+                        s1 = sig_fold(s1, v ^ WIN_TWEAK);
                     };
-                    fold(tok);
+                    fold(((phase as u64) << 32) | kernel.0 as u64);
+                    fold(depth);
+                    fold(shared_sig);
+                    fold(args.len() as u64);
+                    for a in &args {
+                        // Dependency topology in window-relative
+                        // coordinates: a pending argument folds the
+                        // distance to its producer (id-delta), a
+                        // materialized one folds a sentinel — so the
+                        // signature is independent of absolute id offsets.
+                        let tok = match &self.values[a.0 as usize] {
+                            ValueState::Pending { producer, .. } => ((id.0 - producer.0) << 1) | 1,
+                            ValueState::Ready(_) => 0,
+                        };
+                        fold(tok);
+                    }
+                    self.win_sig = s0;
+                    self.win_check = s1;
                 }
-                self.win_sig = s0;
-                self.win_check = s1;
             }
+            self.canon.valid = false;
+            self.canon.win = None;
         }
         let outputs: Vec<ValueId> = (0..output_slots)
             .map(|slot| {
@@ -267,6 +396,84 @@ impl Dfg {
         b.pending += 1;
         self.bucket_of.push(bucket);
         (id, outputs)
+    }
+
+    /// Folds one node's signature tokens into its lane accumulator
+    /// (lane-canonical mode).  The token grammar is prefix-decodable: each
+    /// argument contributes a first word that is `0` (ready), `≡ 1 mod 4`
+    /// (same-lane producer, encoding the within-lane index delta) or `2`
+    /// (cross-lane producer, followed by the producer's lane key and
+    /// within-lane index) — so distinct window structures produce distinct
+    /// token streams up to hash collision.
+    #[allow(clippy::too_many_arguments)]
+    fn fold_lane_tokens(
+        &mut self,
+        id: NodeId,
+        lane: u64,
+        kernel: KernelId,
+        depth: u64,
+        phase: u32,
+        shared_sig: u64,
+        args: &[ValueId],
+    ) {
+        let off = (id.0 - self.win_base) as usize;
+        debug_assert_eq!(off, self.node_lane.len(), "window offset out of step with lane map");
+        let slot = match self.lane_slots.entry(lane) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let s = self.lanes.len() as u32;
+                self.lanes.push(LaneAcc {
+                    key: lane,
+                    sig: sig_fold(WIN_SEED0, lane),
+                    check: sig_fold(WIN_SEED1, lane ^ WIN_TWEAK),
+                    len: 0,
+                });
+                e.insert(s);
+                s
+            }
+        };
+        // Work on a copy: folding needs shared access to `values`,
+        // `node_lane` and other `lanes` entries while this one mutates.
+        let mut acc = self.lanes[slot as usize];
+        let my_idx = acc.len;
+        {
+            let mut fold = |v: u64| {
+                acc.sig = sig_fold(acc.sig, v);
+                acc.check = sig_fold(acc.check, v ^ WIN_TWEAK);
+            };
+            fold(((phase as u64) << 32) | kernel.0 as u64);
+            fold(depth);
+            fold(shared_sig);
+            fold(args.len() as u64);
+        }
+        for a in args {
+            match &self.values[a.0 as usize] {
+                ValueState::Ready(_) => {
+                    acc.sig = sig_fold(acc.sig, 0);
+                    acc.check = sig_fold(acc.check, WIN_TWEAK);
+                }
+                ValueState::Pending { producer, .. } => {
+                    let poff = (producer.0 - self.win_base) as usize;
+                    let (pslot, pidx) = self.node_lane[poff];
+                    let words: [u64; 3] = if pslot == slot {
+                        // Same-lane dependency: distance in lane-local
+                        // coordinates, invariant to interleaving.
+                        let d = ((my_idx - pidx) as u64) << 2 | 1;
+                        [d, 0, 0]
+                    } else {
+                        [2, self.lanes[pslot as usize].key, pidx as u64]
+                    };
+                    let n_words = if words[0] == 2 { 3 } else { 1 };
+                    for &w in &words[..n_words] {
+                        acc.sig = sig_fold(acc.sig, w);
+                        acc.check = sig_fold(acc.check, w ^ WIN_TWEAK);
+                    }
+                }
+            }
+        }
+        acc.len = my_idx + 1;
+        self.lanes[slot as usize] = acc;
+        self.node_lane.push((slot, my_idx));
     }
 
     /// The node table.
@@ -351,8 +558,15 @@ impl Dfg {
         // longer `base..base + n`, so the incremental signature is stale.
         // Draining completely is fine — the next `add_node` starts a fresh
         // window and resets the accumulators.
-        if self.win_track && !self.pending.is_empty() {
-            self.win_dirty = true;
+        if self.win_track {
+            if !self.pending.is_empty() {
+                self.win_dirty = true;
+            }
+            // Any completion retires the memoized canonical order: either
+            // the window went dirty, or it drained and the next append
+            // starts a fresh window.
+            self.canon.valid = false;
+            self.canon.win = None;
         }
     }
 
@@ -553,13 +767,34 @@ impl Dfg {
     pub fn set_signature_tracking(&mut self, on: bool) {
         self.win_track = on;
         self.win_dirty = !self.pending.is_empty();
+        self.canon.valid = false;
+        self.canon.win = None;
+    }
+
+    /// Enables or disables lane-canonical signing (see
+    /// [`Dfg::add_node_in_lane`]).  Fiber-mode drivers turn this on so the
+    /// window signature and canonical node order are invariant to the OS
+    /// interleaving of fiber lanes; sequential models leave it off and
+    /// keep the cheaper single-chain fold byte-for-byte.  Toggling
+    /// mid-window marks the signature dirty until the pending set next
+    /// drains, exactly like [`Dfg::set_signature_tracking`].
+    pub fn set_lane_canonical(&mut self, on: bool) {
+        self.lane_canon = on;
+        self.win_dirty = !self.pending.is_empty();
+        self.canon.valid = false;
+        self.canon.win = None;
     }
 
     /// The structural signature of the current pending window, if it is
     /// clean: tracking is on, the window grew append-only from an empty
     /// pending set, and nothing was partially completed since.  `None`
     /// sends the caller down the uncached scheduling path.
-    pub fn window_signature(&self) -> Option<WindowSig> {
+    ///
+    /// In lane-canonical mode the first call per window derives the
+    /// canonical node order and combines the per-lane chains (sorted by
+    /// lane key) into the interleave-invariant signature; the result is
+    /// memoized, so repeat calls on an unchanged window are O(1).
+    pub fn window_signature(&mut self) -> Option<WindowSig> {
         if !self.win_track || self.win_dirty || self.pending.is_empty() {
             return None;
         }
@@ -568,12 +803,95 @@ impl Dfg {
             self.nodes.len() as u64,
             "clean window must span a contiguous id range"
         );
+        if self.lane_canon {
+            if !self.canon.valid {
+                self.build_canon();
+            }
+            return self.canon.win;
+        }
         Some(WindowSig {
             sig: self.win_sig,
             check: self.win_check,
             n: self.pending.len() as u32,
             base: self.win_base,
         })
+    }
+
+    /// Derives the canonical window order and the combined lane-canonical
+    /// [`WindowSig`]: lanes sorted by key, each node ranked by (lane's
+    /// sorted position, within-lane index).  All inputs are themselves
+    /// interleave-invariant, so so is everything derived here.
+    fn build_canon(&mut self) {
+        let nl = self.lanes.len();
+        self.canon.lane_order.clear();
+        self.canon.lane_order.extend(0..nl as u32);
+        let lanes = &self.lanes;
+        self.canon.lane_order.sort_unstable_by_key(|&s| lanes[s as usize].key);
+        self.canon.lane_start.clear();
+        self.canon.lane_start.resize(nl, 0);
+        let mut cum = 0u32;
+        for &s in &self.canon.lane_order {
+            self.canon.lane_start[s as usize] = cum;
+            cum += self.lanes[s as usize].len;
+        }
+        let n = self.pending.len();
+        debug_assert_eq!(cum as usize, n, "lane lengths must cover the window");
+        debug_assert_eq!(self.node_lane.len(), n, "lane map must cover the window");
+        self.canon.rank.clear();
+        self.canon.order.clear();
+        self.canon.order.resize(n, 0);
+        for off in 0..n {
+            let (slot, idx) = self.node_lane[off];
+            let r = self.canon.lane_start[slot as usize] + idx;
+            self.canon.rank.push(r);
+            self.canon.order[r as usize] = off as u32;
+        }
+        let mut s0 = WIN_SEED0;
+        let mut s1 = WIN_SEED1;
+        let mut fold = |v: u64| {
+            s0 = sig_fold(s0, v);
+            s1 = sig_fold(s1, v ^ WIN_TWEAK);
+        };
+        fold(nl as u64);
+        for &s in &self.canon.lane_order {
+            let l = &self.lanes[s as usize];
+            fold(l.key);
+            fold(l.sig);
+            fold(l.check);
+            fold(l.len as u64);
+        }
+        self.canon.win = Some(WindowSig { sig: s0, check: s1, n: n as u32, base: self.win_base });
+        self.canon.valid = true;
+    }
+
+    /// Whether a canonical (interleave-invariant) window order is
+    /// available: lane-canonical mode with a clean window whose order has
+    /// been derived by [`Dfg::window_signature`].
+    pub fn has_canonical_order(&self) -> bool {
+        self.win_track && self.lane_canon && !self.win_dirty && self.canon.valid
+    }
+
+    /// Canonical position of window node `id` (its rank under the
+    /// lane-sorted order).  Falls back to the window offset — which *is*
+    /// the canonical order for sequential windows — when no lane-canonical
+    /// order is available.
+    pub fn canon_pos(&self, id: NodeId) -> u32 {
+        let off = (id.0 - self.win_base) as u32;
+        if self.has_canonical_order() {
+            self.canon.rank[off as usize]
+        } else {
+            off
+        }
+    }
+
+    /// Inverse of [`Dfg::canon_pos`]: the `NodeId` at canonical position
+    /// `pos` of the current window.
+    pub fn id_at_canon(&self, pos: u32) -> NodeId {
+        if self.has_canonical_order() {
+            NodeId(self.win_base + self.canon.order[pos as usize] as u64)
+        } else {
+            NodeId(self.win_base + pos as u64)
+        }
     }
 }
 
@@ -688,6 +1006,113 @@ mod tests {
         dfg.verify_consistent().unwrap();
         dfg.complete_batch(&[ids[0], ids[4]], vec![vec![t.clone(), t.clone()]]);
         dfg.verify_consistent().unwrap();
+    }
+
+    /// Builds one window with lane-canonical signing on, appending chain
+    /// nodes in the given `(instance, kernel)` order — each node consumes
+    /// its own lane's previous output (or the shared ready input).
+    /// Returns the combined signature plus the kernel ids in canonical
+    /// window order.
+    fn build_lane_window(order: &[(usize, u32)]) -> (WindowSig, Vec<u32>) {
+        let mut mem = DeviceMem::new(256);
+        let mut dfg = Dfg::new();
+        dfg.set_signature_tracking(true);
+        dfg.set_lane_canonical(true);
+        let x = dfg.ready_value(mem.upload(&Tensor::ones(&[2])).unwrap());
+        let mut last: std::collections::HashMap<usize, ValueId> = Default::default();
+        for &(inst, k) in order {
+            let arg = last.get(&inst).copied().unwrap_or(x);
+            let (_, o) = dfg.add_node(acrobat_codegen::KernelId(k), inst, 0, 0, 0, vec![arg], 1);
+            last.insert(inst, o[0]);
+        }
+        let w = dfg.window_signature().expect("clean window must sign");
+        assert!(dfg.has_canonical_order());
+        let kernels = (0..w.n).map(|p| dfg.node(dfg.id_at_canon(p)).kernel.0).collect();
+        // canon_pos and id_at_canon must be inverse bijections.
+        for p in 0..w.n {
+            assert_eq!(dfg.canon_pos(dfg.id_at_canon(p)), p);
+        }
+        (w, kernels)
+    }
+
+    #[test]
+    fn lane_canonical_signature_is_interleave_invariant() {
+        // The same two lanes (two-node chains) appended in three different
+        // interleavings — including lanes first-touched in opposite order —
+        // must produce bit-identical signatures and canonical orders.
+        let a = build_lane_window(&[(0, 10), (0, 11), (1, 20), (1, 21)]);
+        let b = build_lane_window(&[(1, 20), (1, 21), (0, 10), (0, 11)]);
+        let c = build_lane_window(&[(0, 10), (1, 20), (1, 21), (0, 11)]);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        // Different window content must (overwhelmingly) sign differently.
+        let d = build_lane_window(&[(0, 10), (0, 12), (1, 20), (1, 21)]);
+        assert_ne!(a.0.sig, d.0.sig);
+    }
+
+    #[test]
+    fn lane_canonical_cross_lane_deps_are_interleave_invariant() {
+        // Lane 1 consumes lane 0's output; an unrelated lane 2 is shuffled
+        // around the dependent pair.  The cross-lane token folds the
+        // producer's lane *key* and within-lane index, so every legal
+        // interleaving signs identically.
+        let build = |order: &[usize]| -> (WindowSig, Vec<u32>) {
+            let mut mem = DeviceMem::new(256);
+            let mut dfg = Dfg::new();
+            dfg.set_signature_tracking(true);
+            dfg.set_lane_canonical(true);
+            let x = dfg.ready_value(mem.upload(&Tensor::ones(&[2])).unwrap());
+            let mut l0_out = None;
+            for &inst in order {
+                let arg = if inst == 1 { l0_out.expect("l0 first") } else { x };
+                let (_, o) = dfg.add_node(
+                    acrobat_codegen::KernelId(inst as u32),
+                    inst,
+                    0,
+                    0,
+                    0,
+                    vec![arg],
+                    1,
+                );
+                if inst == 0 {
+                    l0_out = Some(o[0]);
+                }
+            }
+            let w = dfg.window_signature().unwrap();
+            let ks = (0..w.n).map(|p| dfg.node(dfg.id_at_canon(p)).kernel.0).collect();
+            (w, ks)
+        };
+        let a = build(&[0, 1, 2]);
+        let b = build(&[0, 2, 1]);
+        let c = build(&[2, 0, 1]);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn sequential_mode_signature_is_unchanged_by_lane_plumbing() {
+        // With lane-canonical mode OFF (the default), add_node must sign
+        // exactly as the single-chain fold always did — arrival order
+        // matters, and the lane tables stay untouched.
+        let mut mem = DeviceMem::new(256);
+        let mut dfg = Dfg::new();
+        dfg.set_signature_tracking(true);
+        let x = dfg.ready_value(mem.upload(&Tensor::ones(&[2])).unwrap());
+        dfg.add_node(acrobat_codegen::KernelId(0), 0, 0, 0, 0, vec![x], 1);
+        dfg.add_node(acrobat_codegen::KernelId(1), 1, 0, 0, 0, vec![x], 1);
+        let w1 = dfg.window_signature().unwrap();
+
+        let mut dfg2 = Dfg::new();
+        dfg2.set_signature_tracking(true);
+        let y = dfg2.ready_value(mem.upload(&Tensor::ones(&[2])).unwrap());
+        dfg2.add_node(acrobat_codegen::KernelId(1), 1, 0, 0, 0, vec![y], 1);
+        dfg2.add_node(acrobat_codegen::KernelId(0), 0, 0, 0, 0, vec![y], 1);
+        let w2 = dfg2.window_signature().unwrap();
+        assert_ne!(w1.sig, w2.sig, "sequential signing stays arrival-ordered");
+        // And canonical accessors degrade to the identity order.
+        assert!(!dfg.has_canonical_order());
+        assert_eq!(dfg.canon_pos(NodeId(1)), 1);
+        assert_eq!(dfg.id_at_canon(0), NodeId(0));
     }
 
     #[test]

@@ -39,8 +39,11 @@ pub struct DriveTimeout {
     pub waiting: usize,
     /// Fibers woken by a flush but not yet resumed.
     pub resuming: usize,
-    /// Fork-join parents parked in [`FiberHub::suspend_while`].
+    /// Fork-join parents parked in [`FiberHub::join_while`].
     pub suspended: usize,
+    /// Fork-join parents whose children have all finished but that have not
+    /// re-entered the runnable count yet (the driver holds flushes for them).
+    pub joinable: usize,
     /// Flush generation reached before the stall.
     pub generation: u64,
 }
@@ -50,18 +53,26 @@ impl fmt::Display for DriveTimeout {
         write!(
             f,
             "fiber hub stalled for {}ms at generation {} \
-             (runnable {}, waiting {}, resuming {}, suspended {})",
+             (runnable {}, waiting {}, resuming {}, suspended {}, joinable {})",
             self.stalled_ms,
             self.generation,
             self.runnable,
             self.waiting,
             self.resuming,
-            self.suspended
+            self.suspended,
+            self.joinable
         )
     }
 }
 
 impl std::error::Error for DriveTimeout {}
+
+/// Handle for one fork-join group created by [`FiberHub::fork`]: children
+/// exit through [`FiberHub::finish_child`] with it, the parent parks in
+/// [`FiberHub::join_while`] with it.  The slot is recycled when the parent
+/// resumes.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinId(usize);
 
 #[derive(Debug, Default)]
 struct HubState {
@@ -72,11 +83,24 @@ struct HubState {
     /// Fibers woken by a flush that have not yet resumed (the driver must
     /// not flush again until they have, or it would spin).
     resuming: usize,
-    /// Fibers parked in [`FiberHub::suspend_while`] (fork-join parents
-    /// blocked on children).  They do not block a flush, but the driver
-    /// must not report "everyone finished" while any remain — they resume
-    /// and keep executing once their children finish.
+    /// Fibers parked in [`FiberHub::join_while`] (fork-join parents
+    /// blocked on children).  They do not block a flush while their
+    /// children are live, but the driver must not report "everyone
+    /// finished" while any remain — they resume and keep executing once
+    /// their children finish.
     suspended: usize,
+    /// Fork-join parents whose last child has finished but that have not
+    /// resumed yet.  The last child's [`FiberHub::finish_child`] performs
+    /// this handoff *inside the hub lock*, so the driver never flushes in
+    /// the gap between "children done" and "parent re-registered" — the
+    /// flush boundary (and therefore every DFG window) is deterministic,
+    /// not a race between the parent's wakeup and the driver.
+    joinable: usize,
+    /// Live-children count per fork-join group (slab; slots recycled via
+    /// `free_groups`).
+    groups: Vec<u32>,
+    /// Recycled slots of `groups`.
+    free_groups: Vec<usize>,
     /// True while the driver is inside `flush` with the lock released.
     /// Nothing may become runnable while this is set: a fork-join parent
     /// whose children just finished must wait it out before resuming
@@ -119,6 +143,45 @@ impl FiberHub {
         }
     }
 
+    /// Registers `children` runnable fibers as one fork-join group (call
+    /// before spawning them, then park the parent with
+    /// [`FiberHub::join_while`]).  Each child must exit via
+    /// [`FiberHub::finish_child`] with the returned id.
+    pub fn fork(&self, children: usize) -> JoinId {
+        let mut st = self.state.lock();
+        st.runnable += children;
+        let slot = match st.free_groups.pop() {
+            Some(s) => s,
+            None => {
+                st.groups.push(0);
+                st.groups.len() - 1
+            }
+        };
+        st.groups[slot] = children as u32;
+        JoinId(slot)
+    }
+
+    /// Marks the calling fiber — a child of fork-join group `g` — finished.
+    ///
+    /// When the *last* child of the group finishes, the group's parent is
+    /// atomically handed the baton (counted `joinable`) under the hub lock,
+    /// so the driver holds any flush until the parent has resumed and
+    /// reached its own next sync point.  This is what makes fiber-mode
+    /// flush boundaries schedule-independent: without the handoff, the
+    /// driver could flush in the instant between "children done" and
+    /// "parent re-registered", splitting a window nondeterministically.
+    pub fn finish_child(&self, g: JoinId) {
+        let mut st = self.state.lock();
+        st.runnable -= 1;
+        st.groups[g.0] -= 1;
+        if st.groups[g.0] == 0 {
+            st.joinable += 1;
+        }
+        if st.runnable == 0 {
+            self.cv.notify_all();
+        }
+    }
+
     /// Suspends the calling fiber until the next DFG flush completes — or
     /// until the hub is [`FiberHub::cancel`]led, which wakes it without a
     /// flush (callers then observe the run's poison/cancel state and
@@ -153,15 +216,18 @@ impl FiberHub {
         }
     }
 
-    /// Runs `f` (typically joining child fibers) with the calling fiber
+    /// Runs `f` (joining the children of group `g`) with the calling fiber
     /// counted as not-runnable, so a flush can proceed while the parent
     /// blocks on its children (fork-join instance parallelism, §4.2).
     ///
     /// The resume is gated on no flush being in progress: `drive` releases
     /// the hub lock around its `flush` callback, so without the gate a
     /// parent whose children finished mid-flush would re-enter runnable
-    /// state — and mutate the DFG — concurrently with the flush.
-    pub fn suspend_while<R>(&self, f: impl FnOnce() -> R) -> R {
+    /// state — and mutate the DFG — concurrently with the flush.  The
+    /// matching `joinable` baton taken by the last child's
+    /// [`FiberHub::finish_child`] is released here, letting the driver
+    /// flush again once the parent is genuinely runnable.
+    pub fn join_while<R>(&self, g: JoinId, f: impl FnOnce() -> R) -> R {
         {
             let mut st = self.state.lock();
             st.runnable -= 1;
@@ -175,7 +241,10 @@ impl FiberHub {
         while st.flushing {
             self.cv.wait(&mut st);
         }
+        debug_assert_eq!(st.groups[g.0], 0, "join returned with live children");
         st.suspended -= 1;
+        st.joinable -= 1;
+        st.free_groups.push(g.0);
         st.runnable += 1;
         r
     }
@@ -190,8 +259,8 @@ impl FiberHub {
     ///
     /// Panics if a fiber becomes runnable while `flush` runs — that would
     /// mean the flush raced a live fiber, which the protocol forbids (a
-    /// fiber registered from inside [`FiberHub::suspend_while`] would do
-    /// this; register fibers before suspending on them).
+    /// fiber registered from inside [`FiberHub::join_while`] would do
+    /// this; fork child fibers before joining on them).
     pub fn drive(&self, flush: impl FnMut()) {
         self.drive_timeout(flush, None).expect("unreachable: drive without a stall budget");
     }
@@ -220,11 +289,18 @@ impl FiberHub {
             {
                 let mut st = self.state.lock();
                 // Wait for quiescence.  A fork-join parent inside
-                // `suspend_while` with no waiting fibers is NOT termination:
+                // `join_while` with no waiting fibers is NOT termination:
                 // it resumes once its children finish and may reach further
-                // sync points that need this driver.
+                // sync points that need this driver.  A `joinable` parent
+                // (children all finished, resume imminent) holds the flush:
+                // it is logically runnable, merely not rescheduled yet, and
+                // flushing under it would split its window on a race.
                 let mut stalled_since: Option<Instant> = None;
-                while st.runnable > 0 || st.resuming > 0 || (st.waiting == 0 && st.suspended > 0) {
+                while st.runnable > 0
+                    || st.resuming > 0
+                    || st.joinable > 0
+                    || (st.waiting == 0 && st.suspended > 0)
+                {
                     match stall {
                         None => self.cv.wait(&mut st),
                         Some(limit) => {
@@ -237,6 +313,7 @@ impl FiberHub {
                                     waiting: st.waiting,
                                     resuming: st.resuming,
                                     suspended: st.suspended,
+                                    joinable: st.joinable,
                                     generation: st.generation,
                                 });
                             }
@@ -332,17 +409,17 @@ mod tests {
         let hub2 = hub.clone();
         let parent = std::thread::spawn(move || {
             // Parent forks two children, each of which syncs once.
+            let g = hub2.fork(2);
             let mut kids = Vec::new();
             for _ in 0..2 {
-                hub2.register();
                 let h = hub2.clone();
                 kids.push(std::thread::spawn(move || {
                     h.wait_for_flush();
-                    h.finish();
+                    h.finish_child(g);
                     7
                 }));
             }
-            let sum: i32 = hub2.suspend_while(|| kids.into_iter().map(|k| k.join().unwrap()).sum());
+            let sum: i32 = hub2.join_while(g, || kids.into_iter().map(|k| k.join().unwrap()).sum());
             hub2.finish();
             sum
         });
@@ -353,6 +430,43 @@ mod tests {
         });
         assert_eq!(parent.join().unwrap(), 14);
         assert_eq!(flushes.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn join_handoff_makes_flush_boundaries_deterministic() {
+        // A parent forks a child that finishes without syncing while a
+        // sibling parks at a sync point.  Pre-handoff, the driver could
+        // flush in the gap between the child's finish and the parent's
+        // resume (1 or 2 flushes depending on the OS schedule); with the
+        // joinable baton the parent's next wait always coalesces into the
+        // sibling's flush — exactly one flush, on every schedule.
+        for _ in 0..50 {
+            let hub = Arc::new(FiberHub::new());
+            hub.register(); // parent
+            hub.register(); // sibling
+            let h = hub.clone();
+            let parent = std::thread::spawn(move || {
+                let g = h.fork(1);
+                let hc = h.clone();
+                let kid = std::thread::spawn(move || hc.finish_child(g));
+                h.join_while(g, || kid.join().unwrap());
+                h.wait_for_flush();
+                h.finish();
+            });
+            let h = hub.clone();
+            let sibling = std::thread::spawn(move || {
+                h.wait_for_flush();
+                h.finish();
+            });
+            let flushes = Arc::new(AtomicUsize::new(0));
+            let fc = flushes.clone();
+            hub.drive(move || {
+                fc.fetch_add(1, Ordering::SeqCst);
+            });
+            parent.join().unwrap();
+            sibling.join().unwrap();
+            assert_eq!(flushes.load(Ordering::SeqCst), 1, "flush boundary raced the join handoff");
+        }
     }
 
     #[test]

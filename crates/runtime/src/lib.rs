@@ -58,9 +58,9 @@ pub mod timeline;
 pub use check::FlushChecker;
 pub use context::ExecutionContext;
 pub use device::DeviceModel;
-pub use dfg::{Dfg, NodeId, ValueId, WindowSig};
+pub use dfg::{lane, Dfg, NodeId, ValueId, WindowSig};
 pub use engine::{ContextPool, Engine, RuntimeOptions};
-pub use fiber::{DriveTimeout, FiberHub};
+pub use fiber::{DriveTimeout, FiberHub, JoinId};
 pub use plan_cache::{CacheConfig, CacheOutcome, CachedPlan, PlanCache, PlanL1};
 pub use resilience::{CancelToken, Deadline, RetryPolicy};
 pub use scheduler::SchedulerKind;

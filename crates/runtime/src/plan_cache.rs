@@ -52,7 +52,7 @@ use std::sync::Arc;
 use acrobat_codegen::KernelId;
 use parking_lot::RwLock;
 
-use crate::dfg::{Dfg, NodeId, WindowSig};
+use crate::dfg::{Dfg, WindowSig};
 use crate::scheduler::{self, Plan, SchedulerKind, SchedulerScratch};
 
 /// splitmix64 finalizer (the workspace-standard mixer).
@@ -110,6 +110,12 @@ impl CacheConfig {
 }
 
 /// The probe key: window signature mixed with the configuration bits.
+///
+/// The key only *routes* the probe; it is not trusted for identity.  In
+/// particular `bits()` truncates `lane_cap` to 48 bits, so two distinct
+/// configurations can alias to one key — entries therefore store their
+/// exact configuration and [`CachedPlan::matches`] verifies it field by
+/// field before a hit is served.
 fn probe_key(cfg: &CacheConfig, win: &WindowSig) -> u64 {
     mix64(win.sig ^ mix64(cfg.bits()))
 }
@@ -138,8 +144,21 @@ pub struct CachedPlan {
     /// Signature of the origin window (`base` is not used for matching —
     /// the whole point is that the structure recurs at new offsets).
     sig: WindowSig,
-    /// Dense window positions of [`Plan::nodes`]: entry `i` is
-    /// `plan.nodes[i] - base`.
+    /// Scheduler the plan was produced by (exact-match verified on probe:
+    /// the probe key is lossy, entries are not).
+    kind: SchedulerKind,
+    /// Gather-fusion setting the plan was produced under.
+    gather_fusion: bool,
+    /// Coarsening setting the plan was produced under.
+    coarsen: bool,
+    /// Full-width lane cap the plan was produced under.  `bits()` packs
+    /// this into 48 key bits, so after a deep lane-cap downshift two
+    /// different caps can alias to one probe key — this field is what
+    /// actually rejects the stale entry.
+    lane_cap: usize,
+    /// *Canonical window positions* of [`Plan::nodes`]: entry `i` is
+    /// `canon_pos(plan.nodes[i])` — the window offset for sequential
+    /// windows, the lane-sorted rank in lane-canonical mode.
     nodes: Box<[u32]>,
     /// Flat-CSR batch boundaries, copied verbatim.
     offsets: Box<[u32]>,
@@ -152,30 +171,48 @@ pub struct CachedPlan {
 }
 
 impl CachedPlan {
-    /// Freezes a freshly scheduled plan for the window `win`.
-    pub fn freeze(dfg: &Dfg, plan: &Plan, win: &WindowSig) -> CachedPlan {
+    /// Freezes a freshly scheduled plan for the window `win`, produced
+    /// under configuration `cfg`.  Node references are stored in canonical
+    /// window coordinates ([`Dfg::canon_pos`]), which for lane-canonical
+    /// windows are interleave-invariant — the property that lets a plan
+    /// frozen under one fiber interleaving be replayed under any other.
+    pub fn freeze(dfg: &Dfg, plan: &Plan, win: &WindowSig, cfg: &CacheConfig) -> CachedPlan {
         debug_assert_eq!(plan.num_nodes(), win.n as usize, "plan must cover the window");
         CachedPlan {
             sig: *win,
-            nodes: plan.nodes.iter().map(|id| (id.0 - win.base) as u32).collect(),
+            kind: cfg.kind,
+            gather_fusion: cfg.gather_fusion,
+            coarsen: cfg.coarsen,
+            lane_cap: cfg.lane_cap,
+            nodes: plan.nodes.iter().map(|id| dfg.canon_pos(*id)).collect(),
             offsets: plan.offsets.clone().into_boxed_slice(),
             kernels: plan.batches().map(|b| dfg.node(b[0]).kernel).collect(),
             decisions: plan.decisions,
         }
     }
 
-    /// Whether this entry is the plan for window `win` (both accumulators
-    /// plus the length must agree).
-    fn matches(&self, win: &WindowSig) -> bool {
-        self.sig.sig == win.sig && self.sig.check == win.check && self.sig.n == win.n
+    /// Whether this entry is the plan for window `win` under configuration
+    /// `cfg`: both signature accumulators, the window length *and* every
+    /// configuration field must agree exactly — probe-key aliasing (e.g.
+    /// two lane caps colliding in `bits()`'s 48-bit pack) is rejected
+    /// here, never served.
+    pub fn matches(&self, win: &WindowSig, cfg: &CacheConfig) -> bool {
+        self.sig.sig == win.sig
+            && self.sig.check == win.check
+            && self.sig.n == win.n
+            && self.kind == cfg.kind
+            && self.gather_fusion == cfg.gather_fusion
+            && self.coarsen == cfg.coarsen
+            && self.lane_cap == cfg.lane_cap
     }
 
-    /// Rebinds the frozen plan onto the concrete window starting at
-    /// `base`: one offset add per node, no allocation when `out` has
+    /// Rebinds the frozen plan onto the current window of `dfg`: one
+    /// canonical-position → id lookup per node ([`Dfg::id_at_canon`] — an
+    /// offset add for sequential windows), no allocation when `out` has
     /// capacity.
-    pub fn remap_into(&self, base: u64, out: &mut Plan) {
+    pub fn remap_into(&self, dfg: &Dfg, out: &mut Plan) {
         out.clear();
-        out.nodes.extend(self.nodes.iter().map(|&p| NodeId(base + p as u64)));
+        out.nodes.extend(self.nodes.iter().map(|&p| dfg.id_at_canon(p)));
         out.offsets.extend_from_slice(&self.offsets);
         out.decisions = self.decisions;
     }
@@ -217,14 +254,18 @@ impl PlanL1 {
         }
     }
 
-    fn get(&self, key: u64, win: &WindowSig) -> Option<Arc<CachedPlan>> {
+    /// The resident entry for `key`, iff it verifies against `win` *and*
+    /// `cfg` (full-field match — see [`CachedPlan::matches`]).  Public so
+    /// property tests can exercise the aliasing-rejection path directly.
+    pub fn get(&self, key: u64, win: &WindowSig, cfg: &CacheConfig) -> Option<Arc<CachedPlan>> {
         match &self.slots[key as usize & (L1_SLOTS - 1)] {
-            Some((k, e)) if *k == key && e.matches(win) => Some(Arc::clone(e)),
+            Some((k, e)) if *k == key && e.matches(win, cfg) => Some(Arc::clone(e)),
             _ => None,
         }
     }
 
-    fn insert(&mut self, key: u64, entry: Arc<CachedPlan>) {
+    /// Installs `entry` in `key`'s direct-mapped slot.
+    pub fn insert(&mut self, key: u64, entry: Arc<CachedPlan>) {
         self.slots[key as usize & (L1_SLOTS - 1)] = Some((key, entry));
     }
 }
@@ -285,10 +326,10 @@ impl PlanCache {
         &self.shards[(key >> 48) as usize & (self.shards.len() - 1)]
     }
 
-    fn get(&self, key: u64, win: &WindowSig) -> Option<Arc<CachedPlan>> {
+    fn get(&self, key: u64, win: &WindowSig, cfg: &CacheConfig) -> Option<Arc<CachedPlan>> {
         let shard = self.shard(key).read();
         match shard.map.get(&key) {
-            Some(e) if e.matches(win) => Some(Arc::clone(e)),
+            Some(e) if e.matches(win, cfg) => Some(Arc::clone(e)),
             _ => None,
         }
     }
@@ -340,28 +381,30 @@ impl PlanCache {
 /// publishing the result) on a miss.
 pub fn plan_cached(
     cfg: &CacheConfig,
-    dfg: &Dfg,
+    dfg: &mut Dfg,
     scratch: &mut SchedulerScratch,
     l1: &mut PlanL1,
     shared: &PlanCache,
     out: &mut Plan,
 ) -> CacheOutcome {
+    // `&mut` because lane-canonical windows derive (and memoize) their
+    // canonical order on first signature access; repeat calls are O(1).
     let Some(win) = dfg.window_signature() else {
         scheduler::plan_into(cfg.kind, dfg, scratch, out);
         return CacheOutcome::Bypass;
     };
     let key = probe_key(cfg, &win);
-    if let Some(entry) = l1.get(key, &win) {
-        entry.remap_into(win.base, out);
+    if let Some(entry) = l1.get(key, &win, cfg) {
+        entry.remap_into(dfg, out);
         return CacheOutcome::Hit;
     }
-    if let Some(entry) = shared.get(key, &win) {
-        entry.remap_into(win.base, out);
+    if let Some(entry) = shared.get(key, &win, cfg) {
+        entry.remap_into(dfg, out);
         l1.insert(key, entry);
         return CacheOutcome::Hit;
     }
     scheduler::plan_into(cfg.kind, dfg, scratch, out);
-    let entry = Arc::new(CachedPlan::freeze(dfg, out, &win));
+    let entry = Arc::new(CachedPlan::freeze(dfg, out, &win, cfg));
     let evicted = if cfg.share { shared.insert(key, Arc::clone(&entry)) } else { 0 };
     l1.insert(key, entry);
     CacheOutcome::Miss { evicted }
@@ -397,7 +440,7 @@ mod tests {
         let mut plan = Plan::default();
         let c = cfg(SchedulerKind::InlineDepth);
 
-        let first = plan_cached(&c, &dfg, &mut scratch, &mut l1, &cache, &mut plan);
+        let first = plan_cached(&c, &mut dfg, &mut scratch, &mut l1, &cache, &mut plan);
         assert!(matches!(first, CacheOutcome::Miss { .. }));
         let first_batches = plan.to_batches();
 
@@ -410,7 +453,7 @@ mod tests {
             dfg.complete_batch(&batch, outs);
         }
         build_window(&mut dfg, 4);
-        let hit = plan_cached(&c, &dfg, &mut scratch, &mut l1, &cache, &mut plan);
+        let hit = plan_cached(&c, &mut dfg, &mut scratch, &mut l1, &cache, &mut plan);
         assert_eq!(hit, CacheOutcome::Hit);
 
         // The remapped plan must be the fresh plan shifted by the window
@@ -439,7 +482,7 @@ mod tests {
         let mut plan = Plan::default();
         let out = plan_cached(
             &cfg(SchedulerKind::InlineDepth),
-            &dfg,
+            &mut dfg,
             &mut scratch,
             &mut l1,
             &cache,
@@ -462,14 +505,14 @@ mod tests {
             // Fresh L1 per config: the probe must miss in the *shared*
             // cache, not be saved by L1 slot separation.
             let mut l1 = PlanL1::new();
-            let out = plan_cached(&cfg(kind), &dfg, &mut scratch, &mut l1, &cache, &mut plan);
+            let out = plan_cached(&cfg(kind), &mut dfg, &mut scratch, &mut l1, &cache, &mut plan);
             assert!(matches!(out, CacheOutcome::Miss { .. }), "{kind:?} must miss");
         }
         // A downshifted context (lane_cap != 0) probes a different key and
         // must not publish.
         let mut l1 = PlanL1::new();
         let down = CacheConfig { lane_cap: 2, share: false, ..cfg(SchedulerKind::InlineDepth) };
-        let out = plan_cached(&down, &dfg, &mut scratch, &mut l1, &cache, &mut plan);
+        let out = plan_cached(&down, &mut dfg, &mut scratch, &mut l1, &cache, &mut plan);
         assert!(matches!(out, CacheOutcome::Miss { .. }));
         assert_eq!(cache.entry_count(), 3, "no-share miss must not publish");
     }
@@ -490,7 +533,7 @@ mod tests {
             let shape = 2 + (round % 2) as usize;
             build_window(&mut dfg, shape);
             let mut l1 = PlanL1::new();
-            let out = plan_cached(&c, &dfg, &mut scratch, &mut l1, &cache, &mut plan);
+            let out = plan_cached(&c, &mut dfg, &mut scratch, &mut l1, &cache, &mut plan);
             match out {
                 CacheOutcome::Miss { evicted } => assert_eq!(evicted, u64::from(round > 0)),
                 other => panic!("round {round}: expected miss, got {other:?}"),

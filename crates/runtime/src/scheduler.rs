@@ -369,6 +369,29 @@ pub fn plan_into(kind: SchedulerKind, dfg: &Dfg, scratch: &mut SchedulerScratch,
         SchedulerKind::DynamicDepth => plan_dynamic_depth(dfg, scratch, out),
         SchedulerKind::Agenda => plan_agenda(dfg, scratch, out),
     }
+    canonicalize(dfg, out);
+}
+
+/// Re-orders every batch's members into the DFG's canonical window order
+/// ([`Dfg::canon_pos`]), making the emitted plan invariant to the order in
+/// which fiber lanes reached the DFG.
+///
+/// Batch-level structure is already interleave-invariant in all three
+/// schedulers (bucket/group key sorts, deterministic agenda rounds with
+/// exact tie-breaks); only *within-batch* member order followed arrival
+/// order via `NodeId`s.  Members of one batch are mutually independent
+/// (enforced by the checked mode's plan validation), so permuting them
+/// never violates a dependence.  Outside lane-canonical mode
+/// `canon_pos` is the identity over the window and the sort is a no-op,
+/// keeping sequential plans byte-identical.
+pub(crate) fn canonicalize(dfg: &Dfg, out: &mut Plan) {
+    if !dfg.has_canonical_order() {
+        return;
+    }
+    for b in 0..out.num_batches() {
+        let (s, e) = (out.offsets[b] as usize, out.offsets[b + 1] as usize);
+        out.nodes[s..e].sort_unstable_by_key(|&id| dfg.canon_pos(id));
+    }
 }
 
 fn plan_inline(dfg: &Dfg, scratch: &mut SchedulerScratch, out: &mut Plan) {
@@ -650,13 +673,17 @@ pub mod reference {
     use super::{Plan, SchedulerKind};
     use crate::dfg::{Dfg, NodeId};
 
-    /// Plans with the reference implementation of `kind`.
+    /// Plans with the reference implementation of `kind`.  The canonical
+    /// within-batch reorder is part of the scheduling contract, so the
+    /// reference applies the same post-pass as [`super::plan_into`].
     pub fn plan(kind: SchedulerKind, dfg: &Dfg) -> Plan {
-        match kind {
+        let mut p = match kind {
             SchedulerKind::InlineDepth => plan_inline(dfg),
             SchedulerKind::DynamicDepth => plan_dynamic_depth(dfg),
             SchedulerKind::Agenda => plan_agenda(dfg),
-        }
+        };
+        super::canonicalize(dfg, &mut p);
+        p
     }
 
     fn sorted_pending(dfg: &Dfg) -> Vec<NodeId> {
@@ -994,6 +1021,38 @@ mod tests {
         let mut lv = BatchLevels::new();
         lv.compute(&dfg, &p);
         assert_eq!(lv.levels(), &[0, 0]);
+    }
+
+    #[test]
+    fn lane_mode_batches_emit_in_canonical_order() {
+        // The same four independent single-node lanes appended in different
+        // arrival orders must emit the batch in the same (canonical)
+        // instance sequence — and the optimized and reference schedulers
+        // must agree on it.
+        let build = |order: &[usize]| -> Vec<usize> {
+            let mut mem = acrobat_tensor::DeviceMem::new(1 << 12);
+            let mut dfg = Dfg::new();
+            dfg.set_signature_tracking(true);
+            dfg.set_lane_canonical(true);
+            let x = dfg.ready_value(mem.upload(&acrobat_tensor::Tensor::ones(&[2])).unwrap());
+            for &i in order {
+                dfg.add_node(KernelId(0), i, 0, 0, 0, vec![x], 1);
+            }
+            dfg.window_signature().expect("clean window");
+            for kind in
+                [SchedulerKind::InlineDepth, SchedulerKind::DynamicDepth, SchedulerKind::Agenda]
+            {
+                let p = plan(kind, &dfg);
+                let r = reference::plan(kind, &dfg);
+                assert_eq!(p.to_batches(), r.to_batches(), "{kind:?}");
+            }
+            let p = plan(SchedulerKind::InlineDepth, &dfg);
+            assert_eq!(p.num_batches(), 1);
+            p.batch(0).iter().map(|&id| dfg.node(id).instance).collect()
+        };
+        let canonical = build(&[0, 1, 2, 3]);
+        assert_eq!(canonical, build(&[3, 1, 2, 0]));
+        assert_eq!(canonical, build(&[2, 3, 0, 1]));
     }
 
     #[test]

@@ -75,6 +75,15 @@ pub struct RuntimeStats {
     /// plan cache off.
     #[serde(default)]
     pub plan_sig_us: f64,
+    /// XOR digest of every signed window's [`crate::WindowSig`] audit
+    /// token (`chain_token`: accumulators + length, never the run-varying
+    /// base).  XOR accumulation makes the digest invariant to flush order
+    /// and to how windows are partitioned across contexts/workers, so two
+    /// runs of the same workload must produce the same digest bit for bit
+    /// at any worker count — the run-to-run determinism gate the fiber
+    /// tests and `scripts/check.sh` assert on.  `0` with the cache off.
+    #[serde(default)]
+    pub plan_sig_chain: u64,
 
     /// High-water mark of simulated device memory, in `f32` elements.
     pub device_peak_elements: u64,
@@ -144,6 +153,10 @@ impl RuntimeStats {
         self.plan_cache_misses += o.plan_cache_misses;
         self.plan_cache_evictions += o.plan_cache_evictions;
         self.plan_sig_us += o.plan_sig_us;
+        // XOR, not add: the digest stays a set-of-windows invariant under
+        // any merge grouping (merge is how per-worker stats aggregate, and
+        // the digest must not depend on the worker count).
+        self.plan_sig_chain ^= o.plan_sig_chain;
         self.device_peak_elements = self.device_peak_elements.max(o.device_peak_elements);
         self.host_wall_us += o.host_wall_us;
         self.program_host_us += o.program_host_us;
@@ -183,6 +196,8 @@ impl RuntimeStats {
             plan_cache_misses: avg(self.plan_cache_misses),
             plan_cache_evictions: avg(self.plan_cache_evictions),
             plan_sig_us: self.plan_sig_us / n,
+            // A digest does not average; it passes through unchanged.
+            plan_sig_chain: self.plan_sig_chain,
             device_peak_elements: self.device_peak_elements,
             host_wall_us: self.host_wall_us / n,
             program_host_us: self.program_host_us / n,

@@ -4,21 +4,24 @@
 //!
 //! * the run terminates (a watchdog bounds the drive),
 //! * the switch count equals the trace's sync-point count,
-//! * the flush count lands inside the exact `[min, max]` envelope that
-//!   `hubsim::exhaustive` proves over *all* interleavings of the trace
-//!   (and equals it when the envelope is tight, e.g. fork-free traces).
+//! * the flush count equals the envelope `hubsim::exhaustive` proves over
+//!   *all* interleavings of the trace — which the join-handoff protocol
+//!   makes **exact** (`min == max`) on every trace, fork-join included, so
+//!   real runs are asserted against a single schedule-independent count.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use acrobat_runtime::check::hubsim::{self, FiberOp};
-use acrobat_runtime::{DriveTimeout, FiberHub};
+use acrobat_runtime::{DriveTimeout, FiberHub, JoinId};
 use proptest::prelude::*;
 
 /// Runs one fiber's script on the current thread, forking children onto
 /// new threads (registered before the parent suspends, per the protocol).
-fn run_script(hub: Arc<FiberHub>, script: Vec<FiberOp>, mut jitter: u64) {
+/// `group` is the fork-join group this fiber belongs to (`None` for
+/// top-level fibers, which exit via `finish`).
+fn run_script(hub: Arc<FiberHub>, script: Vec<FiberOp>, mut jitter: u64, group: Option<JoinId>) {
     for op in script {
         // Seeded scheduling noise: perturb the interleaving without
         // touching the protocol.
@@ -29,18 +32,21 @@ fn run_script(hub: Arc<FiberHub>, script: Vec<FiberOp>, mut jitter: u64) {
         match op {
             FiberOp::Wait => hub.wait_for_flush(),
             FiberOp::Fork(children) => {
+                let g = hub.fork(children.len());
                 let mut kids = Vec::new();
                 for (j, child) in children.into_iter().enumerate() {
-                    hub.register();
                     let h = Arc::clone(&hub);
                     let seed = jitter.wrapping_add(j as u64 + 1);
-                    kids.push(std::thread::spawn(move || run_script(h, child, seed)));
+                    kids.push(std::thread::spawn(move || run_script(h, child, seed, Some(g))));
                 }
-                hub.suspend_while(|| kids.into_iter().for_each(|k| k.join().unwrap()));
+                hub.join_while(g, || kids.into_iter().for_each(|k| k.join().unwrap()));
             }
         }
     }
-    hub.finish();
+    match group {
+        Some(g) => hub.finish_child(g),
+        None => hub.finish(),
+    }
 }
 
 /// Executes the whole trace on real threads; returns (flushes, switches),
@@ -57,7 +63,7 @@ fn run_real(scripts: &[Vec<FiberOp>], jitter_seed: u64) -> Result<(u64, u64), Dr
         let h = Arc::clone(&hub);
         let s = script.clone();
         let seed = jitter_seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15);
-        handles.push(std::thread::spawn(move || run_script(h, s, seed)));
+        handles.push(std::thread::spawn(move || run_script(h, s, seed, None)));
     }
     let driver = {
         let hub = Arc::clone(&hub);
@@ -99,11 +105,15 @@ proptest! {
         let (flushes, switches) = run_real(&scripts, jitter_seed)
             .map_err(|stall| format!("hub failed to terminate: {stall}"))?;
         prop_assert_eq!(switches, predicted.switches);
-        prop_assert!(
-            predicted.flushes_min <= flushes && flushes <= predicted.flushes_max,
-            "real flushes {} outside enumerated [{}, {}]",
-            flushes, predicted.flushes_min, predicted.flushes_max
+        // The join-handoff protocol makes the envelope exact on every
+        // trace, so the real run is held to a single count — the property
+        // that makes fiber-mode window boundaries deterministic.
+        prop_assert_eq!(
+            predicted.flushes_min,
+            predicted.flushes_max,
+            "model envelope not exact for this trace"
         );
+        prop_assert_eq!(flushes, predicted.exact_flushes());
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! geometries (forced evictions).
 
 use acrobat_codegen::KernelId;
-use acrobat_runtime::plan_cache::{plan_cached, CacheConfig, CacheOutcome, PlanCache, PlanL1};
+use acrobat_runtime::plan_cache::{
+    plan_cached, CacheConfig, CacheOutcome, CachedPlan, PlanCache, PlanL1,
+};
 use acrobat_runtime::scheduler::{self, Plan, SchedulerScratch};
 use acrobat_runtime::{Dfg, SchedulerKind};
 use acrobat_tensor::{DeviceMem, Tensor};
@@ -81,14 +83,14 @@ proptest! {
             let mut plan = Plan::default();
             let cfg = cache_cfg(kind);
 
-            let warm = random_dfg(n, kernels, &edges, &sigs, 0);
-            let first = plan_cached(&cfg, &warm, &mut scratch, &mut l1, &cache, &mut plan);
+            let mut warm = random_dfg(n, kernels, &edges, &sigs, 0);
+            let first = plan_cached(&cfg, &mut warm, &mut scratch, &mut l1, &cache, &mut plan);
             prop_assert!(matches!(first, CacheOutcome::Miss { .. }), "{:?}: cold probe must miss", kind);
             let fresh = scheduler::plan(kind, &warm);
             prop_assert_eq!(plan.to_batches(), fresh.to_batches(), "{:?}: miss path diverged", kind);
 
-            let shifted = random_dfg(n, kernels, &edges, &sigs, prefix);
-            let second = plan_cached(&cfg, &shifted, &mut scratch, &mut l1, &cache, &mut plan);
+            let mut shifted = random_dfg(n, kernels, &edges, &sigs, prefix);
+            let second = plan_cached(&cfg, &mut shifted, &mut scratch, &mut l1, &cache, &mut plan);
             prop_assert_eq!(second, CacheOutcome::Hit, "{:?}: same structure must hit", kind);
             let fresh_shifted = scheduler::plan(kind, &shifted);
             prop_assert_eq!(
@@ -115,13 +117,13 @@ proptest! {
         let mut plan = Plan::default();
         let cfg = cache_cfg(kind);
 
-        let warm = random_dfg(n, kernels, &edges, &sigs, 0);
+        let mut warm = random_dfg(n, kernels, &edges, &sigs, 0);
         let mut publisher_l1 = PlanL1::new();
-        plan_cached(&cfg, &warm, &mut scratch, &mut publisher_l1, &cache, &mut plan);
+        plan_cached(&cfg, &mut warm, &mut scratch, &mut publisher_l1, &cache, &mut plan);
 
-        let probe = random_dfg(n, kernels, &edges, &sigs, 2);
+        let mut probe = random_dfg(n, kernels, &edges, &sigs, 2);
         let mut cold_l1 = PlanL1::new();
-        let out = plan_cached(&cfg, &probe, &mut scratch, &mut cold_l1, &cache, &mut plan);
+        let out = plan_cached(&cfg, &mut probe, &mut scratch, &mut cold_l1, &cache, &mut plan);
         prop_assert_eq!(out, CacheOutcome::Hit, "cold L1 must fall through to the shared cache");
         prop_assert_eq!(plan.to_batches(), scheduler::plan(kind, &probe).to_batches());
     }
@@ -146,10 +148,10 @@ proptest! {
         let cfg = cache_cfg(kind);
 
         // Distinct structures (different window lengths), probed round-robin.
-        let dfgs: Vec<Dfg> =
+        let mut dfgs: Vec<Dfg> =
             (0..shapes).map(|s| random_dfg(base_n + s, 3, &edges, &sigs, s)).collect();
         for _ in 0..rounds {
-            for dfg in &dfgs {
+            for dfg in &mut dfgs {
                 let out = plan_cached(&cfg, dfg, &mut scratch, &mut l1, &cache, &mut plan);
                 prop_assert!(!matches!(out, CacheOutcome::Bypass), "clean windows never bypass");
                 let fresh = scheduler::plan(kind, dfg);
@@ -158,5 +160,61 @@ proptest! {
             }
         }
         prop_assert!(cache.entry_count() <= 1, "capacity must bound residency");
+    }
+
+    /// Probe keys truncate `lane_cap` to 48 bits, so two distinct
+    /// `(scheduler, lane_cap)` configurations can alias to one key (the
+    /// routing key is lossy by design).  An aliased entry must fail the
+    /// full-field verify and re-schedule — a lane-cap downshift must never
+    /// be served the full-size frozen plan.
+    #[test]
+    fn lane_cap_probe_key_aliasing_is_rejected(
+        n in 1usize..30,
+        kernels in 1u32..5,
+        edges in proptest::collection::vec(0usize..64, 8..64),
+        sigs in proptest::collection::vec(0u64..8, 1..8),
+        cap in 1usize..16,
+    ) {
+        let kind = SchedulerKind::InlineDepth;
+        let cache = PlanCache::new();
+        let mut scratch = SchedulerScratch::new();
+        let mut plan = Plan::default();
+        let cfg_a = CacheConfig { lane_cap: cap, ..cache_cfg(kind) };
+        // Identical key bits: `bits()` packs `lane_cap << 16` into a 64-bit
+        // word, so everything at or above 2^48 is dropped.
+        let cfg_b = CacheConfig { lane_cap: cap + (1usize << 48), ..cache_cfg(kind) };
+
+        let mut l1 = PlanL1::new();
+        let mut warm = random_dfg(n, kernels, &edges, &sigs, 0);
+        let first = plan_cached(&cfg_a, &mut warm, &mut scratch, &mut l1, &cache, &mut plan);
+        prop_assert!(matches!(first, CacheOutcome::Miss { .. }), "cold probe must miss");
+        let fresh_warm = scheduler::plan(kind, &warm);
+
+        // Same window structure under the aliasing configuration: both the
+        // L1 slot and the shared-cache shard route to the colliding key,
+        // but the entry's exact lane_cap differs — must miss, not serve
+        // the stale full-size plan.
+        let mut probe = random_dfg(n, kernels, &edges, &sigs, 1);
+        let out = plan_cached(&cfg_b, &mut probe, &mut scratch, &mut l1, &cache, &mut plan);
+        prop_assert!(
+            matches!(out, CacheOutcome::Miss { .. }),
+            "aliased lane_cap served a stale plan: {:?}", out
+        );
+        let fresh_probe = scheduler::plan(kind, &probe);
+        prop_assert_eq!(plan.to_batches(), fresh_probe.to_batches());
+        prop_assert_eq!(plan.decisions, fresh_probe.decisions);
+
+        // Direct slot check: an entry frozen under `cfg_a` verify-fails for
+        // `cfg_b` even when probed with the very key it was inserted at,
+        // while the exact configuration still verifies.
+        let win = warm.window_signature().expect("clean window signs");
+        let frozen = std::sync::Arc::new(CachedPlan::freeze(&warm, &fresh_warm, &win, &cfg_a));
+        let mut slot = PlanL1::new();
+        slot.insert(0x5EED, std::sync::Arc::clone(&frozen));
+        prop_assert!(slot.get(0x5EED, &win, &cfg_a).is_some(), "exact config must verify");
+        prop_assert!(
+            slot.get(0x5EED, &win, &cfg_b).is_none(),
+            "aliased config must be rejected by the full-field verify"
+        );
     }
 }

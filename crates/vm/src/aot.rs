@@ -743,29 +743,29 @@ impl AotBackend {
         let cell = rt.shared().expect("fiber-mode branches share the run context");
         let mut ctxs: Vec<ExecCtx> = (0..n)
             .map(|i| {
-                let mut c = ctx.fork();
+                let mut c = ctx.fork(i);
                 c.rng = crate::session::Prng::new(ctx.rng.next_u64(), i);
                 c
             })
             .collect();
         let results: Vec<Result<Value, VmError>> = std::thread::scope(|scope| {
             let hub = &run.hub;
+            let g = hub.fork(n);
             let mut handles = Vec::with_capacity(n);
             for (job, cctx) in jobs.into_iter().zip(ctxs.iter_mut()) {
-                hub.register();
                 handles.push(
                     std::thread::Builder::new()
                         .stack_size(16 << 20)
                         .spawn_scoped(scope, move || {
                             let mut rt = RtHandle::Shared(cell);
                             let r = job(self, run, &mut rt, cctx);
-                            hub.finish();
+                            hub.finish_child(g);
                             r
                         })
                         .expect("spawn fiber"),
                 );
             }
-            hub.suspend_while(|| {
+            hub.join_while(g, || {
                 handles.into_iter().map(|h| h.join().expect("fiber panicked")).collect()
             })
         });

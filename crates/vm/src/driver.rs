@@ -303,6 +303,12 @@ impl Executable {
                 let ms = run.engine().options().drive_timeout_ms;
                 (ms != 0).then(|| std::time::Duration::from_millis(ms))
             };
+            // Fiber interleaving is nondeterministic, so window signatures
+            // must be order-invariant: switch the DFG to lane-canonical
+            // signing ([`acrobat_runtime::Dfg::set_lane_canonical`]) before
+            // any fiber appends.  Sequential runs keep the cheaper
+            // arrival-order chain (their arrival order is deterministic).
+            ctx.set_lane_canonical(true);
             let cell = parking_lot::Mutex::new(ctx);
             let slots: Vec<parking_lot::Mutex<Option<Result<Value, VmError>>>> =
                 instance_args.iter().map(|_| parking_lot::Mutex::new(None)).collect();

@@ -218,6 +218,13 @@ struct GroupAccum {
 pub struct ExecCtx {
     /// Mini-batch instance index (DFG lane).
     pub instance: usize,
+    /// Fork-path lane key ([`acrobat_runtime::lane`]): identifies *which
+    /// fiber* of the instance is appending, independent of scheduling
+    /// order.  Roots at [`acrobat_runtime::lane::root`]`(instance)`;
+    /// each `parallel`/`map` branch derives a child key, so the key
+    /// encodes the fork path and two runs assign identical keys to the
+    /// same program branch no matter how the OS interleaves fibers.
+    pub lane: u64,
     /// Inline depth counter (§4.1).
     pub depth: u64,
     /// Program-phase counter (§4.1).
@@ -235,6 +242,7 @@ impl ExecCtx {
     pub fn new(instance: usize, key: u64, seed: u64, hoist_base: u64) -> ExecCtx {
         ExecCtx {
             instance,
+            lane: acrobat_runtime::lane::root(instance),
             depth: hoist_base,
             phase: 0,
             rng: Prng::keyed(seed, key),
@@ -243,11 +251,14 @@ impl ExecCtx {
         }
     }
 
-    /// Forks a child context for `parallel`/`map` branches: same depth
-    /// origin, same instance, independent group state.
-    pub fn fork(&self) -> ExecCtx {
+    /// Forks a child context for `parallel`/`map` branch `branch`: same
+    /// depth origin, same instance, independent group state, and a child
+    /// lane key derived from the parent's fork path (schedule-independent
+    /// fiber identity for canonical window signing).
+    pub fn fork(&self, branch: usize) -> ExecCtx {
         ExecCtx {
             instance: self.instance,
+            lane: acrobat_runtime::lane::child(self.lane, branch),
             depth: self.depth,
             phase: self.phase,
             rng: self.rng.clone(),
@@ -679,7 +690,15 @@ impl<'s> RunSession<'s> {
         ctx.current_block = if closes_block { None } else { Some(block) };
 
         let outs = rt.with(|rt| {
-            let outs = rt.add_unit(group, ctx.instance, depth, ctx.phase, arg_ids, unit_head);
+            let outs = rt.add_unit_in_lane(
+                group,
+                ctx.instance,
+                ctx.lane,
+                depth,
+                ctx.phase,
+                arg_ids,
+                unit_head,
+            );
             if rt.options().eager {
                 // PyTorch-style eager execution: every operator runs
                 // immediately as its own launch — no auto-batching (§E.3

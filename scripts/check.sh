@@ -46,4 +46,10 @@ cargo run --release -p acrobat-bench --bin timeline_overlap -- --quick
 echo "==> plan-cache smoke (steady-state hit rate >= 90%, cache-on == cache-off bit-for-bit)"
 cargo test -q -p acrobat-bench --test plan_cache
 
+echo "==> fiber determinism smoke (lane-canonical signatures invariant across worker counts)"
+fiber_w1=$(cargo run --release -p acrobat-bench --bin fiber_determinism -- --workers 1)
+fiber_w4=$(cargo run --release -p acrobat-bench --bin fiber_determinism -- --workers 4)
+diff <(printf '%s\n' "$fiber_w1") <(printf '%s\n' "$fiber_w4") \
+  || { echo "fiber signature/hit-rate JSON differs between worker counts"; exit 1; }
+
 echo "All checks passed."
