@@ -1,0 +1,456 @@
+//! `continuous_batching`: open-loop serving latency with and without
+//! cross-request continuous batching (`acrobat_vm::broker`).
+//!
+//! A seeded Poisson arrival process offers requests to `K` concurrent
+//! serving streams (pooled execution contexts) at ~1.25× the streams'
+//! solo capacity, so a queue genuinely builds.  Two disciplines serve the
+//! identical trace:
+//!
+//! * **broker=off** — each stream takes one queued request at a time and
+//!   runs it solo (today's per-request batching).
+//! * **broker=on** — a free stream drains the whole queue (capped) into
+//!   one cohort and executes it as a single merged mini-batch via
+//!   [`run_cohort`](acrobat_core::Model::run_cohort): shared flush plans,
+//!   shared batched launches, demuxed per-request results.
+//!
+//! Time is **modeled virtual time** (repo convention, DESIGN.md §1): a
+//! request's service cost is its modeled `total_us`, a cohort's is the
+//! merged run's total — which is where continuous batching wins, since a
+//! cohort of `m` requests costs far less than `m` solo runs.  The
+//! simulation is deterministic end to end: seeded arrivals, modeled
+//! service times, no wall-clock anywhere.
+//!
+//! SLO-aware admission uses the existing [`Deadline`] machinery: every
+//! request carries a fixed latency budget; requests whose budget is
+//! already exhausted when a stream picks them up are shed at dispatch, and
+//! admitted requests pass their *remaining* budget as `deadline_us`, so a
+//! request that waited too long misses its deadline inside the runtime
+//! (aborting a cohort peels every member to the solo fallback — peers
+//! complete, the expired member misses).
+//!
+//! Every completed broker-on request's outputs are diffed bit-for-bit
+//! against its solo run.  Gates (asserted): at every stream count,
+//! broker-on p99 latency is strictly below broker-off and throughput is
+//! strictly above; the ledger balances (every dispatched request lands in
+//! exactly one outcome bucket, completions merge stats exactly once).
+//!
+//! Writes `bench_results/continuous_batching.txt` and
+//! `bench_results/BENCH_continuous_batching.json`.  `--smoke` runs a
+//! smaller trace with the same gates (used by `scripts/check.sh`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use acrobat_bench::{suite, write_bench_json, JsonRecord};
+use acrobat_core::{compile, CompileOptions, Model, RunOptions};
+use acrobat_models::{ModelSize, ModelSpec};
+use acrobat_vm::{CohortRequest, InputValue, OutputValue};
+
+/// Streams (pooled contexts) per configuration; the ISSUE gate is "at
+/// least 2 concurrent streams", covered by both entries.
+const STREAM_COUNTS: [usize; 2] = [2, 4];
+/// Largest cohort one dispatch may drain (bounds device residency).
+const MAX_COHORT: usize = 8;
+/// Offered load relative to solo capacity (> 1 so queues build).
+const OFFERED_LOAD: f64 = 1.25;
+/// SLO latency budget, in multiples of the mean solo service time.
+const SLO_FACTOR: f64 = 25.0;
+
+/// splitmix64 — the workspace's standard seeded PRNG recurrence.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Exponential interarrival with the given mean (inverse CDF over a
+    /// uniform in (0, 1]; never zero).
+    fn exp(&mut self, mean: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        -mean * (1.0 - u).max(1e-12).ln()
+    }
+}
+
+struct SimResult {
+    label: &'static str,
+    streams: usize,
+    completed: usize,
+    shed: usize,
+    deadline_misses: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    throughput_rps: f64,
+    /// Dispatch-size histogram (broker-on only; off is all-1 by design).
+    cohort_sizes: BTreeMap<usize, u64>,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    label: &'static str,
+    streams: usize,
+    mut latencies_us: Vec<f64>,
+    shed: usize,
+    deadline_misses: usize,
+    first_arrival: f64,
+    last_done: f64,
+    cohort_sizes: BTreeMap<usize, u64>,
+) -> SimResult {
+    latencies_us.sort_by(|a, b| a.total_cmp(b));
+    let span_s = (last_done - first_arrival).max(1e-9) / 1e6;
+    SimResult {
+        label,
+        streams,
+        completed: latencies_us.len(),
+        shed,
+        deadline_misses,
+        p50_ms: percentile(&latencies_us, 0.50) / 1e3,
+        p99_ms: percentile(&latencies_us, 0.99) / 1e3,
+        p999_ms: percentile(&latencies_us, 0.999) / 1e3,
+        throughput_rps: latencies_us.len() as f64 / span_s,
+        cohort_sizes,
+    }
+}
+
+/// Index of the earliest-free stream.
+fn earliest(free: &[f64]) -> usize {
+    let mut k = 0;
+    for (i, t) in free.iter().enumerate() {
+        if *t < free[k] {
+            k = i;
+        }
+    }
+    k
+}
+
+/// Broker-off discipline: FIFO, one request per stream at a time, solo
+/// service times (precomputed — solo modeled cost is deterministic).
+fn simulate_off(arrivals: &[f64], solo_us: &[f64], streams: usize, slo_us: f64) -> SimResult {
+    let mut free = vec![0.0f64; streams];
+    let mut latencies = Vec::new();
+    let (mut shed, mut misses) = (0usize, 0usize);
+    let mut last_done = 0.0f64;
+    for (i, &arrive) in arrivals.iter().enumerate() {
+        let k = earliest(&free);
+        let start = free[k].max(arrive);
+        let wait = start - arrive;
+        if wait >= slo_us {
+            shed += 1;
+            continue;
+        }
+        let remaining = slo_us - wait;
+        if solo_us[i] > remaining {
+            // The run spends its whole remaining budget, then the virtual
+            // deadline aborts it.
+            misses += 1;
+            free[k] = start + remaining;
+        } else {
+            let done = start + solo_us[i];
+            free[k] = done;
+            latencies.push(done - arrive);
+            last_done = last_done.max(done);
+        }
+    }
+    finish("off", streams, latencies, shed, misses, arrivals[0], last_done, BTreeMap::new())
+}
+
+/// Broker-on discipline: a free stream drains every arrived request
+/// (capped at [`MAX_COHORT`]) into one cohort and runs it merged.
+#[allow(clippy::too_many_arguments)]
+fn simulate_on(
+    model: &Model,
+    spec: &ModelSpec,
+    requests: &[Vec<Vec<InputValue>>],
+    solo_outputs: &[Vec<OutputValue>],
+    arrivals: &[f64],
+    streams: usize,
+    slo_us: f64,
+) -> SimResult {
+    let mut free = vec![0.0f64; streams];
+    let mut latencies = Vec::new();
+    let (mut shed, mut misses) = (0usize, 0usize);
+    let mut last_done = 0.0f64;
+    let mut cohort_sizes: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut next = 0usize;
+    while next < arrivals.len() {
+        let k = earliest(&free);
+        let t = free[k].max(arrivals[next]);
+        // Drain the queue as of `t`, shedding requests whose SLO budget is
+        // already gone (admission control at dispatch).
+        let mut members: Vec<usize> = Vec::new();
+        while next < arrivals.len() && arrivals[next] <= t && members.len() < MAX_COHORT {
+            if t - arrivals[next] >= slo_us {
+                shed += 1;
+            } else {
+                members.push(next);
+            }
+            next += 1;
+        }
+        if members.is_empty() {
+            continue;
+        }
+        *cohort_sizes.entry(members.len()).or_default() += 1;
+        let cohort: Vec<CohortRequest<'_>> = members
+            .iter()
+            .map(|&i| CohortRequest {
+                params: &spec.params,
+                instances: &requests[i],
+                opts: RunOptions {
+                    deadline_us: Some(slo_us - (t - arrivals[i])),
+                    ..RunOptions::default()
+                },
+            })
+            .collect();
+        let results = model.run_cohort(&cohort);
+        // Service time: the sum of the members' demuxed totals is exactly
+        // the merged run's modeled total; a deadline-missed member spent
+        // its remaining budget before aborting.
+        let mut service = 0.0f64;
+        let mut done_members = Vec::new();
+        for (&i, result) in members.iter().zip(results) {
+            match result {
+                Ok(run) => {
+                    service += run.stats.total_us();
+                    done_members.push((i, run.outputs));
+                }
+                Err(e) => {
+                    assert!(
+                        matches!(e, acrobat_vm::VmError::DeadlineExceeded { .. }),
+                        "open-loop member {i} failed for a non-deadline reason: {e}"
+                    );
+                    misses += 1;
+                    service += slo_us - (t - arrivals[i]);
+                }
+            }
+        }
+        let done = t + service;
+        free[k] = done;
+        for (i, outputs) in done_members {
+            assert_outputs_equal(spec, &solo_outputs[i], &outputs, i);
+            latencies.push(done - arrivals[i]);
+            last_done = last_done.max(done);
+        }
+    }
+    finish("on", streams, latencies, shed, misses, arrivals[0], last_done, cohort_sizes)
+}
+
+/// Bit-for-bit diff of a broker-on request's outputs against its solo run.
+fn assert_outputs_equal(
+    spec: &ModelSpec,
+    reference: &[OutputValue],
+    got: &[OutputValue],
+    request: usize,
+) {
+    assert_eq!(reference.len(), got.len(), "request {request}: instance count");
+    for (inst, (r, g)) in reference.iter().zip(got).enumerate() {
+        let (rt, gt) = ((spec.flatten_output)(r), (spec.flatten_output)(g));
+        for (j, (a, b)) in rt.iter().zip(&gt).enumerate() {
+            assert_eq!(
+                a.data(),
+                b.data(),
+                "request {request} instance {inst} tensor {j}: broker-on diverged from solo"
+            );
+        }
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 150 } else { 600 };
+    let batch = 2;
+    let spec: ModelSpec = suite(ModelSize::Small, true)
+        .into_iter()
+        .find(|s| s.properties.tensor_dependent)
+        .expect("a tensor-dependent quick model");
+
+    // Per-request mini-batches (distinct inputs per request) and their solo
+    // reference runs: outputs for the bit-identity diff, modeled totals for
+    // the broker-off service times and the load calibration.
+    let reference_model =
+        compile(&spec.source, &CompileOptions::default()).expect("reference model compiles");
+    let requests: Vec<Vec<Vec<InputValue>>> =
+        (0..n).map(|i| (spec.make_instances)(0xA11CE ^ i as u64, batch)).collect();
+    let mut solo_outputs = Vec::with_capacity(n);
+    let mut solo_us = Vec::with_capacity(n);
+    for inst in &requests {
+        let run = reference_model.run(&spec.params, inst).expect("solo reference");
+        solo_outputs.push(run.outputs);
+        solo_us.push(run.stats.total_us());
+    }
+    let mean_us: f64 = solo_us.iter().sum::<f64>() / n as f64;
+    let slo_us = SLO_FACTOR * mean_us;
+
+    let mut rows: Vec<SimResult> = Vec::new();
+    let mut shared_by_streams: Vec<(usize, u64, u64, u64)> = Vec::new();
+    for &streams in &STREAM_COUNTS {
+        // One Poisson trace per stream count, served by both disciplines.
+        let mut rng = Rng::new(0x0417 + streams as u64);
+        let mean_inter = mean_us / (OFFERED_LOAD * streams as f64);
+        let mut arrivals = Vec::with_capacity(n);
+        let mut now = 0.0f64;
+        for _ in 0..n {
+            now += rng.exp(mean_inter);
+            arrivals.push(now);
+        }
+
+        let off = simulate_off(&arrivals, &solo_us, streams, slo_us);
+        // A fresh model per configuration keeps the ledger exactly this
+        // configuration's traffic.
+        let model = compile(&spec.source, &CompileOptions::default()).expect("model compiles");
+        let on = simulate_on(&model, &spec, &requests, &solo_outputs, &arrivals, streams, slo_us);
+
+        // Ledger balance: every dispatched request in exactly one bucket,
+        // completions merged exactly once.
+        let outcomes = model.outcomes();
+        assert_eq!(
+            outcomes.completed as usize, on.completed,
+            "streams={streams}: ledger completions"
+        );
+        assert_eq!(
+            outcomes.total() as usize,
+            on.completed + on.deadline_misses,
+            "streams={streams}: every dispatched request lands in one outcome bucket"
+        );
+        assert_eq!(
+            model.runs_completed() as usize,
+            on.completed,
+            "streams={streams}: stats merged once per completion"
+        );
+        let agg = model.stats();
+        assert!(agg.shared_flushes > 0, "streams={streams}: no flush ever co-batched requests");
+        shared_by_streams.push((
+            streams,
+            agg.shared_flushes,
+            agg.solo_flushes,
+            on.cohort_sizes.iter().filter(|(s, _)| **s >= 2).map(|(s, c)| *s as u64 * c).sum(),
+        ));
+
+        // The tentpole gates: strictly better p99 AND throughput at every
+        // stream count.
+        assert!(
+            on.p99_ms < off.p99_ms,
+            "streams={streams}: broker-on p99 {:.3} ms must beat broker-off {:.3} ms",
+            on.p99_ms,
+            off.p99_ms
+        );
+        assert!(
+            on.throughput_rps > off.throughput_rps,
+            "streams={streams}: broker-on throughput {:.1} rps must beat broker-off {:.1} rps",
+            on.throughput_rps,
+            off.throughput_rps
+        );
+        rows.push(off);
+        rows.push(on);
+    }
+
+    let mut out = String::new();
+    writeln!(out, "# continuous_batching — open-loop latency, broker on vs off").unwrap();
+    writeln!(out, "#").unwrap();
+    writeln!(
+        out,
+        "# Model: {} (quick dims), batch {batch} per request, {n} requests per trace.",
+        spec.name
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "# Seeded Poisson arrivals at {OFFERED_LOAD}x solo capacity; SLO budget \
+         {SLO_FACTOR:.0}x mean solo service ({:.3} ms); cohorts capped at {MAX_COHORT}.",
+        slo_us / 1e3
+    )
+    .unwrap();
+    writeln!(out, "# Latencies are modeled virtual milliseconds (queue wait + service).").unwrap();
+    writeln!(out, "#").unwrap();
+    writeln!(
+        out,
+        "{:>6}  {:>7}  {:>9}  {:>5}  {:>6}  {:>8}  {:>8}  {:>8}  {:>10}",
+        "broker",
+        "streams",
+        "completed",
+        "shed",
+        "missed",
+        "p50_ms",
+        "p99_ms",
+        "p999_ms",
+        "req_per_s"
+    )
+    .unwrap();
+    for r in &rows {
+        writeln!(
+            out,
+            "{:>6}  {:>7}  {:>9}  {:>5}  {:>6}  {:>8.3}  {:>8.3}  {:>8.3}  {:>10.1}",
+            r.label,
+            r.streams,
+            r.completed,
+            r.shed,
+            r.deadline_misses,
+            r.p50_ms,
+            r.p99_ms,
+            r.p999_ms,
+            r.throughput_rps
+        )
+        .unwrap();
+    }
+    writeln!(out, "#").unwrap();
+    writeln!(out, "# broker-on sharing (per stream count):").unwrap();
+    for (streams, shared, solo, merged) in &shared_by_streams {
+        writeln!(
+            out,
+            "#   streams={streams}: shared_flushes={shared} solo_flushes={solo} \
+             merged_requests={merged}"
+        )
+        .unwrap();
+    }
+    print!("{out}");
+
+    if !smoke {
+        std::fs::create_dir_all("bench_results").expect("bench_results dir");
+        std::fs::write("bench_results/continuous_batching.txt", &out)
+            .expect("write bench_results/continuous_batching.txt");
+        eprintln!("wrote bench_results/continuous_batching.txt");
+
+        let mut records = Vec::new();
+        for r in &rows {
+            let config = format!("broker={}/streams={}", r.label, r.streams);
+            records.push(JsonRecord::new(&config, "completed", r.completed as f64));
+            records.push(JsonRecord::new(&config, "shed", r.shed as f64));
+            records.push(JsonRecord::new(&config, "deadline_misses", r.deadline_misses as f64));
+            records.push(JsonRecord::new(&config, "p50_ms", r.p50_ms));
+            records.push(JsonRecord::new(&config, "p99_ms", r.p99_ms));
+            records.push(JsonRecord::new(&config, "p999_ms", r.p999_ms));
+            records.push(JsonRecord::new(&config, "req_per_s", r.throughput_rps));
+            for (size, count) in &r.cohort_sizes {
+                records.push(JsonRecord::new(
+                    &config,
+                    format!("cohort_size_{size}"),
+                    *count as f64,
+                ));
+            }
+        }
+        for (streams, shared, solo, merged) in &shared_by_streams {
+            let config = format!("broker=on/streams={streams}");
+            records.push(JsonRecord::new(&config, "shared_flushes", *shared as f64));
+            records.push(JsonRecord::new(&config, "solo_flushes", *solo as f64));
+            records.push(JsonRecord::new(&config, "merged_requests", *merged as f64));
+        }
+        write_bench_json("continuous_batching", &records);
+    }
+    println!("\ncontinuous batching gates passed: p99 and throughput strictly better at every stream count");
+}

@@ -50,8 +50,18 @@ fn device_us(s: &RuntimeStats) -> f64 {
     s.kernel_time_us + s.memcpy_us
 }
 
+/// Continuous-batching counters for one broker-on configuration: queue
+/// dispatch totals plus the flush-level sharing classification.
+struct BrokerCounters {
+    dispatches: u64,
+    merged_requests: u64,
+    shared_flushes: u64,
+    solo_flushes: u64,
+    cohort_sizes: BTreeMap<usize, u64>,
+}
+
 struct Row {
-    cache: bool,
+    mode: &'static str,
     workers: usize,
     requests: usize,
     makespan_ms: f64,
@@ -59,6 +69,7 @@ struct Row {
     p50_ms: f64,
     hit_rate: f64,
     wall_ms: f64,
+    broker: Option<BrokerCounters>,
 }
 
 fn serve(
@@ -67,7 +78,7 @@ fn serve(
     instances: &[Vec<InputValue>],
     workers: usize,
     requests: usize,
-    cache: bool,
+    mode: &'static str,
 ) -> Row {
     let per_worker = requests / workers;
     let start = std::time::Instant::now();
@@ -101,8 +112,21 @@ fn serve(
     let misses: u64 = worker_stats.iter().flatten().map(|s| s.plan_cache_misses).sum();
     let hit_rate = if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 };
 
+    // Broker rows serve a per-configuration model, so the cumulative
+    // queue/flush counters are exactly this configuration's traffic.
+    let broker = model.broker_stats().map(|b| {
+        let agg = model.stats();
+        BrokerCounters {
+            dispatches: b.dispatches,
+            merged_requests: b.merged_requests,
+            shared_flushes: agg.shared_flushes,
+            solo_flushes: agg.solo_flushes,
+            cohort_sizes: b.cohort_sizes,
+        }
+    });
+
     Row {
-        cache,
+        mode,
         workers,
         requests,
         makespan_ms: makespan_us / 1e3,
@@ -110,6 +134,7 @@ fn serve(
         p50_ms,
         hit_rate,
         wall_ms,
+        broker,
     }
 }
 
@@ -131,13 +156,21 @@ fn main() {
     // — exactly what a long-lived serving process sees.
     let mut rows: Vec<Row> = WORKER_COUNTS
         .iter()
-        .map(|&w| serve(&model, &spec.params, &instances, w, requests, false))
+        .map(|&w| serve(&model, &spec.params, &instances, w, requests, "off"))
         .collect();
     rows.extend(
         WORKER_COUNTS
             .iter()
-            .map(|&w| serve(&model_cached, &spec.params, &instances, w, requests, true)),
+            .map(|&w| serve(&model_cached, &spec.params, &instances, w, requests, "cache")),
     );
+    // Broker rows: concurrent requests queue at the BatchBroker and merge
+    // into shared flush plans.  Each worker count gets a fresh model so the
+    // dispatch counters and shared/solo flush split are per-configuration.
+    rows.extend(WORKER_COUNTS.iter().map(|&w| {
+        let broker_model = compile(&spec.source, &CompileOptions::default().with_broker(true))
+            .expect("broker model compiles");
+        serve(&broker_model, &spec.params, &instances, w, requests, "broker")
+    }));
 
     let base = rows[0].throughput;
     let mut out = String::new();
@@ -151,10 +184,13 @@ fn main() {
     .unwrap();
     writeln!(out, "# One shared compiled model; each request acquires its own pooled").unwrap();
     writeln!(out, "# ExecutionContext (zero shared-lock acquisitions on the flush path).").unwrap();
-    writeln!(out, "# cache=on rows serve from a second compiled model with flush-plan").unwrap();
+    writeln!(out, "# mode=cache rows serve from a second compiled model with flush-plan").unwrap();
     writeln!(out, "# memoization enabled: repeated window shapes hit the shared PlanCache")
         .unwrap();
     writeln!(out, "# and skip scheduling (p50_ms is per-request modeled latency).").unwrap();
+    writeln!(out, "# mode=broker rows route concurrent requests through the BatchBroker:").unwrap();
+    writeln!(out, "# co-queued requests merge into shared flush plans (cross-request").unwrap();
+    writeln!(out, "# continuous batching); dispatch counters follow the table.").unwrap();
     writeln!(out, "#").unwrap();
     writeln!(out, "# Throughput is modeled virtual time (repo convention, DESIGN.md §1):").unwrap();
     writeln!(out, "#   host work (DFG construction, scheduling, fibers, CUDA API calls)").unwrap();
@@ -167,8 +203,8 @@ fn main() {
     writeln!(out, "#").unwrap();
     writeln!(
         out,
-        "{:>5}  {:>7}  {:>8}  {:>12}  {:>12}  {:>12}  {:>8}  {:>8}  {:>9}",
-        "cache",
+        "{:>6}  {:>7}  {:>8}  {:>12}  {:>12}  {:>12}  {:>8}  {:>8}  {:>9}",
+        "mode",
         "workers",
         "requests",
         "makespan_ms",
@@ -182,8 +218,8 @@ fn main() {
     for r in &rows {
         writeln!(
             out,
-            "{:>5}  {:>7}  {:>8}  {:>12.3}  {:>12.1}  {:>12.2}  {:>8.3}  {:>8.2}  {:>9.1}",
-            if r.cache { "on" } else { "off" },
+            "{:>6}  {:>7}  {:>8}  {:>12.3}  {:>12.1}  {:>12.2}  {:>8.3}  {:>8.2}  {:>9.1}",
+            r.mode,
             r.workers,
             r.requests,
             r.makespan_ms,
@@ -197,7 +233,8 @@ fn main() {
     }
     print!("{out}");
 
-    let four = rows.iter().find(|r| r.workers == 4 && !r.cache).expect("4-worker cache-off row");
+    let four =
+        rows.iter().find(|r| r.workers == 4 && r.mode == "off").expect("4-worker cache-off row");
     let scaling = four.throughput / base;
     println!("\n4-worker speedup on the simulated device: {scaling:.2}x");
     assert!(
@@ -205,8 +242,8 @@ fn main() {
         "serving must scale >2x at 4 workers on the simulated device, got {scaling:.2}x"
     );
 
-    let off_p50 = rows.iter().find(|r| r.workers == 1 && !r.cache).unwrap().p50_ms;
-    let on = rows.iter().find(|r| r.workers == 1 && r.cache).unwrap();
+    let off_p50 = rows.iter().find(|r| r.workers == 1 && r.mode == "off").unwrap().p50_ms;
+    let on = rows.iter().find(|r| r.workers == 1 && r.mode == "cache").unwrap();
     println!(
         "plan cache @1 worker: p50 {off_p50:.3} ms -> {:.3} ms, steady hit rate {:.0}%",
         on.p50_ms,
@@ -218,6 +255,31 @@ fn main() {
         on.p50_ms
     );
 
+    writeln!(out, "#").unwrap();
+    writeln!(out, "# broker counters (per configuration):").unwrap();
+    writeln!(
+        out,
+        "# {:>7}  {:>10}  {:>14}  {:>14}  {:>12}  histogram",
+        "workers", "dispatches", "merged_reqs", "shared_flushes", "solo_flushes"
+    )
+    .unwrap();
+    for r in rows.iter().filter(|r| r.broker.is_some()) {
+        let b = r.broker.as_ref().unwrap();
+        let histogram: Vec<String> =
+            b.cohort_sizes.iter().map(|(size, n)| format!("{size}x{n}")).collect();
+        writeln!(
+            out,
+            "# {:>7}  {:>10}  {:>14}  {:>14}  {:>12}  {}",
+            r.workers,
+            b.dispatches,
+            b.merged_requests,
+            b.shared_flushes,
+            b.solo_flushes,
+            histogram.join(" ")
+        )
+        .unwrap();
+    }
+
     std::fs::create_dir_all("bench_results").expect("bench_results dir");
     std::fs::write("bench_results/serving_throughput.txt", out)
         .expect("write bench_results/serving_throughput.txt");
@@ -226,14 +288,30 @@ fn main() {
     if json_flag() {
         let mut records = Vec::new();
         for r in &rows {
-            let config =
-                format!("cache={}/workers={}", if r.cache { "on" } else { "off" }, r.workers);
+            let config = match r.mode {
+                "off" => format!("cache=off/workers={}", r.workers),
+                "cache" => format!("cache=on/workers={}", r.workers),
+                _ => format!("broker=on/workers={}", r.workers),
+            };
             records.push(JsonRecord::new(&config, "makespan_ms", r.makespan_ms));
             records.push(JsonRecord::new(&config, "req_per_s", r.throughput));
             records.push(JsonRecord::new(&config, "speedup_vs_1", r.throughput / base));
             records.push(JsonRecord::new(&config, "p50_ms", r.p50_ms));
             records.push(JsonRecord::new(&config, "plan_cache_hit_rate", r.hit_rate));
             records.push(JsonRecord::new(&config, "wall_ms", r.wall_ms));
+            if let Some(b) = &r.broker {
+                records.push(JsonRecord::new(&config, "dispatches", b.dispatches as f64));
+                records.push(JsonRecord::new(&config, "merged_requests", b.merged_requests as f64));
+                records.push(JsonRecord::new(&config, "shared_flushes", b.shared_flushes as f64));
+                records.push(JsonRecord::new(&config, "solo_flushes", b.solo_flushes as f64));
+                for (size, n) in &b.cohort_sizes {
+                    records.push(JsonRecord::new(
+                        &config,
+                        format!("cohort_size_{size}"),
+                        *n as f64,
+                    ));
+                }
+            }
         }
         write_bench_json("serving_throughput", &records);
     }

@@ -206,6 +206,35 @@ impl FuzzCase {
         Ok(r.outputs.iter().map(|o| o.tensors()[0].clone()).collect())
     }
 
+    /// Compiles and runs the program as a two-member cohort
+    /// ([`acrobat_core::Model::run_cohort`]): the instance stream split in
+    /// half across two co-batched "requests", demuxed outputs concatenated
+    /// back into stream order.  Cross-request merging must be bit-for-bit
+    /// invisible, so the result must equal [`run_acrobat`](Self::run_acrobat).
+    ///
+    /// # Errors
+    ///
+    /// Returns compile/runtime errors as strings.
+    pub fn run_acrobat_cohort(&self, options: &CompileOptions) -> Result<Vec<Tensor>, String> {
+        use acrobat_vm::{CohortRequest, RunOptions};
+        let model = compile(&self.source, options).map_err(|e| e.to_string())?;
+        let half = self.instances.len() / 2;
+        let requests: Vec<CohortRequest<'_>> = [&self.instances[..half], &self.instances[half..]]
+            .into_iter()
+            .map(|instances| CohortRequest {
+                params: &self.params,
+                instances,
+                opts: RunOptions::default(),
+            })
+            .collect();
+        let mut out = Vec::with_capacity(self.instances.len());
+        for member in model.run_cohort(&requests) {
+            let r = member.map_err(|e| e.to_string())?;
+            out.extend(r.outputs.iter().map(|o| o.tensors()[0].clone()));
+        }
+        Ok(out)
+    }
+
     /// Replays the same op sequence through the DyNet-sim computation
     /// graph, returning one output tensor per instance.
     ///
@@ -248,13 +277,16 @@ impl FuzzCase {
 
 /// The scheduler/ablation matrix every fuzz case runs under: all three
 /// schedulers × gather-fusion × coarsening × {sequential, 4-worker
-/// parallel execution} × {plan cache off, on}, all in checked mode, plus
-/// the unbatched eager configuration (also checked, both cache settings).
+/// parallel execution} × {plan cache off, on} × {broker off, on}, all in
+/// checked mode, plus the unbatched eager configuration (also checked,
+/// both cache settings).
 /// The parallel axis must be bit-for-bit invisible: same plan, same
 /// outputs, real threads.  The plan-cache axis must be equally invisible —
 /// and because every configuration is checked, every cache hit the fuzzer
 /// produces passes the cached ≡ freshly-scheduled bit-identity gate
-/// (`acrobat_runtime::check::validate_cached_plan`).
+/// (`acrobat_runtime::check::validate_cached_plan`).  The broker axis
+/// routes every run through `BatchBroker::submit` and the cohort path
+/// (`acrobat_vm::broker`), which must be equally invisible.
 pub fn config_matrix() -> Vec<(String, CompileOptions)> {
     let mut out = Vec::new();
     for scheduler in
@@ -264,19 +296,22 @@ pub fn config_matrix() -> Vec<(String, CompileOptions)> {
             for coarsen in [false, true] {
                 for parallel_workers in [0, 4] {
                     for plan_cache in [false, true] {
-                        let mut o = CompileOptions::default().with_checked(true);
-                        o.runtime.scheduler = scheduler;
-                        o.runtime.gather_fusion = gather_fusion;
-                        o.runtime.coarsen = coarsen;
-                        o.runtime.parallel_workers = parallel_workers;
-                        o.runtime.plan_cache = plan_cache;
-                        out.push((
-                            format!(
-                                "{scheduler:?}/gf={gather_fusion}/co={coarsen}\
-                                 /par={parallel_workers}/pc={plan_cache}"
-                            ),
-                            o,
-                        ));
+                        for broker in [false, true] {
+                            let mut o = CompileOptions::default().with_checked(true);
+                            o.runtime.scheduler = scheduler;
+                            o.runtime.gather_fusion = gather_fusion;
+                            o.runtime.coarsen = coarsen;
+                            o.runtime.parallel_workers = parallel_workers;
+                            o.runtime.plan_cache = plan_cache;
+                            o.runtime.broker = broker;
+                            out.push((
+                                format!(
+                                    "{scheduler:?}/gf={gather_fusion}/co={coarsen}\
+                                     /par={parallel_workers}/pc={plan_cache}/br={broker}"
+                                ),
+                                o,
+                            ));
+                        }
                     }
                 }
             }

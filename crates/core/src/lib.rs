@@ -53,5 +53,6 @@ pub use acrobat_runtime::{
 };
 pub use acrobat_tensor::{FaultKind, FaultMode, FaultPlan, FaultSite, Shape, Tensor};
 pub use acrobat_vm::{
-    BackendKind, InputValue, OutputValue, RunOptions, RunResult, ServeOutcomes, VmError,
+    BackendKind, BrokerStats, CohortRequest, InputValue, OutputValue, RunOptions, RunResult,
+    ServeOutcomes, VmError,
 };

@@ -109,6 +109,23 @@ impl Model {
         self.exe.session.quarantined_count()
     }
 
+    /// Queue-level continuous-batching counters (dispatches, merged
+    /// requests, cohort-size histogram), when the model was compiled with
+    /// the broker enabled ([`CompileOptions::with_broker`]).
+    pub fn broker_stats(&self) -> Option<acrobat_vm::BrokerStats> {
+        self.exe.broker_stats()
+    }
+
+    /// Runs several requests as one broker cohort sharing flush plans and
+    /// batched launches (see `acrobat_vm::broker`); usable with or without
+    /// the background broker queue.
+    pub fn run_cohort(
+        &self,
+        requests: &[acrobat_vm::CohortRequest<'_>],
+    ) -> Vec<Result<RunResult, acrobat_vm::VmError>> {
+        self.exe.run_cohort(requests)
+    }
+
     /// Profile-guided re-scheduling (§D.1, Table 9): runs one profiling
     /// mini-batch, aggregates the per-kernel invocation frequencies across
     /// completed runs, and installs a re-tuned engine.  In-flight runs

@@ -100,6 +100,16 @@ impl CompileOptions {
         self
     }
 
+    /// Enable or disable cross-request continuous batching
+    /// (`acrobat_vm::broker`): concurrent `run` calls queue at a
+    /// `BatchBroker` and merge into shared flush plans and shared batched
+    /// kernel launches.  Off by default — each request batches only within
+    /// itself, exactly the pre-broker behaviour.
+    pub fn with_broker(mut self, on: bool) -> CompileOptions {
+        self.runtime.broker = on;
+        self
+    }
+
     /// Options for one rung of the Fig. 5 ablation ladder.
     pub fn at_level(level: OptLevel) -> CompileOptions {
         let mut o = CompileOptions::default();

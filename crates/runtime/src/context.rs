@@ -80,6 +80,12 @@ pub struct ExecutionContext {
     /// planned batch is bit-for-bit neutral because kernels are
     /// lane-independent.
     lane_cap: usize,
+    /// Broker-cohort request partition: member start offsets over the
+    /// merged instance index space (e.g. `[0, 4, 6]` for three requests of
+    /// 4, 2 and N−6 instances).  When set, every clean flush is classified
+    /// as shared (its plan touched ≥ 2 members) or solo; `None` — every
+    /// non-cohort run — leaves both counters at zero.
+    instance_partition: Option<Vec<usize>>,
 }
 
 impl ExecutionContext {
@@ -106,6 +112,7 @@ impl ExecutionContext {
             tainted: false,
             consecutive_aborts: 0,
             lane_cap: 0,
+            instance_partition: None,
         }
     }
 
@@ -209,6 +216,18 @@ impl ExecutionContext {
         self.tainted = false;
         self.consecutive_aborts = 0;
         self.lane_cap = 0;
+        self.instance_partition = None;
+    }
+
+    /// Installs the broker-cohort request partition (member start offsets
+    /// over the merged instance index space, strictly increasing, starting
+    /// at 0).  Flushes are then classified into
+    /// [`RuntimeStats::shared_flushes`] / [`RuntimeStats::solo_flushes`]
+    /// by whether their plan co-batched nodes from ≥ 2 members.
+    pub fn set_instance_partition(&mut self, member_starts: Vec<usize>) {
+        debug_assert!(member_starts.first() == Some(&0), "partition must start at instance 0");
+        debug_assert!(member_starts.windows(2).all(|w| w[0] < w[1]), "partition must increase");
+        self.instance_partition = Some(member_starts);
     }
 
     /// Uploads a batch of host tensors as one transfer operation (the
@@ -315,8 +334,18 @@ impl ExecutionContext {
     /// Enables lane-canonical window signing on this context's DFG (see
     /// [`crate::Dfg::set_lane_canonical`]).  Fiber-mode drivers call this
     /// once per run, before the first [`ExecutionContext::add_unit_in_lane`].
+    ///
+    /// Lane-canonical mode forces signature tracking on even with the plan
+    /// cache off: the per-lane accumulators are what the flush path sorts
+    /// to emit batches in canonical lane order, and without that order
+    /// fresh plans would emit in fiber *arrival* order — making device
+    /// placement of intermediates, and hence the `gather_copies` vs
+    /// `contiguous_hits` split, a function of the OS interleave.
     pub fn set_lane_canonical(&mut self, on: bool) {
         self.dfg.set_lane_canonical(on);
+        if on && !self.engine.options().plan_cache {
+            self.dfg.set_signature_tracking(true);
+        }
     }
 
     /// The tensor behind a value, if already materialized.
@@ -429,6 +458,7 @@ impl ExecutionContext {
             tainted,
             consecutive_aborts,
             lane_cap,
+            instance_partition,
         } = self;
         let library = engine.library();
         let model = engine.model();
@@ -449,6 +479,16 @@ impl ExecutionContext {
                 plan_buf,
             ))
         } else {
+            // Canonical-emission parity with the cached path: a clean
+            // lane-canonical (fiber-mode) window derives its canonical
+            // node order here even with the plan cache off, so fresh
+            // plans emit batches in lane-key order rather than fiber
+            // arrival order.  Device placement of intermediates — and
+            // with it the `gather_copies`/`contiguous_hits` split — is
+            // then a pure function of the workload, not the OS
+            // interleave.  Sequential windows (`win_track` off) return
+            // `None` immediately and pay nothing.
+            let _ = dfg.window_signature();
             scheduler::plan_into(options.scheduler, dfg, sched_scratch, plan_buf);
             None
         };
@@ -480,6 +520,15 @@ impl ExecutionContext {
             Some(crate::plan_cache::CacheOutcome::Bypass) => stats.plan_cache_misses += 1,
             None => {}
         }
+        // Cross-request flush classification (broker cohorts): did this
+        // plan co-batch nodes from two or more member requests?  Outside a
+        // cohort no partition is installed and neither counter moves.
+        let cohort_shared = instance_partition.as_ref().and_then(|starts| {
+            let member_of = |inst: usize| starts.partition_point(|&s| s <= inst) - 1;
+            let mut nodes = plan_buf.nodes.iter();
+            let first = member_of(dfg.node(*nodes.next()?).instance);
+            Some(nodes.any(|&id| member_of(dfg.node(id).instance) != first))
+        });
         let mut checker = options
             .checked
             .then(|| crate::check::FlushChecker::validate_plan(dfg, plan_buf, options.scheduler));
@@ -656,6 +705,11 @@ impl ExecutionContext {
             *lane_cap = if doubled >= max_planned_batch { 0 } else { doubled };
         }
         self.stats.flushes += 1;
+        match cohort_shared {
+            Some(true) => self.stats.shared_flushes += 1,
+            Some(false) => self.stats.solo_flushes += 1,
+            None => {}
+        }
         self.stats.device_peak_elements = self.mem.stats().peak_elements;
         self.stats.host_wall_us += wall.elapsed().as_secs_f64() * 1e6;
         Ok(())

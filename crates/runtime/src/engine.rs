@@ -84,6 +84,13 @@ pub struct RuntimeOptions {
     /// are produced with the cache off.
     #[serde(default)]
     pub plan_cache: bool,
+    /// Cross-request continuous batching: route concurrent `run` calls
+    /// through a `BatchBroker` that coalesces compatible in-flight requests
+    /// into shared flush plans (one merged DFG, one kernel launch per
+    /// batched group across requests).  Off by default — each request
+    /// batches only within itself, exactly the pre-broker behaviour.
+    #[serde(default)]
+    pub broker: bool,
 }
 
 fn default_drive_timeout_ms() -> u64 {
@@ -105,6 +112,7 @@ impl Default for RuntimeOptions {
             timeline: crate::timeline::TimelineOptions::default(),
             parallel_workers: 0,
             plan_cache: false,
+            broker: false,
         }
     }
 }

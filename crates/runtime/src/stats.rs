@@ -84,6 +84,18 @@ pub struct RuntimeStats {
     /// tests and `scripts/check.sh` assert on.  `0` with the cache off.
     #[serde(default)]
     pub plan_sig_chain: u64,
+    /// Flushes whose plan co-batched DFG nodes from two or more distinct
+    /// requests of a broker cohort (cross-request continuous batching).
+    /// Exactly `0` outside broker cohorts — a context only classifies its
+    /// flushes when the cohort driver installs a request partition
+    /// ([`crate::ExecutionContext::set_instance_partition`]).
+    #[serde(default)]
+    pub shared_flushes: u64,
+    /// Flushes inside a broker dispatch whose plan touched a single
+    /// request (no cross-request sharing at that sync point).  `0` outside
+    /// broker cohorts, like [`RuntimeStats::shared_flushes`].
+    #[serde(default)]
+    pub solo_flushes: u64,
 
     /// High-water mark of simulated device memory, in `f32` elements.
     pub device_peak_elements: u64,
@@ -157,6 +169,8 @@ impl RuntimeStats {
         // any merge grouping (merge is how per-worker stats aggregate, and
         // the digest must not depend on the worker count).
         self.plan_sig_chain ^= o.plan_sig_chain;
+        self.shared_flushes += o.shared_flushes;
+        self.solo_flushes += o.solo_flushes;
         self.device_peak_elements = self.device_peak_elements.max(o.device_peak_elements);
         self.host_wall_us += o.host_wall_us;
         self.program_host_us += o.program_host_us;
@@ -198,6 +212,8 @@ impl RuntimeStats {
             plan_sig_us: self.plan_sig_us / n,
             // A digest does not average; it passes through unchanged.
             plan_sig_chain: self.plan_sig_chain,
+            shared_flushes: avg(self.shared_flushes),
+            solo_flushes: avg(self.solo_flushes),
             device_peak_elements: self.device_peak_elements,
             host_wall_us: self.host_wall_us / n,
             program_host_us: self.program_host_us / n,

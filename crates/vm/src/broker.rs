@@ -1,0 +1,466 @@
+//! Cross-request continuous batching (ROADMAP item 1).
+//!
+//! ACROBAT's auto-batching stops at the request boundary: each
+//! [`ExecutionContext`](acrobat_runtime::ExecutionContext) batches only
+//! within its own DFG, so two concurrent requests evaluating the same model
+//! never share a kernel launch.  The [`BatchBroker`] lifts that limit: it
+//! sits between [`Executable::run_with`] and the pooled contexts, queues
+//! concurrent requests, and lets the first idle request thread drain every
+//! compatible queued peer and execute the whole *cohort* as one merged
+//! mini-batch — one DFG whose lanes span requests, one flush plan per sync
+//! window, one batched launch per kernel group — then demux per-request
+//! outputs and statistics back to each waiter.
+//!
+//! Correctness rests on two properties the earlier PRs established:
+//!
+//! * **Lane independence.**  Batched kernels compute each lane from that
+//!   lane's operands only, so merging requests into one batch changes
+//!   which *launches* execute, never the bits any lane produces.  A cohort
+//!   member's outputs are therefore bit-for-bit identical to its solo run
+//!   (instance RNG keys are member-relative for the same reason).
+//! * **Coarse fault isolation.**  Any cohort-level failure — a member's
+//!   injected fault, the strictest member deadline, a cancellation, a
+//!   fiber stall — abandons the shared context to the existing quarantine
+//!   path and re-runs *every* member solo.  The triggering member
+//!   reproduces its genuine outcome; its peers complete with their exact
+//!   solo results.  No partial cohort state is ever trusted.
+
+use std::collections::{BTreeMap, HashMap};
+
+use acrobat_runtime::{Deadline, RuntimeStats};
+use acrobat_tensor::Tensor;
+use parking_lot::{Condvar, Mutex};
+
+use crate::driver::{Executable, RunOptions, RunResult};
+use crate::session::{RunSession, VmError};
+use crate::value::{InputValue, OutputValue};
+
+/// One member of a broker cohort: the same triple [`Executable::run_with`]
+/// takes, borrowed for the duration of the cohort.
+#[derive(Debug)]
+pub struct CohortRequest<'a> {
+    /// Model parameters.  Members whose parameters differ from member 0's
+    /// cannot share uploads and fall back to solo runs.
+    pub params: &'a BTreeMap<String, Tensor>,
+    /// Per-instance inputs, exactly as for [`Executable::run`].
+    pub instances: &'a [Vec<InputValue>],
+    /// Per-member run options (keys are member-relative, as in a solo run).
+    pub opts: RunOptions,
+}
+
+impl Executable {
+    /// Runs several requests as one *cohort*: their instances merge into a
+    /// single mini-batch on one shared context, so compatible DFG windows
+    /// across requests flush as shared plans and shared batched launches.
+    /// Each member receives exactly its own instances' outputs plus an
+    /// apportioned share of the cohort statistics, and lands in the session
+    /// ledger as one run — the ledger and aggregate balance exactly as if
+    /// every member had run solo.
+    ///
+    /// Members that cannot merge run solo instead and still get a faithful
+    /// result: a parameter map differing from member 0's, a second fault
+    /// plan, an already-fired cancel token, or an empty instance list.  If
+    /// the merged run fails for any reason (fault, deadline, cancellation,
+    /// stall), the shared context is quarantined and *every* merged member
+    /// re-runs solo: the trigger observes its genuine error, the peers'
+    /// outputs are bit-for-bit what their solo runs produce.
+    pub fn run_cohort(&self, requests: &[CohortRequest<'_>]) -> Vec<Result<RunResult, VmError>> {
+        let session = &*self.session;
+        let mut out: Vec<Option<Result<RunResult, VmError>>> =
+            std::iter::repeat_with(|| None).take(requests.len()).collect();
+        if requests.is_empty() {
+            return Vec::new();
+        }
+
+        // Classify members.  The cohort shares member 0's parameter map
+        // (one upload, shared operand ValueIds — the precondition for
+        // cross-request windows to batch); at most one fault plan can be
+        // armed on the shared context; a pre-cancelled member would abort
+        // the whole cohort at its first flush, so it is peeled out up
+        // front.
+        let reference = requests[0].params;
+        let mut merged: Vec<usize> = Vec::new();
+        let mut solo: Vec<usize> = Vec::new();
+        let mut fault_seen = false;
+        for (i, r) in requests.iter().enumerate() {
+            if let Some(keys) = &r.opts.keys {
+                if keys.len() != r.instances.len() {
+                    let err: Result<RunResult, VmError> = Err(VmError::Input(format!(
+                        "{} rng keys for {} instances",
+                        keys.len(),
+                        r.instances.len()
+                    )));
+                    session.record_outcome(&err);
+                    out[i] = Some(err);
+                    continue;
+                }
+            }
+            let pre_cancelled = r.opts.cancel.as_ref().is_some_and(|t| t.is_cancelled());
+            let second_fault = fault_seen && r.opts.fault.is_some();
+            if r.instances.is_empty()
+                || pre_cancelled
+                || second_fault
+                || !params_match(r.params, reference)
+            {
+                solo.push(i);
+                continue;
+            }
+            fault_seen |= r.opts.fault.is_some();
+            merged.push(i);
+        }
+
+        if !merged.is_empty() {
+            // Admission is per member: every merged request claims its own
+            // in-flight slot, so `max_in_flight` bounds *requests*, not
+            // contexts, exactly as without the broker.
+            let run = RunSession::new(session);
+            let limit = run.engine().options().max_in_flight;
+            let mut admitted: Vec<usize> = Vec::with_capacity(merged.len());
+            let mut permits = Vec::with_capacity(merged.len());
+            for &i in &merged {
+                match session.try_admit(limit) {
+                    Ok(p) => {
+                        permits.push(p);
+                        admitted.push(i);
+                    }
+                    Err(e) => {
+                        let err: Result<RunResult, VmError> = Err(e);
+                        session.record_outcome(&err);
+                        out[i] = Some(err);
+                    }
+                }
+            }
+            if !admitted.is_empty() {
+                let counts: Vec<usize> =
+                    admitted.iter().map(|&i| requests[i].instances.len()).collect();
+                let mut starts: Vec<usize> = Vec::with_capacity(counts.len());
+                let mut inst_refs: Vec<&Vec<InputValue>> = Vec::new();
+                let mut keys: Vec<u64> = Vec::new();
+                for &i in &admitted {
+                    starts.push(inst_refs.len());
+                    let member_keys = requests[i].opts.keys.as_ref();
+                    for (j, inst) in requests[i].instances.iter().enumerate() {
+                        inst_refs.push(inst);
+                        // Member-relative keys: instance j draws the same
+                        // random streams it draws solo, regardless of its
+                        // slot in the merged batch.
+                        keys.push(member_keys.map_or(j as u64, |k| k[j]));
+                    }
+                }
+
+                let mut ctx = run.acquire_context();
+                if let Some(fault) = admitted.iter().find_map(|&i| requests[i].opts.fault) {
+                    ctx.mem_mut().arm_fault(fault);
+                }
+                let budget = admitted
+                    .iter()
+                    .filter_map(|&i| requests[i].opts.deadline_us)
+                    .fold(f64::INFINITY, f64::min);
+                if budget.is_finite() {
+                    // The strictest member budget gates the whole cohort: on
+                    // success every member's apportioned time is below the
+                    // cohort total, hence below its own budget; on a miss
+                    // the solo fallback gives each member its own verdict.
+                    ctx.set_deadline(Deadline::virtual_us(budget));
+                }
+                if let Some(token) = admitted.iter().find_map(|&i| requests[i].opts.cancel.clone())
+                {
+                    ctx.set_cancel(token);
+                }
+                ctx.set_instance_partition(starts);
+
+                let (result, ctx) = self.run_pinned(
+                    session,
+                    &run,
+                    ctx,
+                    requests[admitted[0]].params,
+                    &inst_refs,
+                    &keys,
+                );
+                match result {
+                    Ok((outputs, stats)) => {
+                        let member_stats = demux_stats(&stats, &counts);
+                        run.finish_cohort(ctx, &member_stats);
+                        let mut outputs = outputs.into_iter();
+                        for (k, &i) in admitted.iter().enumerate() {
+                            let member: Vec<OutputValue> =
+                                outputs.by_ref().take(counts[k]).collect();
+                            let r: Result<RunResult, VmError> =
+                                Ok(RunResult { outputs: member, stats: member_stats[k] });
+                            session.record_outcome(&r);
+                            out[i] = Some(r);
+                        }
+                    }
+                    Err(_) => {
+                        // Coarse isolation: quarantine the shared context,
+                        // release the cohort's admission slots, and peel
+                        // every member out to a solo re-run.  The cohort
+                        // attempt itself is not recorded — each request
+                        // lands in exactly one ledger bucket via its re-run.
+                        run.abandon(ctx);
+                        drop(permits);
+                        for &i in &admitted {
+                            out[i] = Some(self.run_direct(
+                                requests[i].params,
+                                requests[i].instances,
+                                &requests[i].opts,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        for &i in &solo {
+            out[i] =
+                Some(self.run_direct(requests[i].params, requests[i].instances, &requests[i].opts));
+        }
+        out.into_iter().map(|r| r.expect("every cohort member resolved")).collect()
+    }
+
+    /// Queue-level broker counters, when cross-request batching is enabled
+    /// (`RuntimeOptions::broker`).
+    pub fn broker_stats(&self) -> Option<BrokerStats> {
+        self.broker().map(BatchBroker::stats)
+    }
+}
+
+fn params_match(a: &BTreeMap<String, Tensor>, b: &BTreeMap<String, Tensor>) -> bool {
+    std::ptr::eq(a, b) || a == b
+}
+
+/// Splits cohort statistics into per-member shares weighted by instance
+/// count.  Sums reproduce the cohort totals exactly: integer counters use
+/// largest-remainder apportionment, time accounts give the last member the
+/// rounding residue.
+fn demux_stats(total: &RuntimeStats, counts: &[usize]) -> Vec<RuntimeStats> {
+    let n = counts.len();
+    let weight: u64 = counts.iter().map(|&c| c as u64).sum();
+    let mut out = vec![RuntimeStats::default(); n];
+    macro_rules! split_f {
+        ($($field:ident),* $(,)?) => {$(
+            let mut acc = 0.0_f64;
+            for i in 0..n {
+                let share = if i + 1 == n {
+                    total.$field - acc
+                } else if weight == 0 {
+                    0.0
+                } else {
+                    total.$field * counts[i] as f64 / weight as f64
+                };
+                out[i].$field = share;
+                acc += share;
+            }
+        )*};
+    }
+    macro_rules! split_u {
+        ($($field:ident),* $(,)?) => {$(
+            let shares = apportion(total.$field, counts);
+            for i in 0..n {
+                out[i].$field = shares[i];
+            }
+        )*};
+    }
+    split_f!(
+        dfg_construction_us,
+        scheduling_us,
+        memcpy_us,
+        kernel_time_us,
+        cuda_api_us,
+        fiber_us,
+        overlap_saved_us,
+        retry_backoff_us,
+        plan_sig_us,
+        host_wall_us,
+        program_host_us,
+    );
+    split_u!(
+        nodes,
+        kernel_launches,
+        gather_copies,
+        gather_bytes,
+        contiguous_hits,
+        memcpy_ops,
+        memcpy_bytes,
+        flops,
+        flushes,
+        aborted_flushes,
+        fiber_switches,
+        retries,
+        downshifts,
+        plan_cache_hits,
+        plan_cache_misses,
+        plan_cache_evictions,
+        shared_flushes,
+        solo_flushes,
+    );
+    for s in &mut out {
+        // Peak device residency was genuinely shared: every member saw it
+        // (the aggregate merges peaks by max, so the cohort peak survives).
+        s.device_peak_elements = total.device_peak_elements;
+    }
+    // The signature chain is an XOR digest, not a quantity — it cannot be
+    // apportioned.  Member 0 carries it whole, so the XOR across members
+    // equals the cohort digest.
+    out[0].plan_sig_chain = total.plan_sig_chain;
+    out
+}
+
+/// Largest-remainder apportionment of `total` by `counts`: shares sum to
+/// `total` exactly and each is within one of its proportional value.  Ties
+/// in the fractional remainder break toward the lower index.
+fn apportion(total: u64, counts: &[usize]) -> Vec<u64> {
+    let weight: u128 = counts.iter().map(|&c| c as u128).sum();
+    if weight == 0 {
+        let mut shares = vec![0; counts.len()];
+        shares[0] = total;
+        return shares;
+    }
+    let mut shares: Vec<u64> =
+        counts.iter().map(|&c| (u128::from(total) * c as u128 / weight) as u64).collect();
+    let assigned: u64 = shares.iter().sum();
+    let mut order: Vec<usize> = (0..counts.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(u128::from(total) * counts[i] as u128 % weight), i));
+    for &i in order.iter().take((total - assigned) as usize) {
+        shares[i] += 1;
+    }
+    shares
+}
+
+/// Queue-level dispatch counters for one [`BatchBroker`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// Cohort dispatches executed (each drains the whole compatible queue).
+    pub dispatches: u64,
+    /// Requests dispatched in a cohort of two or more (the requests that
+    /// actually shared a context with a peer).
+    pub merged_requests: u64,
+    /// Cross-request batch-size histogram: cohort size → dispatches of that
+    /// size.
+    pub cohort_sizes: BTreeMap<usize, u64>,
+}
+
+/// The continuous-batching queue for one [`Executable`].
+///
+/// There is no dedicated broker thread: the first submitter to find the
+/// queue idle becomes the dispatcher, drains every queued request sharing
+/// its parameter map (by address — concurrently queued maps are all alive
+/// and borrowed, so equal addresses mean the very same map), executes the
+/// cohort via [`Executable::run_cohort`], publishes peer results and wakes
+/// the waiters.  Requests arriving mid-dispatch queue up for the next
+/// epoch — classic continuous batching, with the flush epoch as the merge
+/// grain.
+pub(crate) struct BatchBroker {
+    state: Mutex<BrokerState>,
+    wake: Condvar,
+    stats: Mutex<BrokerStats>,
+}
+
+#[derive(Default)]
+struct BrokerState {
+    next_id: u64,
+    queue: Vec<Pending>,
+    results: HashMap<u64, Result<RunResult, VmError>>,
+    dispatching: bool,
+}
+
+struct Pending {
+    id: u64,
+    params_addr: usize,
+    instances: Vec<Vec<InputValue>>,
+    opts: RunOptions,
+}
+
+impl BatchBroker {
+    pub(crate) fn new() -> BatchBroker {
+        BatchBroker {
+            state: Mutex::new(BrokerState::default()),
+            wake: Condvar::new(),
+            stats: Mutex::new(BrokerStats::default()),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> BrokerStats {
+        self.stats.lock().clone()
+    }
+
+    /// Queues one request and blocks until its result is available —
+    /// either computed by this thread (as the dispatcher of a cohort that
+    /// includes it) or published by a peer's dispatch.
+    pub(crate) fn submit(
+        &self,
+        exe: &Executable,
+        params: &BTreeMap<String, Tensor>,
+        instances: &[Vec<InputValue>],
+        opts: &RunOptions,
+    ) -> Result<RunResult, VmError> {
+        let params_addr = params as *const BTreeMap<String, Tensor> as usize;
+        let mut st = self.state.lock();
+        let id = st.next_id;
+        st.next_id += 1;
+        st.queue.push(Pending {
+            id,
+            params_addr,
+            instances: instances.to_vec(),
+            opts: opts.clone(),
+        });
+        loop {
+            if let Some(result) = st.results.remove(&id) {
+                return result;
+            }
+            // Dispatch only while our own entry is still queued: if a peer
+            // drained it, the result is on its way — wait for it instead.
+            let queued = st.queue.iter().any(|p| p.id == id);
+            if !st.dispatching && queued {
+                let mut cohort = Vec::new();
+                st.queue.retain_mut(|p| {
+                    if p.params_addr == params_addr {
+                        cohort.push(Pending {
+                            id: p.id,
+                            params_addr: p.params_addr,
+                            instances: std::mem::take(&mut p.instances),
+                            opts: p.opts.clone(),
+                        });
+                        false
+                    } else {
+                        true
+                    }
+                });
+                st.dispatching = true;
+                drop(st);
+
+                {
+                    let mut bs = self.stats.lock();
+                    bs.dispatches += 1;
+                    if cohort.len() >= 2 {
+                        bs.merged_requests += cohort.len() as u64;
+                    }
+                    *bs.cohort_sizes.entry(cohort.len()).or_default() += 1;
+                }
+                let cohort_requests: Vec<CohortRequest<'_>> = cohort
+                    .iter()
+                    .map(|p| CohortRequest {
+                        params,
+                        instances: &p.instances,
+                        opts: p.opts.clone(),
+                    })
+                    .collect();
+                let mut results = exe.run_cohort(&cohort_requests);
+
+                st = self.state.lock();
+                let mut own = None;
+                for (p, r) in cohort.into_iter().zip(results.drain(..)) {
+                    if p.id == id {
+                        own = Some(r);
+                    } else {
+                        st.results.insert(p.id, r);
+                    }
+                }
+                st.dispatching = false;
+                self.wake.notify_all();
+                return own.expect("dispatcher drained its own entry");
+            }
+            self.wake.wait(&mut st);
+        }
+    }
+}

@@ -21,6 +21,7 @@ use acrobat_runtime::{CancelToken, Deadline, Engine, ExecutionContext, RuntimeSt
 use acrobat_tensor::{FaultPlan, Tensor, TensorError};
 
 use crate::aot::AotBackend;
+use crate::broker::BatchBroker;
 use crate::interp::VmBackend;
 use crate::session::{ExecCtx, RtHandle, RunSession, Session, VmError};
 use crate::value::{InputValue, OutputValue, TensorRef, Value};
@@ -44,6 +45,10 @@ pub struct Executable {
     /// The shared session.
     pub session: Arc<Session>,
     backend: BackendImpl,
+    /// Cross-request continuous batching queue
+    /// ([`crate::broker::BatchBroker`]); present exactly when the engine
+    /// was compiled with `RuntimeOptions::broker`.
+    broker: Option<BatchBroker>,
 }
 
 impl std::fmt::Debug for Executable {
@@ -56,6 +61,7 @@ impl std::fmt::Debug for Executable {
                     BackendImpl::Aot(_) => "aot",
                 },
             )
+            .field("broker", &self.broker.is_some())
             .finish()
     }
 }
@@ -118,12 +124,18 @@ impl Executable {
         let engine = Arc::new(engine);
         let analysis = engine.analysis().clone();
         let fiber_mode = kind == BackendKind::Aot && module_has_sync(&analysis.module);
+        let broker = engine.options().broker.then(BatchBroker::new);
         let session = Session::new(engine, seed, fiber_mode);
         let backend = match kind {
             BackendKind::Vm => BackendImpl::Vm(VmBackend::new(Arc::new(analysis.module.clone()))),
             BackendKind::Aot => BackendImpl::Aot(AotBackend::compile(&analysis.module, &session)?),
         };
-        Ok(Executable { session: Arc::new(session), backend })
+        Ok(Executable { session: Arc::new(session), backend, broker })
+    }
+
+    /// The continuous-batching queue, when enabled.
+    pub(crate) fn broker(&self) -> Option<&BatchBroker> {
+        self.broker.as_ref()
     }
 
     /// Runs one mini-batch.
@@ -151,6 +163,23 @@ impl Executable {
     /// As [`Executable::run`], plus [`VmError::Input`] when `opts.keys` has
     /// the wrong arity.
     pub fn run_with(
+        &self,
+        params: &BTreeMap<String, Tensor>,
+        instances: &[Vec<InputValue>],
+        opts: &RunOptions,
+    ) -> Result<RunResult, VmError> {
+        if let Some(broker) = &self.broker {
+            return broker.submit(self, params, instances, opts);
+        }
+        self.run_direct(params, instances, opts)
+    }
+
+    /// Runs one mini-batch bypassing the broker queue (the pre-broker
+    /// request path).  The broker itself uses this for members that cannot
+    /// merge and for the solo fallback after a cohort failure — routing
+    /// those through `run_with` would re-enter the queue and deadlock the
+    /// dispatching thread.
+    pub(crate) fn run_direct(
         &self,
         params: &BTreeMap<String, Tensor>,
         instances: &[Vec<InputValue>],
@@ -204,7 +233,8 @@ impl Executable {
             ctx.set_cancel(token.clone());
         }
 
-        let (result, ctx) = self.run_pinned(session, &run, ctx, params, instances, &keys);
+        let inst_refs: Vec<&Vec<InputValue>> = instances.iter().collect();
+        let (result, ctx) = self.run_pinned(session, &run, ctx, params, &inst_refs, &keys);
         match result {
             Ok((outputs, stats)) => {
                 // Merge into the session aggregate and pool the context.
@@ -221,14 +251,18 @@ impl Executable {
     /// Executes one admitted mini-batch on its pinned engine.  Returns the
     /// context alongside the result so the caller can route it to the pool
     /// (merge on success, quarantine on failure) from every exit path.
+    ///
+    /// `instances` is a slice of references so a broker cohort
+    /// ([`crate::broker`]) can concatenate its members' instance lists
+    /// without cloning any tensors.
     #[allow(clippy::too_many_lines)]
-    fn run_pinned(
+    pub(crate) fn run_pinned(
         &self,
         session: &Session,
         run: &RunSession<'_>,
         mut ctx: ExecutionContext,
         params: &BTreeMap<String, Tensor>,
-        instances: &[Vec<InputValue>],
+        instances: &[&Vec<InputValue>],
         keys: &[u64],
     ) -> (Result<(Vec<OutputValue>, RuntimeStats), VmError>, ExecutionContext) {
         let main = session.analysis.module.functions.get("main").expect("main exists");
@@ -265,7 +299,7 @@ impl Executable {
                 ));
                 return (Err(e), ctx);
             }
-            for v in inst {
+            for v in inst.iter() {
                 v.tensors(&mut all_tensors);
             }
         }

@@ -23,11 +23,13 @@
 #![deny(missing_docs)]
 
 pub mod aot;
+pub mod broker;
 pub mod driver;
 pub mod interp;
 pub mod session;
 pub mod value;
 
+pub use broker::{BrokerStats, CohortRequest};
 pub use driver::{module_has_sync, BackendKind, Executable, RunOptions, RunResult};
 pub use session::{
     AdmitPermit, ExecCtx, Prng, RtHandle, RunSession, ServeOutcomes, Session, VmError,

@@ -521,6 +521,24 @@ impl Session {
         self.pool.release(ctx);
     }
 
+    /// Merges one completed broker cohort ([`crate::broker`]) into the
+    /// aggregate: every member's demuxed statistics count as one completed
+    /// run each, while the shared context returns to the pool once.
+    fn finish_cohort_run(&self, mut ctx: ExecutionContext, member_stats: &[RuntimeStats]) {
+        let profile = ctx.take_profile();
+        {
+            let mut agg = self.aggregate.lock();
+            for stats in member_stats {
+                agg.stats.merge(stats);
+            }
+            agg.runs += member_stats.len() as u64;
+            for (k, v) in profile {
+                *agg.profile.entry(k).or_default() += v;
+            }
+        }
+        self.pool.release(ctx);
+    }
+
     /// Applies a ghost-operator padding after a conditional branch (§B.3).
     pub fn apply_ghosts(&self, ctx: &mut ExecCtx, branch: ExprId) {
         if let Some(&bumps) = self.analysis.ghosts.get(&branch) {
@@ -595,6 +613,12 @@ impl<'s> RunSession<'s> {
     /// context to the pool.
     pub fn finish(&self, ctx: ExecutionContext, stats: &RuntimeStats) {
         self.session.finish_run(ctx, stats);
+    }
+
+    /// Merges a completed broker cohort — one ledger run per member, one
+    /// shared context released — into the session aggregate.
+    pub(crate) fn finish_cohort(&self, ctx: ExecutionContext, member_stats: &[RuntimeStats]) {
+        self.session.finish_cohort_run(ctx, member_stats);
     }
 
     /// Abandons a failed run: the context is tainted and released, which

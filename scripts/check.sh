@@ -46,6 +46,12 @@ cargo run --release -p acrobat-bench --bin timeline_overlap -- --quick
 echo "==> plan-cache smoke (steady-state hit rate >= 90%, cache-on == cache-off bit-for-bit)"
 cargo test -q -p acrobat-bench --test plan_cache
 
+echo "==> broker isolation (cohort == solo bit-for-bit across the quick suite, chaos peers survive)"
+RUST_TEST_THREADS=4 cargo test -q -p acrobat-bench --test broker_isolation
+
+echo "==> continuous batching smoke (open-loop Poisson trace: broker-on p99 + throughput strictly beat broker-off, ledger balances)"
+cargo run --release -p acrobat-bench --bin continuous_batching -- --smoke
+
 echo "==> fiber determinism smoke (lane-canonical signatures invariant across worker counts)"
 fiber_w1=$(cargo run --release -p acrobat-bench --bin fiber_determinism -- --workers 1)
 fiber_w4=$(cargo run --release -p acrobat-bench --bin fiber_determinism -- --workers 4)

@@ -1,0 +1,291 @@
+//! Cross-request continuous batching: cohort-vs-solo bit-identity and
+//! fault isolation (`acrobat_vm::broker`).
+//!
+//! The broker's contract is that co-batching requests is *invisible* except
+//! in the statistics: every cohort member's outputs are bit-for-bit the
+//! outputs of its solo run, even when a co-batched peer is cancelled,
+//! misses its deadline, or fault-storms — the failing member is peeled out
+//! through the quarantine + solo-rerun path and observes its genuine
+//! outcome, while every surviving peer's outputs stay identical to a run
+//! that never shared anything.  The ledger balances throughout: each
+//! request lands in exactly one outcome bucket, and completed runs are the
+//! only ones contributing statistics.
+
+use std::collections::BTreeMap;
+
+use acrobat_bench::suite;
+use acrobat_core::{compile, CompileOptions, FaultPlan, Model, RunOptions, Tensor, VmError};
+use acrobat_models::{ModelSize, ModelSpec};
+use acrobat_runtime::CancelToken;
+use acrobat_tensor::{FaultKind, FaultSite, TensorError};
+use acrobat_vm::{CohortRequest, InputValue, OutputValue};
+
+fn build(spec: &ModelSpec, options: &CompileOptions) -> Model {
+    compile(&spec.source, options).unwrap_or_else(|e| panic!("{} compiles: {e}", spec.name))
+}
+
+/// Bit-for-bit tensor equality (no tolerance).
+fn assert_outputs_equal(
+    spec: &ModelSpec,
+    reference: &[OutputValue],
+    got: &[OutputValue],
+    label: &str,
+) {
+    assert_eq!(reference.len(), got.len(), "{}: {label}: instance count", spec.name);
+    for (i, (r, g)) in reference.iter().zip(got).enumerate() {
+        let (rt, gt) = ((spec.flatten_output)(r), (spec.flatten_output)(g));
+        assert_eq!(rt.len(), gt.len(), "{}: {label}: instance {i} tensor count", spec.name);
+        for (j, (a, b)) in rt.iter().zip(&gt).enumerate() {
+            assert_eq!(
+                a.data(),
+                b.data(),
+                "{}: {label}: instance {i} tensor {j} diverged",
+                spec.name
+            );
+        }
+    }
+}
+
+/// Distinct per-member mini-batches (different instance seeds, so member
+/// outputs are distinguishable and any demux slip is caught).
+fn member_batches(
+    spec: &ModelSpec,
+    members: usize,
+    per_member: usize,
+) -> Vec<Vec<Vec<InputValue>>> {
+    (0..members).map(|m| (spec.make_instances)(0xB0B0 + m as u64, per_member)).collect()
+}
+
+fn solo_references(
+    model: &Model,
+    params: &BTreeMap<String, Tensor>,
+    members: &[Vec<Vec<InputValue>>],
+) -> Vec<Vec<OutputValue>> {
+    members.iter().map(|inst| model.run(params, inst).expect("solo reference").outputs).collect()
+}
+
+/// Every quick-suite model: a 3-member cohort's per-member outputs equal
+/// the members' solo runs bit for bit, and (since all members share one
+/// context) at least one flush plan actually co-batched nodes across
+/// requests.
+#[test]
+fn cohort_outputs_match_solo_across_suite() {
+    for spec in suite(ModelSize::Small, true) {
+        let model = build(&spec, &CompileOptions::default());
+        let members = member_batches(&spec, 3, 2);
+        let solo = solo_references(&model, &spec.params, &members);
+
+        let cohort_model = build(&spec, &CompileOptions::default());
+        let requests: Vec<CohortRequest<'_>> = members
+            .iter()
+            .map(|inst| CohortRequest {
+                params: &spec.params,
+                instances: inst,
+                opts: RunOptions::default(),
+            })
+            .collect();
+        let results = cohort_model.run_cohort(&requests);
+        assert_eq!(results.len(), 3, "{}: one result per member", spec.name);
+        let mut shared = 0;
+        for (m, result) in results.into_iter().enumerate() {
+            let result = result.unwrap_or_else(|e| panic!("{}: member {m} failed: {e}", spec.name));
+            assert_outputs_equal(&spec, &solo[m], &result.outputs, "cohort member");
+            shared += result.stats.shared_flushes;
+        }
+        assert!(shared > 0, "{}: cohort never co-batched across requests", spec.name);
+        let agg = cohort_model.stats();
+        assert!(
+            agg.shared_flushes > 0,
+            "{}: aggregate lost the shared-flush classification",
+            spec.name
+        );
+        assert_eq!(cohort_model.runs_completed(), 3, "{}: one ledger run per member", spec.name);
+        assert_eq!(cohort_model.outcomes().completed, 3, "{}: outcome per member", spec.name);
+    }
+}
+
+/// Checked mode (every flush validated against the scheduler/DFG
+/// invariants and the reference schedulers) on a tensor-dependent model:
+/// the merged multi-request plans pass the full invariant suite and still
+/// demux to bit-identical member outputs.
+#[test]
+fn cohort_matches_solo_under_checked_mode() {
+    let spec = suite(ModelSize::Small, true)
+        .into_iter()
+        .find(|s| s.properties.tensor_dependent)
+        .expect("a tensor-dependent quick model");
+    let options = CompileOptions::default().with_checked(true);
+    let model = build(&spec, &options);
+    let members = member_batches(&spec, 2, 2);
+    let solo = solo_references(&model, &spec.params, &members);
+
+    let cohort_model = build(&spec, &options);
+    let requests: Vec<CohortRequest<'_>> = members
+        .iter()
+        .map(|inst| CohortRequest {
+            params: &spec.params,
+            instances: inst,
+            opts: RunOptions::default(),
+        })
+        .collect();
+    for (m, result) in cohort_model.run_cohort(&requests).into_iter().enumerate() {
+        let result = result.unwrap_or_else(|e| panic!("checked member {m} failed: {e}"));
+        assert_outputs_equal(&spec, &solo[m], &result.outputs, "checked cohort member");
+    }
+}
+
+/// Chaos rounds on a fiber model: one co-batched member is pre-cancelled /
+/// deadline-expired / fault-stormed; the disrupted member observes its
+/// genuine error and every surviving peer's outputs are bit-for-bit its
+/// solo run.  The ledger balances: every request lands in exactly one
+/// outcome bucket, and each cohort abort quarantines the shared context.
+#[test]
+fn chaos_member_never_poisons_peers() {
+    let spec = suite(ModelSize::Small, true)
+        .into_iter()
+        .find(|s| s.properties.tensor_dependent)
+        .expect("a tensor-dependent quick model");
+    let reference_model = build(&spec, &CompileOptions::default());
+    let members = member_batches(&spec, 3, 2);
+    let solo = solo_references(&reference_model, &spec.params, &members);
+
+    let model = build(&spec, &CompileOptions::default());
+    let mut submitted = 0u64;
+    let mut expect_completed = 0u64;
+
+    // Round 1: pre-cancelled member.  Peeled out of the cohort before it
+    // can abort anything; peers still merge with each other.
+    {
+        let token = CancelToken::new();
+        token.cancel();
+        let mut requests: Vec<CohortRequest<'_>> = members
+            .iter()
+            .map(|inst| CohortRequest {
+                params: &spec.params,
+                instances: inst,
+                opts: RunOptions::default(),
+            })
+            .collect();
+        requests[1].opts.cancel = Some(token);
+        let mut results = model.run_cohort(&requests);
+        submitted += 3;
+        expect_completed += 2;
+        let disrupted = results.remove(1);
+        assert!(
+            matches!(disrupted, Err(VmError::Cancelled)),
+            "pre-cancelled member must cancel, got {disrupted:?}"
+        );
+        for (m, result) in [0usize, 2].into_iter().zip(results) {
+            let result = result.unwrap_or_else(|e| panic!("cancel round peer {m} failed: {e}"));
+            assert_outputs_equal(&spec, &solo[m], &result.outputs, "cancel-round survivor");
+        }
+    }
+
+    // Round 2: zero deadline on one member.  The strictest member budget
+    // gates the cohort, so the merged run aborts and every member re-runs
+    // solo: the deadline member misses deterministically, the peers
+    // complete bit-identically.
+    {
+        let mut requests: Vec<CohortRequest<'_>> = members
+            .iter()
+            .map(|inst| CohortRequest {
+                params: &spec.params,
+                instances: inst,
+                opts: RunOptions::default(),
+            })
+            .collect();
+        requests[1].opts.deadline_us = Some(0.0);
+        let mut results = model.run_cohort(&requests);
+        submitted += 3;
+        expect_completed += 2;
+        let disrupted = results.remove(1);
+        assert!(
+            matches!(disrupted, Err(VmError::DeadlineExceeded { .. })),
+            "zero-deadline member must miss, got {disrupted:?}"
+        );
+        for (m, result) in [0usize, 2].into_iter().zip(results) {
+            let result = result.unwrap_or_else(|e| panic!("deadline round peer {m} failed: {e}"));
+            assert_outputs_equal(&spec, &solo[m], &result.outputs, "deadline-round survivor");
+        }
+    }
+
+    // Round 3: deterministic kernel fault on one member (first launch).
+    // The fault fires inside the merged run, aborts the whole cohort, and
+    // reproduces in the member's solo re-run; peers re-run clean.
+    {
+        let mut requests: Vec<CohortRequest<'_>> = members
+            .iter()
+            .map(|inst| CohortRequest {
+                params: &spec.params,
+                instances: inst,
+                opts: RunOptions::default(),
+            })
+            .collect();
+        requests[1].opts.fault = Some(FaultPlan::nth(FaultSite::Launch, 0, FaultKind::Kernel));
+        let mut results = model.run_cohort(&requests);
+        submitted += 3;
+        expect_completed += 2;
+        let disrupted = results.remove(1);
+        assert!(
+            matches!(disrupted, Err(VmError::Tensor(TensorError::Injected { .. }))),
+            "faulted member must surface its injected fault, got {disrupted:?}"
+        );
+        for (m, result) in [0usize, 2].into_iter().zip(results) {
+            let result = result.unwrap_or_else(|e| panic!("fault round peer {m} failed: {e}"));
+            assert_outputs_equal(&spec, &solo[m], &result.outputs, "fault-round survivor");
+        }
+    }
+
+    // Ledger balance: every submitted request in exactly one bucket, only
+    // completions merged, and the deadline + fault cohort aborts (plus the
+    // disrupted solo re-runs) quarantined their contexts.
+    let outcomes = model.outcomes();
+    assert_eq!(outcomes.total(), submitted, "every request lands in one outcome bucket");
+    assert_eq!(outcomes.completed, expect_completed, "survivor completions");
+    assert_eq!(outcomes.cancelled, 1, "one cancellation");
+    assert_eq!(outcomes.deadline_exceeded, 1, "one deadline miss");
+    assert_eq!(outcomes.failed, 1, "one injected fault");
+    assert_eq!(model.runs_completed(), expect_completed, "stats merged once per completion");
+    assert!(
+        model.quarantined_count() >= 2,
+        "cohort aborts must quarantine the shared context, saw {}",
+        model.quarantined_count()
+    );
+}
+
+/// The background broker queue (`RuntimeOptions::broker`): concurrent
+/// `run` calls routed through `BatchBroker::submit` return bit-identical
+/// outputs to a broker-off model, and every request passes through exactly
+/// one dispatch.
+#[test]
+fn broker_queue_preserves_outputs() {
+    let spec = suite(ModelSize::Small, true)
+        .into_iter()
+        .find(|s| s.properties.tensor_dependent)
+        .expect("a tensor-dependent quick model");
+    let reference_model = build(&spec, &CompileOptions::default());
+    let members = member_batches(&spec, 4, 2);
+    let solo = solo_references(&reference_model, &spec.params, &members);
+
+    let model = build(&spec, &CompileOptions::default().with_broker(true));
+    let outputs: Vec<Vec<OutputValue>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = members
+            .iter()
+            .map(|inst| {
+                let model = &model;
+                let params = &spec.params;
+                scope.spawn(move || model.run(params, inst).expect("broker run").outputs)
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("broker thread")).collect()
+    });
+    for (m, got) in outputs.iter().enumerate() {
+        assert_outputs_equal(&spec, &solo[m], got, "broker queue member");
+    }
+    let stats = model.broker_stats().expect("broker enabled");
+    assert!(stats.dispatches >= 1, "at least one dispatch");
+    let dispatched: u64 = stats.cohort_sizes.iter().map(|(size, n)| *size as u64 * n).sum();
+    assert_eq!(dispatched, 4, "every request passed through exactly one dispatch");
+    assert_eq!(model.outcomes().completed, 4, "ledger counts each request once");
+    assert_eq!(model.runs_completed(), 4, "one merged run per request");
+}

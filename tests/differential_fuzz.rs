@@ -3,10 +3,12 @@
 //!
 //! Every generated program/workload must agree **bit-for-bit** across:
 //! the host reference evaluator, all three schedulers × gather-fusion ×
-//! coarsening × plan-cache {off, on} (checked mode — every cache hit is
-//! gated by the cached ≡ freshly-scheduled invariant), unbatched eager
-//! execution, and the DyNet-sim baseline.  The `fuzz` binary runs the
-//! same generators at larger scale (`--cases 500` by default).
+//! coarsening × plan-cache {off, on} × broker {off, on} (checked mode —
+//! every cache hit is gated by the cached ≡ freshly-scheduled invariant,
+//! and broker-on routes through `BatchBroker::submit` + the cohort path),
+//! unbatched eager execution, a two-member `run_cohort` split of the
+//! instance stream, and the DyNet-sim baseline.  The `fuzz` binary runs
+//! the same generators at larger scale (`--cases 500` by default).
 
 use acrobat_bench::fuzz::{config_matrix, dag_outputs, FuzzCase};
 use acrobat_runtime::{RuntimeOptions, SchedulerKind};
@@ -33,6 +35,17 @@ fn random_ir_programs_agree_bit_for_bit() {
                 case.source
             );
         }
+        // Cross-request continuous batching: the same instance stream split
+        // across two co-batched requests must demux to the identical bits.
+        let cohort = case
+            .run_acrobat_cohort(&acrobat_core::CompileOptions::default().with_checked(true))
+            .unwrap_or_else(|e| panic!("seed {case_seed} cohort: {e}\n{}", case.source));
+        assert_eq!(
+            bits(&cohort),
+            want,
+            "seed {case_seed} two-member cohort diverged from host reference\n{}",
+            case.source
+        );
         let dynet = case
             .run_dynet()
             .unwrap_or_else(|e| panic!("seed {case_seed} dynet-sim: {e}\n{}", case.source));
