@@ -1,0 +1,269 @@
+//! `kernel_backend`: wall-clock comparison of the interpreter and the
+//! specialized kernel backend (`acrobat_codegen::backend`).
+//!
+//! For every quick-suite model and batch size, the identical request is
+//! served at steady state by two otherwise-identical models:
+//!
+//! * **interp** — the reference interpreter (`execute_prepared`), the
+//!   default backend every figure/table regenerates under;
+//! * **spec** — the specialized backend at compile threshold 1, so every
+//!   launch after warmup runs a monomorphized, allocation-free compiled
+//!   kernel (fused elementwise chains, flat register scratch).
+//!
+//! Times are **real wall-clock** (`std::time::Instant`), not modeled
+//! virtual time: the backend only changes how the execute phase runs on
+//! the host, so modeled statistics are backend-invariant by construction
+//! (asserted — along with bit-for-bit output identity — before any
+//! measurement is reported).  Numbers are honest 1-CPU numbers:
+//! sequential execution (`parallel_workers = 0`), median of many
+//! steady-state repeats after warmup (warmup absorbs the one-time
+//! compiles).  Two wall-clock views per configuration:
+//!
+//! * `kexec_ms` — the kernel *execute* phase (`RuntimeStats::
+//!   exec_wall_us`): exactly the work the backend replaces — interpreter
+//!   dispatch vs compiled execution — excluding prepare/gather,
+//!   scheduling and finish, which are shared verbatim by both backends;
+//! * `flush_ms` — the flush host wall (`RuntimeStats::host_wall_us`:
+//!   scheduling + prepare + execute);
+//! * `e2e_ms` — a whole `Model::run` (adds per-instance program
+//!   interpretation and DFG construction on top).
+//!
+//! Gate (asserted): at least two kernel-bound models reach ≥ 2× kernel
+//! execute-phase speedup at their largest batch size.  The flush and e2e
+//! columns stay in the artifact so the amortized effect is never
+//! overstated — Amdahl applies, and the table shows by how much.
+//!
+//! Writes `bench_results/kernel_backend.txt` and
+//! `bench_results/BENCH_kernel_backend.json`.  `--smoke` runs fewer
+//! repeats and skips the files (used by `scripts/check.sh`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use acrobat_bench::{suite, write_bench_json, JsonRecord};
+use acrobat_codegen::KernelBackendKind;
+use acrobat_core::{compile, CompileOptions, Model};
+use acrobat_models::{ModelSize, ModelSpec};
+
+/// Instance batch sizes per request (the steady-state sweep).
+const BATCH_SIZES: [usize; 2] = [8, 64];
+
+struct Row {
+    model: &'static str,
+    batch: usize,
+    interp_kexec_ms: f64,
+    spec_kexec_ms: f64,
+    interp_flush_ms: f64,
+    spec_flush_ms: f64,
+    interp_e2e_ms: f64,
+    spec_e2e_ms: f64,
+    /// Compiled `(kernel, size-class)` pairs resident after warmup.
+    compiled: usize,
+}
+
+impl Row {
+    fn kexec_speedup(&self) -> f64 {
+        self.interp_kexec_ms / self.spec_kexec_ms
+    }
+
+    fn flush_speedup(&self) -> f64 {
+        self.interp_flush_ms / self.spec_flush_ms
+    }
+
+    fn e2e_speedup(&self) -> f64 {
+        self.interp_e2e_ms / self.spec_e2e_ms
+    }
+}
+
+fn build(spec: &ModelSpec, backend: KernelBackendKind) -> Model {
+    let options = match backend {
+        KernelBackendKind::Interp => CompileOptions::default(),
+        KernelBackendKind::Spec => {
+            CompileOptions::default().with_kernel_backend(backend).with_spec_threshold(1)
+        }
+    };
+    compile(&spec.source, &options).unwrap_or_else(|e| panic!("{} compiles: {e}", spec.name))
+}
+
+/// Median (kernel-execute wall ms, flush host wall ms, end-to-end wall ms)
+/// over `repeats` steady-state runs (after `warmup` unmeasured runs).
+fn measure(
+    model: &Model,
+    spec: &ModelSpec,
+    instances: &[Vec<acrobat_vm::InputValue>],
+    warmup: usize,
+    repeats: usize,
+) -> (f64, f64, f64) {
+    for _ in 0..warmup {
+        model.run(&spec.params, instances).expect("warmup run");
+    }
+    let mut kexec = Vec::with_capacity(repeats);
+    let mut flush = Vec::with_capacity(repeats);
+    let mut e2e = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let r = model.run(&spec.params, instances).expect("measured run");
+        e2e.push(t0.elapsed().as_secs_f64() * 1e3);
+        kexec.push(r.stats.exec_wall_us / 1e3);
+        flush.push(r.stats.host_wall_us / 1e3);
+    }
+    (median(&mut kexec), median(&mut flush), median(&mut e2e))
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (warmup, repeats) = if smoke { (2, 9) } else { (4, 31) };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for spec in suite(ModelSize::Small, true) {
+        for &batch in &BATCH_SIZES {
+            let instances = (spec.make_instances)(0xBE2C ^ batch as u64, batch);
+
+            let interp = build(&spec, KernelBackendKind::Interp);
+            let specialized = build(&spec, KernelBackendKind::Spec);
+
+            // Identity + invariance gates before any timing is trusted:
+            // same bits, same modeled statistics.
+            let want = interp.run(&spec.params, &instances).expect("interp run");
+            let got = specialized.run(&spec.params, &instances).expect("spec run");
+            let (wt, gt): (Vec<_>, Vec<_>) = (
+                want.outputs.iter().flat_map(|o| (spec.flatten_output)(o)).collect(),
+                got.outputs.iter().flat_map(|o| (spec.flatten_output)(o)).collect(),
+            );
+            assert_eq!(wt.len(), gt.len(), "{}: output tensor count", spec.name);
+            for (a, b) in wt.iter().zip(&gt) {
+                assert_eq!(a.data(), b.data(), "{}: backends diverged", spec.name);
+            }
+            assert_eq!(
+                want.stats.kernel_launches, got.stats.kernel_launches,
+                "{}: modeled launches are backend-invariant",
+                spec.name
+            );
+
+            let (interp_kexec_ms, interp_flush_ms, interp_e2e_ms) =
+                measure(&interp, &spec, &instances, warmup, repeats);
+            let (spec_kexec_ms, spec_flush_ms, spec_e2e_ms) =
+                measure(&specialized, &spec, &instances, warmup, repeats);
+            let compiled = specialized.executable().session.engine().backend().compiled_count();
+            assert!(compiled > 0, "{}: nothing compiled at threshold 1", spec.name);
+
+            rows.push(Row {
+                model: spec.name,
+                batch,
+                interp_kexec_ms,
+                spec_kexec_ms,
+                interp_flush_ms,
+                spec_flush_ms,
+                interp_e2e_ms,
+                spec_e2e_ms,
+                compiled,
+            });
+        }
+    }
+
+    let mut out = String::new();
+    writeln!(out, "# kernel_backend — interpreter vs specialized backend, real wall-clock")
+        .unwrap();
+    writeln!(out, "#").unwrap();
+    writeln!(out, "# Quick-suite models; per-request instance batch swept over {BATCH_SIZES:?}.")
+        .unwrap();
+    writeln!(
+        out,
+        "# 1-CPU (sequential execution); median of {repeats} steady-state runs after \
+         {warmup} warmups (warmup absorbs the threshold-1 compiles)."
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "# kexec = kernel execute phase (what the backend replaces); flush = flush \
+         host wall (scheduling + prepare + execute); e2e = whole Model::run.  \
+         Outputs bit-identical and modeled stats backend-invariant (asserted \
+         before timing)."
+    )
+    .unwrap();
+    writeln!(out, "#").unwrap();
+    writeln!(
+        out,
+        "{:>10}  {:>5}  {:>13}  {:>13}  {:>7}  {:>7}  {:>7}  {:>8}",
+        "model", "batch", "interp_kexec", "spec_kexec", "kexec_x", "flush_x", "e2e_x", "compiled"
+    )
+    .unwrap();
+    for r in &rows {
+        writeln!(
+            out,
+            "{:>10}  {:>5}  {:>10.3} ms  {:>10.3} ms  {:>6.2}x  {:>6.2}x  {:>6.2}x  {:>8}",
+            r.model,
+            r.batch,
+            r.interp_kexec_ms,
+            r.spec_kexec_ms,
+            r.kexec_speedup(),
+            r.flush_speedup(),
+            r.e2e_speedup(),
+            r.compiled
+        )
+        .unwrap();
+    }
+    print!("{out}");
+
+    // The acceptance gate: ≥ 2× kernel execute-phase wall-clock on at
+    // least two kernel-bound models at their largest batch size.  Enforced
+    // on full runs only — smoke runs too few repeats for stable medians on
+    // a loaded machine, and their job is the identity/invariance asserts
+    // above.
+    let top_batch = *BATCH_SIZES.iter().max().unwrap();
+    let fast: Vec<&Row> =
+        rows.iter().filter(|r| r.batch == top_batch && r.kexec_speedup() >= 2.0).collect();
+    if smoke {
+        println!("\nbackend identity smoke passed (speedup gate runs on full runs)");
+    } else {
+        assert!(
+            fast.len() >= 2,
+            "gate: need >= 2 models at >= 2.0x kernel-execute speedup at batch {top_batch}, \
+             got {}: {:?}",
+            fast.len(),
+            fast.iter().map(|r| (r.model, r.kexec_speedup())).collect::<Vec<_>>()
+        );
+        println!(
+            "\nkernel backend gate passed: {} models >= 2.0x kernel-execute wall at batch \
+             {top_batch} ({})",
+            fast.len(),
+            fast.iter()
+                .map(|r| format!("{} {:.2}x", r.model, r.kexec_speedup()))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+
+    if !smoke {
+        std::fs::create_dir_all("bench_results").expect("bench_results dir");
+        std::fs::write("bench_results/kernel_backend.txt", &out)
+            .expect("write bench_results/kernel_backend.txt");
+        eprintln!("wrote bench_results/kernel_backend.txt");
+
+        let mut records = Vec::new();
+        for r in &rows {
+            let config = format!("{}/batch={}", r.model, r.batch);
+            records.push(JsonRecord::new(&config, "interp_kexec_ms", r.interp_kexec_ms));
+            records.push(JsonRecord::new(&config, "spec_kexec_ms", r.spec_kexec_ms));
+            records.push(JsonRecord::new(&config, "kexec_speedup", r.kexec_speedup()));
+            records.push(JsonRecord::new(&config, "interp_flush_ms", r.interp_flush_ms));
+            records.push(JsonRecord::new(&config, "spec_flush_ms", r.spec_flush_ms));
+            records.push(JsonRecord::new(&config, "flush_speedup", r.flush_speedup()));
+            records.push(JsonRecord::new(&config, "interp_e2e_ms", r.interp_e2e_ms));
+            records.push(JsonRecord::new(&config, "spec_e2e_ms", r.spec_e2e_ms));
+            records.push(JsonRecord::new(&config, "e2e_speedup", r.e2e_speedup()));
+            records.push(JsonRecord::new(&config, "compiled_kernels", r.compiled as f64));
+        }
+        write_bench_json("kernel_backend", &records);
+    }
+}

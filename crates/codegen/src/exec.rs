@@ -159,12 +159,47 @@ pub fn run_batched_kernel_ref(
     Ok((outputs, prep.stats))
 }
 
+/// Per-lane offset pattern of a resolved input slot.
+///
+/// The overwhelmingly common patterns — every lane reads one address
+/// (shared operands, broadcast operands) or lane `i` reads
+/// `base + i · stride` (gather staging, the contiguous outputs of an
+/// earlier batched launch) — are encoded closed-form, so preparing a
+/// launch allocates a per-lane offset table only for genuinely scattered
+/// operands.
+#[derive(Debug, Clone)]
+pub(crate) enum SlotOffsets {
+    /// Every lane reads the same offset.
+    Same(usize),
+    /// Lane `i` reads `base + i * stride` (element offsets).
+    Strided {
+        /// Offset lane 0 reads.
+        base: usize,
+        /// Per-lane element stride.
+        stride: usize,
+    },
+    /// One offset per lane.
+    Scattered(Vec<usize>),
+}
+
 /// A resolved input slot of a prepared launch: absolute element offsets
-/// into the arena, one per lane (shared slots repeat one offset).
-#[derive(Debug)]
-enum Slot {
-    Shared { offset: usize, shape: Shape },
-    PerLane { offsets: Vec<usize>, shape: Shape },
+/// into the arena plus the per-instance operand shape.
+#[derive(Debug, Clone)]
+pub(crate) struct Slot {
+    pub(crate) offsets: SlotOffsets,
+    pub(crate) shape: Shape,
+}
+
+impl Slot {
+    /// Absolute element offset the given lane reads this slot from.
+    #[inline]
+    pub(crate) fn offset(&self, lane: usize) -> usize {
+        match &self.offsets {
+            SlotOffsets::Same(o) => *o,
+            SlotOffsets::Strided { base, stride } => base + lane * stride,
+            SlotOffsets::Scattered(offsets) => offsets[lane],
+        }
+    }
 }
 
 /// A batched kernel launch after argument resolution and output
@@ -178,8 +213,8 @@ enum Slot {
 /// flush-plan dependency level assigned by the runtime (0 when unused).
 #[derive(Debug)]
 pub struct PreparedLaunch {
-    slots: Vec<Slot>,
-    out_handles: Vec<DeviceTensor>,
+    pub(crate) slots: Vec<Slot>,
+    pub(crate) out_handles: Vec<DeviceTensor>,
     /// Cost-relevant observations (complete: gathers already happened
     /// during preparation).
     pub stats: KernelLaunchStats,
@@ -218,30 +253,9 @@ pub fn prepare_batched_kernel(
             expected: program.inputs.len(),
         });
     }
-    // Checked-mode fault injection: a well-formed launch counts against an
-    // armed fault plan before touching device state.
-    mem.trip_fault(acrobat_tensor::FaultSite::Launch)?;
-    let mut stats = KernelLaunchStats {
-        launches: 1,
-        flops: program.flops_per_instance * batch as u64,
-        ..Default::default()
-    };
-
-    // Resolve every input slot to per-lane offsets (shared slots repeat).
-    let mut slots: Vec<Slot> = Vec::with_capacity(args.args.len());
     for (input, arg) in program.inputs.iter().zip(&args.args) {
         match (input.class, arg) {
-            (ArgClass::Shared, BatchedArgRef::Shared(t)) => {
-                if t.shape() != &input.shape {
-                    return Err(TensorError::BatchShape {
-                        op: "kernel",
-                        first: input.shape.clone(),
-                        other: t.shape().clone(),
-                    });
-                }
-                stats.shared_bytes += t.shape().byte_size() as u64;
-                slots.push(Slot::Shared { offset: t.offset(), shape: t.shape().clone() });
-            }
+            (ArgClass::Shared, BatchedArgRef::Shared(_)) => {}
             (ArgClass::Batched, BatchedArgRef::Batched(ts)) => {
                 if ts.len() != batch {
                     return Err(TensorError::Arity {
@@ -250,44 +264,6 @@ pub fn prepare_batched_kernel(
                         expected: batch,
                     });
                 }
-                for t in ts {
-                    if t.shape() != &input.shape {
-                        return Err(TensorError::BatchShape {
-                            op: "kernel",
-                            first: input.shape.clone(),
-                            other: t.shape().clone(),
-                        });
-                    }
-                }
-                stats.batched_bytes += (input.shape.byte_size() * batch) as u64;
-                let offsets = match mode {
-                    BatchMode::GatherFused => {
-                        stats.indirect_reads += batch as u64;
-                        ts.iter().map(|t| t.offset()).collect()
-                    }
-                    BatchMode::ExplicitGather => {
-                        // Identical operands across all lanes (e.g. an
-                        // un-deduplicated weight) need no staging: the dense
-                        // kernel broadcast-reads one copy.
-                        if ts.iter().all(|t| t.offset() == ts[0].offset()) {
-                            stats.contiguous_hits += 1;
-                            vec![ts[0].offset(); batch]
-                        } else {
-                            let before = mem.stats();
-                            let (staging, copied) = mem.gather(ts)?;
-                            if copied {
-                                stats.gather_bytes +=
-                                    mem.stats().gather_bytes - before.gather_bytes;
-                                stats.gather_copies += 1;
-                            } else {
-                                stats.contiguous_hits += 1;
-                            }
-                            let n = input.shape.numel();
-                            (0..batch).map(|i| staging.offset() + i * n).collect()
-                        }
-                    }
-                };
-                slots.push(Slot::PerLane { offsets, shape: input.shape.clone() });
             }
             (want, _) => {
                 return Err(TensorError::Arity {
@@ -299,6 +275,144 @@ pub fn prepare_batched_kernel(
                     got: 0,
                     expected: 1,
                 });
+            }
+        }
+    }
+    prepare_batched_kernel_with(mem, program, batch, mode, |lane, slot| match &args.args[slot] {
+        BatchedArgRef::Shared(t) => t,
+        BatchedArgRef::Batched(ts) => ts[lane],
+    })
+}
+
+/// Local classification of a batched slot's offsets during preparation.
+#[derive(PartialEq, Clone, Copy)]
+enum OffsetPattern {
+    Same,
+    Strided,
+    Scattered,
+}
+
+/// Closure-binding form of [`prepare_batched_kernel`]: `resolve(lane, slot)`
+/// hands back the tensor bound at that position (lane 0 for shared slots),
+/// typically straight out of the caller's DFG value table.
+///
+/// No intermediate argument vector is materialized, and slots whose lane
+/// offsets follow the common closed forms (all-same, strided) allocate no
+/// per-lane table either — this is the allocation-free binding path the
+/// runtime drives on every flush.  `resolve` may be called more than once
+/// per position and must return the same tensor each time.
+///
+/// # Errors
+///
+/// As for [`prepare_batched_kernel`] (argument-count and class mismatches
+/// excepted — the closure binds by the program's own input classes).
+pub fn prepare_batched_kernel_with<'a>(
+    mem: &mut DeviceMem,
+    program: &KernelProgram,
+    batch: usize,
+    mode: BatchMode,
+    mut resolve: impl FnMut(usize, usize) -> &'a DeviceTensor,
+) -> Result<PreparedLaunch, TensorError> {
+    if batch == 0 {
+        return Err(TensorError::EmptyBatch);
+    }
+    // Checked-mode fault injection: a well-formed launch counts against an
+    // armed fault plan before touching device state.
+    mem.trip_fault(acrobat_tensor::FaultSite::Launch)?;
+    let mut stats = KernelLaunchStats {
+        launches: 1,
+        flops: program.flops_per_instance * batch as u64,
+        ..Default::default()
+    };
+
+    let shape_err = |input: &crate::kernel::KernelInput, other: &Shape| TensorError::BatchShape {
+        op: "kernel",
+        first: input.shape.clone(),
+        other: other.clone(),
+    };
+
+    // Resolve every input slot to per-lane offsets (shared slots repeat).
+    let mut slots: Vec<Slot> = Vec::with_capacity(program.inputs.len());
+    for (slot_idx, input) in program.inputs.iter().enumerate() {
+        match input.class {
+            ArgClass::Shared => {
+                let t = resolve(0, slot_idx);
+                if t.shape() != &input.shape {
+                    return Err(shape_err(input, t.shape()));
+                }
+                stats.shared_bytes += t.shape().byte_size() as u64;
+                slots.push(Slot {
+                    offsets: SlotOffsets::Same(t.offset()),
+                    shape: input.shape.clone(),
+                });
+            }
+            ArgClass::Batched => {
+                // Pass 1: shape checks plus offset-pattern detection.  Only
+                // a genuinely scattered slot pays for an offset table.
+                let t0 = resolve(0, slot_idx);
+                if t0.shape() != &input.shape {
+                    return Err(shape_err(input, t0.shape()));
+                }
+                let base = t0.offset();
+                let mut pattern = OffsetPattern::Same;
+                let mut stride = 0usize;
+                for lane in 1..batch {
+                    let t = resolve(lane, slot_idx);
+                    if t.shape() != &input.shape {
+                        return Err(shape_err(input, t.shape()));
+                    }
+                    let off = t.offset();
+                    pattern = match pattern {
+                        OffsetPattern::Same if off == base => OffsetPattern::Same,
+                        OffsetPattern::Same if lane == 1 && off > base => {
+                            stride = off - base;
+                            OffsetPattern::Strided
+                        }
+                        OffsetPattern::Strided if off == base + lane * stride => {
+                            OffsetPattern::Strided
+                        }
+                        _ => OffsetPattern::Scattered,
+                    };
+                }
+                stats.batched_bytes += (input.shape.byte_size() * batch) as u64;
+                let offsets = match mode {
+                    BatchMode::GatherFused => {
+                        stats.indirect_reads += batch as u64;
+                        match pattern {
+                            OffsetPattern::Same => SlotOffsets::Same(base),
+                            OffsetPattern::Strided => SlotOffsets::Strided { base, stride },
+                            OffsetPattern::Scattered => SlotOffsets::Scattered(
+                                (0..batch).map(|lane| resolve(lane, slot_idx).offset()).collect(),
+                            ),
+                        }
+                    }
+                    BatchMode::ExplicitGather => {
+                        // Identical operands across all lanes (e.g. an
+                        // un-deduplicated weight) need no staging: the dense
+                        // kernel broadcast-reads one copy.
+                        if pattern == OffsetPattern::Same {
+                            stats.contiguous_hits += 1;
+                            SlotOffsets::Same(base)
+                        } else {
+                            let ts: Vec<&DeviceTensor> =
+                                (0..batch).map(|lane| resolve(lane, slot_idx)).collect();
+                            let before = mem.stats();
+                            let (staging, copied) = mem.gather(&ts)?;
+                            if copied {
+                                stats.gather_bytes +=
+                                    mem.stats().gather_bytes - before.gather_bytes;
+                                stats.gather_copies += 1;
+                            } else {
+                                stats.contiguous_hits += 1;
+                            }
+                            SlotOffsets::Strided {
+                                base: staging.offset(),
+                                stride: input.shape.numel(),
+                            }
+                        }
+                    }
+                };
+                slots.push(Slot { offsets, shape: input.shape.clone() });
             }
         }
     }
@@ -362,20 +476,19 @@ pub fn execute_prepared(
         scratch.reg_shapes[k.out.0 as usize] = Some(k.shape.clone());
     }
 
+    // One slice table for the whole range, rebound per lane (slot shapes are
+    // lane-invariant, so entries are overwritten in place — no per-lane
+    // allocation, no per-lane `Shape` clones).
+    let mut input_views: Vec<Option<(&[f32], &Shape)>> = vec![None; max_reg];
     for lane in lane_range {
         // Bind input registers to slices for this lane.  SAFETY: inputs
         // were fully written before this launch's execution phase (they are
         // uploads, earlier flushes' outputs, earlier runs' outputs or
         // gather staging filled during preparation) and no concurrent work
         // unit writes them — same-level batches never consume each other.
-        let mut input_views: Vec<Option<(&[f32], Shape)>> = vec![None; max_reg];
         for (slot, input) in prep.slots.iter().zip(&program.inputs) {
-            let (offset, shape) = match slot {
-                Slot::Shared { offset, shape } => (*offset, shape.clone()),
-                Slot::PerLane { offsets, shape } => (offsets[lane], shape.clone()),
-            };
-            let slice = unsafe { view.read(offset, shape.numel()) };
-            input_views[input.reg.0 as usize] = Some((slice, shape));
+            let slice = unsafe { view.read(slot.offset(lane), slot.shape.numel()) };
+            input_views[input.reg.0 as usize] = Some((slice, &slot.shape));
         }
         // Execute instructions into scratch.  Registers are SSA-style (the
         // destination is always fresh), so taking the output buffer out of
@@ -386,7 +499,7 @@ pub fn execute_prepared(
                 let mut ins: Vec<(&[f32], &Shape)> = Vec::with_capacity(k.args.len());
                 for a in &k.args {
                     let i = a.0 as usize;
-                    if let Some((slice, shape)) = &input_views[i] {
+                    if let Some((slice, shape)) = input_views[i] {
                         ins.push((slice, shape));
                     } else {
                         let shape = scratch.reg_shapes[i].as_ref().expect("register defined");

@@ -9,10 +9,8 @@
 use std::sync::Arc;
 
 use acrobat_analysis::fusion::GroupId;
-use acrobat_codegen::exec::{
-    bind_args_ref, execute_prepared, finish_prepared, prepare_batched_kernel,
-    run_batched_kernel_ref, ExecScratch, PreparedLaunch,
-};
+use acrobat_codegen::backend::{BackendScratch, KernelBackend, KernelBackendKind, Selection};
+use acrobat_codegen::exec::{finish_prepared, prepare_batched_kernel_with, PreparedLaunch};
 use acrobat_tensor::{DeviceMem, DeviceTensor, Tensor, TensorError};
 
 use acrobat_tensor::FaultClass;
@@ -86,6 +84,10 @@ pub struct ExecutionContext {
     /// as shared (its plan touched ≥ 2 members) or solo; `None` — every
     /// non-cohort run — leaves both counters at zero.
     instance_partition: Option<Vec<usize>>,
+    /// Kernel-backend working memory (interpreter registers, compiled-path
+    /// flat scratch and tiles, checked-mode snapshot), persistent across
+    /// launches so the steady-state execute phase performs no allocations.
+    backend_scratch: BackendScratch,
 }
 
 impl ExecutionContext {
@@ -113,6 +115,7 @@ impl ExecutionContext {
             consecutive_aborts: 0,
             lane_cap: 0,
             instance_partition: None,
+            backend_scratch: BackendScratch::default(),
         }
     }
 
@@ -459,10 +462,12 @@ impl ExecutionContext {
             consecutive_aborts,
             lane_cap,
             instance_partition,
+            backend_scratch,
         } = self;
         let library = engine.library();
         let model = engine.model();
         let options = engine.options();
+        let backend = engine.backend();
         // Plan-cache path ([`crate::plan_cache`]): probe the per-context L1
         // then the engine's shared cache on the window's structural
         // signature; a hit remaps the frozen plan onto the current window,
@@ -600,6 +605,8 @@ impl ExecutionContext {
                 &mut checker,
                 mode,
                 workers,
+                backend.as_ref(),
+                options,
             )
         } else {
             let mut run_batches = || -> Result<(), TensorError> {
@@ -623,16 +630,38 @@ impl ExecutionContext {
                     let cap = if *lane_cap == 0 { batch.len() } else { (*lane_cap).max(1) };
                     for chunk in batch.chunks(cap) {
                         let lanes = chunk.len();
-                        // Bind arguments by reference straight out of the DFG
-                        // value table — no per-lane tensor-handle clones.
-                        let args = bind_args_ref(program, lanes, |lane, slot| {
-                            let node = dfg.node(chunk[lane]);
-                            debug_assert_eq!(node.kernel, kernel_id);
-                            dfg.tensor(node.args[slot])
-                                .expect("scheduler produced unmet dependency")
-                        });
-                        let (outs, lstats) =
-                            run_batched_kernel_ref(mem, program, &args, lanes, mode)?;
+                        // Prepare straight out of the DFG value table — no
+                        // per-lane tensor-handle clones and no per-launch
+                        // argument vectors (the old `BatchedArgsRef` path
+                        // built one `Vec` per batched slot per launch).
+                        let prep = prepare_batched_kernel_with(
+                            mem,
+                            program,
+                            lanes,
+                            mode,
+                            |lane, slot| {
+                                let node = dfg.node(chunk[lane]);
+                                debug_assert_eq!(node.kernel, kernel_id);
+                                dfg.tensor(node.args[slot])
+                                    .expect("scheduler produced unmet dependency")
+                            },
+                        )?;
+                        let selection = backend.select(program, lanes);
+                        count_selection(stats, &selection, options.backend);
+                        {
+                            let exec_wall = std::time::Instant::now();
+                            let view = mem.exec_view();
+                            selection.execute(
+                                &view,
+                                program,
+                                &prep,
+                                0..lanes,
+                                backend_scratch,
+                                options.checked,
+                            )?;
+                            stats.exec_wall_us += exec_wall.elapsed().as_secs_f64() * 1e6;
+                        }
+                        let outs = finish_prepared(mem, &prep)?;
 
                         // PGO profiles count operator *invocations* (DFG
                         // nodes), not batched launches — the paper
@@ -644,7 +673,7 @@ impl ExecutionContext {
                             model,
                             dfg,
                             chunk,
-                            &lstats,
+                            &prep.stats,
                             program.schedule.as_ref(),
                             lanes,
                         );
@@ -742,6 +771,21 @@ impl ExecutionContext {
     }
 }
 
+/// Folds one launch's backend selection into the stats counters.  The
+/// interpreter-fallback counter only moves under the specialized backend —
+/// the reference interpreter is not a fallback for itself.
+fn count_selection(stats: &mut RuntimeStats, selection: &Selection, kind: KernelBackendKind) {
+    match selection {
+        Selection::Compiled { fresh: true, .. } => stats.backend_compiles += 1,
+        Selection::Compiled { fresh: false, .. } => stats.backend_hits += 1,
+        Selection::Interp => {
+            if kind == KernelBackendKind::Spec {
+                stats.backend_interp_falls += 1;
+            }
+        }
+    }
+}
+
 /// Per-launch modeled accounting, shared by the sequential and parallel
 /// execution paths: charges the scalar stats accounts exactly as the legacy
 /// accumulator did, then sequences the launch as an event on the simulated
@@ -805,6 +849,8 @@ fn run_batches_parallel(
     checker: &mut Option<crate::check::FlushChecker>,
     mode: acrobat_tensor::batch::BatchMode,
     workers: usize,
+    backend: &dyn KernelBackend,
+    options: &crate::RuntimeOptions,
 ) -> Result<(), TensorError> {
     let mut b0 = 0usize;
     while b0 < plan.num_batches() {
@@ -835,6 +881,8 @@ fn run_batches_parallel(
             checker,
             mode,
             workers,
+            backend,
+            options,
         )?;
         b0 = b1;
     }
@@ -868,22 +916,24 @@ fn run_level(
     checker: &mut Option<crate::check::FlushChecker>,
     mode: acrobat_tensor::batch::BatchMode,
     workers: usize,
+    backend: &dyn KernelBackend,
+    options: &crate::RuntimeOptions,
 ) -> Result<(), TensorError> {
     let stats_before = *stats;
     let timeline_before = timeline.clone();
-    let mut preps: Vec<(acrobat_codegen::KernelId, PreparedLaunch)> = Vec::with_capacity(run.len());
+    let mut preps: Vec<(acrobat_codegen::KernelId, PreparedLaunch, Selection)> =
+        Vec::with_capacity(run.len());
     let prepared = (|| -> Result<(), TensorError> {
         for b in run.clone() {
             let batch = plan.batch(b);
             let kernel_id = dfg.node(batch[0]).kernel;
             let program = library.kernel(kernel_id);
             let lanes = batch.len();
-            let args = bind_args_ref(program, lanes, |lane, slot| {
+            let mut prep = prepare_batched_kernel_with(mem, program, lanes, mode, |lane, slot| {
                 let node = dfg.node(batch[lane]);
                 debug_assert_eq!(node.kernel, kernel_id);
                 dfg.tensor(node.args[slot]).expect("scheduler produced unmet dependency")
-            });
-            let mut prep = prepare_batched_kernel(mem, program, &args, lanes, mode)?;
+            })?;
             prep.stream = account_launch(
                 stats,
                 timeline,
@@ -895,7 +945,12 @@ fn run_level(
                 lanes,
             );
             prep.level = level;
-            preps.push((kernel_id, prep));
+            // Backend selection happens here, in plan order, so hotness
+            // counters advance deterministically regardless of how phase 2
+            // interleaves workers.
+            let selection = backend.select(program, lanes);
+            count_selection(stats, &selection, options.backend);
+            preps.push((kernel_id, prep, selection));
         }
         Ok(())
     })();
@@ -908,7 +963,7 @@ fn run_level(
     // Work units: each prepared batch split into at most `workers`
     // contiguous lane ranges.
     let mut work: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
-    for (pi, (_, prep)) in preps.iter().enumerate() {
+    for (pi, (_, prep, _)) in preps.iter().enumerate() {
         let lanes = prep.batch;
         let parts = workers.min(lanes).max(1);
         let base = lanes / parts;
@@ -920,6 +975,7 @@ fn run_level(
             lane += len;
         }
     }
+    let exec_wall = std::time::Instant::now();
     let exec_err = {
         let view = mem.exec_view();
         let next = std::sync::atomic::AtomicUsize::new(0);
@@ -930,18 +986,23 @@ fn run_level(
         std::thread::scope(|scope| {
             for _ in 0..workers.min(work.len()) {
                 scope.spawn(|| {
-                    let mut scratch = ExecScratch::default();
+                    let mut scratch = BackendScratch::default();
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if i >= work.len() {
                             break;
                         }
                         let (pi, ref range) = work[i];
-                        let (kernel_id, ref prep) = preps[pi];
+                        let (kernel_id, ref prep, ref selection) = preps[pi];
                         let program = library.kernel(kernel_id);
-                        if let Err(e) =
-                            execute_prepared(&view, program, prep, range.clone(), &mut scratch)
-                        {
+                        if let Err(e) = selection.execute(
+                            &view,
+                            program,
+                            prep,
+                            range.clone(),
+                            &mut scratch,
+                            options.checked,
+                        ) {
                             let mut slot = err_slot.lock();
                             if slot.as_ref().is_none_or(|(j, _)| i < *j) {
                                 *slot = Some((i, e));
@@ -953,6 +1014,9 @@ fn run_level(
         });
         err_slot.into_inner().map(|(_, e)| e)
     };
+    // Wall time of the whole execute phase (workers overlap, so this is
+    // elapsed wall, not summed busy time — same meaning as sequentially).
+    stats.exec_wall_us += exec_wall.elapsed().as_secs_f64() * 1e6;
     if let Some(e) = exec_err {
         *stats = stats_before;
         *timeline = timeline_before;
@@ -961,7 +1025,7 @@ fn run_level(
 
     // Commit in plan order: scatter views, materialize values, drive the
     // checker and the PGO profile exactly as sequential execution would.
-    for (b, (kernel_id, prep)) in run.zip(preps.iter()) {
+    for (b, (kernel_id, prep, _)) in run.zip(preps.iter()) {
         let batch = plan.batch(b);
         let outs = finish_prepared(mem, prep)?;
         *profile.entry(*kernel_id).or_default() += prep.batch as u64;
@@ -1734,6 +1798,7 @@ mod tests {
             // real wall time may differ.
             let norm = |mut s: RuntimeStats| {
                 s.host_wall_us = 0.0;
+                s.exec_wall_us = 0.0;
                 s
             };
             assert_eq!(norm(seq_stats), norm(par_stats), "workers={workers}");

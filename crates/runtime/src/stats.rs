@@ -96,11 +96,30 @@ pub struct RuntimeStats {
     /// broker cohorts, like [`RuntimeStats::shared_flushes`].
     #[serde(default)]
     pub solo_flushes: u64,
+    /// Launches whose selection compiled a `(kernel, size-class)` pair on
+    /// the spot (specialized backend only; `0` under the interpreter).
+    #[serde(default)]
+    pub backend_compiles: u64,
+    /// Launches served by an already-compiled kernel.
+    #[serde(default)]
+    pub backend_hits: u64,
+    /// Launches the specialized backend declined (kernel still below the
+    /// compile threshold) and routed to the interpreter.  `0` under the
+    /// interpreter backend — the interpreter is not a fallback for itself.
+    #[serde(default)]
+    pub backend_interp_falls: u64,
 
     /// High-water mark of simulated device memory, in `f32` elements.
     pub device_peak_elements: u64,
     /// Measured host wall-clock time, µs.
     pub host_wall_us: f64,
+    /// Measured wall-clock time of the kernel *execute* phase (the part a
+    /// [`acrobat_codegen::backend::KernelBackend`] replaces: interpreter
+    /// dispatch or compiled-kernel execution, excluding prepare/gather,
+    /// scheduling and finish), µs.  This is the host time the specialized
+    /// backend attacks; the `kernel_backend` bench gates on it.
+    #[serde(default)]
+    pub exec_wall_us: f64,
     /// Measured wall-clock time of unbatched-program execution (the
     /// interpreter or AOT code driving DFG construction), µs.  This is where
     /// the Relay-VM-vs-AOT gap of Table 7 lives.
@@ -171,8 +190,12 @@ impl RuntimeStats {
         self.plan_sig_chain ^= o.plan_sig_chain;
         self.shared_flushes += o.shared_flushes;
         self.solo_flushes += o.solo_flushes;
+        self.backend_compiles += o.backend_compiles;
+        self.backend_hits += o.backend_hits;
+        self.backend_interp_falls += o.backend_interp_falls;
         self.device_peak_elements = self.device_peak_elements.max(o.device_peak_elements);
         self.host_wall_us += o.host_wall_us;
+        self.exec_wall_us += o.exec_wall_us;
         self.program_host_us += o.program_host_us;
     }
 
@@ -214,8 +237,12 @@ impl RuntimeStats {
             plan_sig_chain: self.plan_sig_chain,
             shared_flushes: avg(self.shared_flushes),
             solo_flushes: avg(self.solo_flushes),
+            backend_compiles: avg(self.backend_compiles),
+            backend_hits: avg(self.backend_hits),
+            backend_interp_falls: avg(self.backend_interp_falls),
             device_peak_elements: self.device_peak_elements,
             host_wall_us: self.host_wall_us / n,
+            exec_wall_us: self.exec_wall_us / n,
             program_host_us: self.program_host_us / n,
         }
     }

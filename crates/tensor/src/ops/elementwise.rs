@@ -3,6 +3,118 @@
 use super::RawInput;
 use crate::Result;
 
+/// Scalar semantics of a unary elementwise operator.
+///
+/// This is the single source of truth for the per-element function: the
+/// reference interpreter ([`crate::execute_slices`]) and any specialized
+/// execution path both bottom out in [`UnaryKind::apply`], so bit-for-bit
+/// agreement between them is by construction, not by coincidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryKind {
+    /// `max(x, 0)`.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Exponential.
+    Exp,
+    /// Natural logarithm.
+    Log,
+    /// Negation.
+    Neg,
+    /// Square root.
+    Sqrt,
+    /// GELU (tanh approximation).
+    Gelu,
+}
+
+impl UnaryKind {
+    /// The per-element function.
+    #[inline(always)]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            UnaryKind::Relu => x.max(0.0),
+            UnaryKind::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            UnaryKind::Tanh => x.tanh(),
+            UnaryKind::Exp => x.exp(),
+            UnaryKind::Log => x.ln(),
+            UnaryKind::Neg => -x,
+            UnaryKind::Sqrt => x.sqrt(),
+            UnaryKind::Gelu => super::nn::gelu_scalar(x),
+        }
+    }
+}
+
+/// Scalar semantics of a binary elementwise operator (see [`UnaryKind`] for
+/// the identity argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryKind {
+    /// `a + b`.
+    Add,
+    /// `a - b`.
+    Sub,
+    /// `a * b`.
+    Mul,
+    /// `a / b`.
+    Div,
+    /// `max(a, b)`.
+    Maximum,
+}
+
+impl BinaryKind {
+    /// The per-element function.
+    #[inline(always)]
+    pub fn apply(self, a: f32, b: f32) -> f32 {
+        match self {
+            BinaryKind::Add => a + b,
+            BinaryKind::Sub => a - b,
+            BinaryKind::Mul => a * b,
+            BinaryKind::Div => a / b,
+            BinaryKind::Maximum => a.max(b),
+        }
+    }
+}
+
+/// Slice-level unary kernel: `out[i] = kind.apply(input[i])`, with a
+/// `chunks_exact` main loop the optimizer can unroll and vectorize.  Both
+/// slices must have the same length.
+pub fn map_unary(kind: UnaryKind, input: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(input.len(), out.len());
+    const W: usize = 8;
+    let main = input.len() - input.len() % W;
+    for (oc, ic) in out[..main].chunks_exact_mut(W).zip(input[..main].chunks_exact(W)) {
+        for (o, &x) in oc.iter_mut().zip(ic) {
+            *o = kind.apply(x);
+        }
+    }
+    for (o, &x) in out[main..].iter_mut().zip(&input[main..]) {
+        *o = kind.apply(x);
+    }
+}
+
+/// Slice-level binary kernel: `out[i] = kind.apply(lhs[i], rhs[i])`.  No
+/// broadcasting — all three slices must have the same length (callers that
+/// need broadcast go through [`binary`]).
+pub fn map_binary(kind: BinaryKind, lhs: &[f32], rhs: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(lhs.len(), out.len());
+    debug_assert_eq!(rhs.len(), out.len());
+    const W: usize = 8;
+    let main = out.len() - out.len() % W;
+    for ((oc, lc), rc) in out[..main]
+        .chunks_exact_mut(W)
+        .zip(lhs[..main].chunks_exact(W))
+        .zip(rhs[..main].chunks_exact(W))
+    {
+        for ((o, &a), &b) in oc.iter_mut().zip(lc).zip(rc) {
+            *o = kind.apply(a, b);
+        }
+    }
+    for ((o, &a), &b) in out[main..].iter_mut().zip(&lhs[main..]).zip(&rhs[main..]) {
+        *o = kind.apply(a, b);
+    }
+}
+
 /// Applies `f` to every element of the input.
 pub(crate) fn unary(input: RawInput<'_>, out: &mut [f32], f: impl Fn(f32) -> f32) -> Result<()> {
     debug_assert_eq!(input.0.len(), out.len());
@@ -95,5 +207,45 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[3, 2]);
         assert!(execute(&PrimOp::Add, &[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn map_kernels_match_reference_bits() {
+        use super::{map_binary, map_unary, BinaryKind, UnaryKind};
+        // Lengths around the chunk width exercise main loop + remainder.
+        for n in [0usize, 1, 7, 8, 9, 16, 29] {
+            let xs: Vec<f32> = (0..n).map(|i| (i as f32 - 3.5) * 0.7).collect();
+            let ys: Vec<f32> = (0..n).map(|i| (i as f32 + 0.5) * -0.3).collect();
+            for kind in [
+                UnaryKind::Relu,
+                UnaryKind::Sigmoid,
+                UnaryKind::Tanh,
+                UnaryKind::Exp,
+                UnaryKind::Log,
+                UnaryKind::Neg,
+                UnaryKind::Sqrt,
+                UnaryKind::Gelu,
+            ] {
+                let mut a = vec![0.0f32; n];
+                let mut b = vec![0.0f32; n];
+                map_unary(kind, &xs, &mut a);
+                let shape = crate::Shape::new(&[n]);
+                super::super::elementwise::unary((&xs, &shape), &mut b, |x| kind.apply(x)).unwrap();
+                assert!(a.iter().zip(&b).all(|(p, q)| p.to_bits() == q.to_bits()), "{kind:?}");
+            }
+            for kind in [
+                BinaryKind::Add,
+                BinaryKind::Sub,
+                BinaryKind::Mul,
+                BinaryKind::Div,
+                BinaryKind::Maximum,
+            ] {
+                let mut a = vec![0.0f32; n];
+                map_binary(kind, &xs, &ys, &mut a);
+                let expect: Vec<f32> =
+                    xs.iter().zip(&ys).map(|(&x, &y)| kind.apply(x, y)).collect();
+                assert!(a.iter().zip(&expect).all(|(p, q)| p.to_bits() == q.to_bits()), "{kind:?}");
+            }
+        }
     }
 }

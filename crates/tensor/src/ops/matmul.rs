@@ -31,18 +31,72 @@ pub(crate) fn matmul(lhs: RawInput<'_>, rhs: RawInput<'_>, out: &mut [f32]) -> R
     let (m, k) = lhs.1.as_matrix()?;
     let (_, n) = rhs.1.as_matrix()?;
     debug_assert_eq!(out.len(), m * n);
+    matmul_raw(lhs.0, rhs.0, out, m, k, n);
+    Ok(())
+}
+
+/// The i-k-j multiply on raw slices with pre-resolved dimensions.
+///
+/// Shared verbatim by [`matmul`] and by specialized kernels that resolve the
+/// matrix dimensions once at compile time — both paths accumulate in the
+/// exact same order, so their results agree bit for bit.
+pub fn matmul_raw(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(out.len(), m * n);
     out.fill(0.0);
     for i in 0..m {
-        let a_row = &lhs.0[i * k..(i + 1) * k];
+        let a_row = &a[i * k..(i + 1) * k];
         let o_row = &mut out[i * n..(i + 1) * n];
-        for (kk, &a) in a_row.iter().enumerate() {
-            let b_row = &rhs.0[kk * n..(kk + 1) * n];
-            for (o, &b) in o_row.iter_mut().zip(b_row) {
-                *o += a * b;
+        for (kk, &av) in a_row.iter().enumerate() {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv;
             }
         }
     }
-    Ok(())
+}
+
+/// [`matmul_raw`] with output rows processed four at a time.
+///
+/// Every output row still accumulates in the reference `k`-then-`j` order
+/// from its own left row and the shared right operand, so each row's bits
+/// are exactly [`matmul_raw`]'s — row blocking only interleaves *independent*
+/// rows, loading each right-operand row once per block instead of once per
+/// row.  Used by specialized kernels on lane-stacked multiplies, where `m`
+/// is the batch dimension and large.
+pub fn matmul_raw_blocked(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    let blocks = m / 4;
+    for blk in 0..blocks {
+        let i = blk * 4;
+        let a_blk = &a[i * k..(i + 4) * k];
+        let (o0, rest) = out[i * n..(i + 4) * n].split_at_mut(n);
+        let (o1, rest) = rest.split_at_mut(n);
+        let (o2, o3) = rest.split_at_mut(n);
+        for kk in 0..k {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            let (av0, av1, av2, av3) =
+                (a_blk[kk], a_blk[k + kk], a_blk[2 * k + kk], a_blk[3 * k + kk]);
+            for ((((o0, o1), o2), o3), &bv) in
+                o0.iter_mut().zip(o1.iter_mut()).zip(o2.iter_mut()).zip(o3.iter_mut()).zip(b_row)
+            {
+                *o0 += av0 * bv;
+                *o1 += av1 * bv;
+                *o2 += av2 * bv;
+                *o3 += av3 * bv;
+            }
+        }
+    }
+    for i in blocks * 4..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +138,24 @@ mod tests {
         let out = execute(&PrimOp::MatMul, &[&a, &b]).unwrap();
         assert_eq!(out.shape().dims(), &[1, 2]);
         assert_eq!(out.data(), &[16.0, 22.0]);
+    }
+
+    #[test]
+    fn blocked_matches_reference_bits() {
+        // Awkward sizes: tail rows, k/n not multiples of the block width.
+        for (m, k, n) in [(1, 3, 5), (4, 4, 4), (6, 7, 3), (13, 5, 9), (64, 16, 16)] {
+            let a: Vec<f32> =
+                (0..m * k).map(|i| ((i * 37 + 11) % 97) as f32 * 0.173 - 7.0).collect();
+            let b: Vec<f32> =
+                (0..k * n).map(|i| ((i * 53 + 29) % 89) as f32 * 0.091 - 4.0).collect();
+            let mut want = vec![0.0; m * n];
+            let mut got = vec![1.0; m * n];
+            super::matmul_raw(&a, &b, &mut want, m, k, n);
+            super::matmul_raw_blocked(&a, &b, &mut got, m, k, n);
+            for (w, g) in want.iter().zip(&got) {
+                assert_eq!(w.to_bits(), g.to_bits(), "({m},{k},{n})");
+            }
+        }
     }
 
     #[test]

@@ -18,6 +18,9 @@ use std::hash::{Hash, Hasher};
 
 use serde::{Deserialize, Serialize};
 
+pub use elementwise::{map_binary, map_unary, BinaryKind, UnaryKind};
+pub use matmul::{matmul_raw, matmul_raw_blocked};
+
 use crate::{Result, Shape, Tensor, TensorError};
 
 /// A primitive tensor operator.
@@ -199,6 +202,35 @@ impl PrimOp {
         )
     }
 
+    /// The scalar semantics of a unary elementwise operator, if `self` is
+    /// one (see [`UnaryKind`] — the function both execution paths share).
+    pub fn unary_kind(&self) -> Option<UnaryKind> {
+        match self {
+            PrimOp::Relu => Some(UnaryKind::Relu),
+            PrimOp::Sigmoid => Some(UnaryKind::Sigmoid),
+            PrimOp::Tanh => Some(UnaryKind::Tanh),
+            PrimOp::Exp => Some(UnaryKind::Exp),
+            PrimOp::Log => Some(UnaryKind::Log),
+            PrimOp::Neg => Some(UnaryKind::Neg),
+            PrimOp::Sqrt => Some(UnaryKind::Sqrt),
+            PrimOp::Gelu => Some(UnaryKind::Gelu),
+            _ => None,
+        }
+    }
+
+    /// The scalar semantics of a binary elementwise operator, if `self` is
+    /// one (see [`BinaryKind`]).
+    pub fn binary_kind(&self) -> Option<BinaryKind> {
+        match self {
+            PrimOp::Add => Some(BinaryKind::Add),
+            PrimOp::Sub => Some(BinaryKind::Sub),
+            PrimOp::Mul => Some(BinaryKind::Mul),
+            PrimOp::Div => Some(BinaryKind::Div),
+            PrimOp::Maximum => Some(BinaryKind::Maximum),
+            _ => None,
+        }
+    }
+
     /// Whether the operator only rearranges or relabels memory.
     ///
     /// These are the "memory copy operators" the paper force-fuses with their
@@ -372,19 +404,21 @@ pub fn execute_slices(op: &PrimOp, inputs: &[RawInput<'_>], out: &mut [f32]) -> 
 /// batched paths.
 pub(crate) fn execute_raw(op: &PrimOp, inputs: &[RawInput<'_>], out: &mut [f32]) -> Result<()> {
     match op {
-        PrimOp::Relu => elementwise::unary(inputs[0], out, |x| x.max(0.0)),
-        PrimOp::Sigmoid => elementwise::unary(inputs[0], out, |x| 1.0 / (1.0 + (-x).exp())),
-        PrimOp::Tanh => elementwise::unary(inputs[0], out, f32::tanh),
-        PrimOp::Exp => elementwise::unary(inputs[0], out, f32::exp),
-        PrimOp::Log => elementwise::unary(inputs[0], out, f32::ln),
-        PrimOp::Neg => elementwise::unary(inputs[0], out, |x| -x),
-        PrimOp::Sqrt => elementwise::unary(inputs[0], out, f32::sqrt),
-        PrimOp::Gelu => elementwise::unary(inputs[0], out, nn::gelu_scalar),
-        PrimOp::Add => elementwise::binary(inputs[0], inputs[1], out, |a, b| a + b),
-        PrimOp::Sub => elementwise::binary(inputs[0], inputs[1], out, |a, b| a - b),
-        PrimOp::Mul => elementwise::binary(inputs[0], inputs[1], out, |a, b| a * b),
-        PrimOp::Div => elementwise::binary(inputs[0], inputs[1], out, |a, b| a / b),
-        PrimOp::Maximum => elementwise::binary(inputs[0], inputs[1], out, f32::max),
+        PrimOp::Relu
+        | PrimOp::Sigmoid
+        | PrimOp::Tanh
+        | PrimOp::Exp
+        | PrimOp::Log
+        | PrimOp::Neg
+        | PrimOp::Sqrt
+        | PrimOp::Gelu => {
+            let k = op.unary_kind().expect("unary elementwise op");
+            elementwise::unary(inputs[0], out, |x| k.apply(x))
+        }
+        PrimOp::Add | PrimOp::Sub | PrimOp::Mul | PrimOp::Div | PrimOp::Maximum => {
+            let k = op.binary_kind().expect("binary elementwise op");
+            elementwise::binary(inputs[0], inputs[1], out, |a, b| k.apply(a, b))
+        }
         PrimOp::MatMul => matmul::matmul(inputs[0], inputs[1], out),
         PrimOp::SumRows => reduce::reduce(inputs[0], out, reduce::Reduction::Sum),
         PrimOp::MeanRows => reduce::reduce(inputs[0], out, reduce::Reduction::Mean),

@@ -272,6 +272,7 @@ fn demux_stats(total: &RuntimeStats, counts: &[usize]) -> Vec<RuntimeStats> {
         retry_backoff_us,
         plan_sig_us,
         host_wall_us,
+        exec_wall_us,
         program_host_us,
     );
     split_u!(
@@ -293,6 +294,9 @@ fn demux_stats(total: &RuntimeStats, counts: &[usize]) -> Vec<RuntimeStats> {
         plan_cache_evictions,
         shared_flushes,
         solo_flushes,
+        backend_compiles,
+        backend_hits,
+        backend_interp_falls,
     );
     for s in &mut out {
         // Peak device residency was genuinely shared: every member saw it

@@ -52,6 +52,12 @@ RUST_TEST_THREADS=4 cargo test -q -p acrobat-bench --test broker_isolation
 echo "==> continuous batching smoke (open-loop Poisson trace: broker-on p99 + throughput strictly beat broker-off, ledger balances)"
 cargo run --release -p acrobat-bench --bin continuous_batching -- --smoke
 
+echo "==> backend identity smoke (specialized backend bit-identical to the interpreter, modeled stats invariant)"
+cargo run --release -p acrobat-bench --bin kernel_backend -- --smoke
+
+echo "==> kernel backend regression tests (PGO gating, checked mode, cache sharing, retune invalidation)"
+cargo test -q -p acrobat-bench --test kernel_backend
+
 echo "==> fiber determinism smoke (lane-canonical signatures invariant across worker counts)"
 fiber_w1=$(cargo run --release -p acrobat-bench --bin fiber_determinism -- --workers 1)
 fiber_w4=$(cargo run --release -p acrobat-bench --bin fiber_determinism -- --workers 4)

@@ -253,6 +253,46 @@ fn chaos_member_never_poisons_peers() {
     );
 }
 
+/// The specialized kernel backend under cross-request batching: a 3-member
+/// cohort running with `backend = spec` (threshold 1, so every launch runs
+/// compiled) demuxes to outputs bit-identical to interpreter-backend solo
+/// runs.  Cohort lane layouts differ from solo layouts, so this crosses
+/// the backend-identity contract with the co-batching-invisibility
+/// contract in one shot.
+#[test]
+fn cohort_spec_backend_matches_interp_solo() {
+    let spec = suite(ModelSize::Small, true)
+        .into_iter()
+        .find(|s| s.properties.tensor_dependent)
+        .expect("a tensor-dependent quick model");
+    let reference_model = build(&spec, &CompileOptions::default());
+    let members = member_batches(&spec, 3, 2);
+    let solo = solo_references(&reference_model, &spec.params, &members);
+
+    let cohort_model = build(
+        &spec,
+        &CompileOptions::default()
+            .with_kernel_backend(acrobat_codegen::KernelBackendKind::Spec)
+            .with_spec_threshold(1),
+    );
+    let requests: Vec<CohortRequest<'_>> = members
+        .iter()
+        .map(|inst| CohortRequest {
+            params: &spec.params,
+            instances: inst,
+            opts: RunOptions::default(),
+        })
+        .collect();
+    for (m, result) in cohort_model.run_cohort(&requests).into_iter().enumerate() {
+        let result = result.unwrap_or_else(|e| panic!("spec cohort member {m} failed: {e}"));
+        assert_outputs_equal(&spec, &solo[m], &result.outputs, "spec cohort member");
+    }
+    let agg = cohort_model.stats();
+    assert!(agg.shared_flushes > 0, "cohort co-batched across requests");
+    assert!(agg.backend_compiles + agg.backend_hits > 0, "cohort ran compiled kernels");
+    assert_eq!(agg.backend_interp_falls, 0, "threshold 1 never falls back");
+}
+
 /// The background broker queue (`RuntimeOptions::broker`): concurrent
 /// `run` calls routed through `BatchBroker::submit` return bit-identical
 /// outputs to a broker-off model, and every request passes through exactly

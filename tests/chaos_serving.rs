@@ -40,12 +40,20 @@ fn build(spec: &ModelSpec, options: &CompileOptions) -> Model {
 /// so outputs are comparable bit for bit.  `parallel_workers > 0` also
 /// exercises the worker-pool kernel execution path under chaos;
 /// `plan_cache` turns on flush-plan memoization (the reference stays
-/// cache-off, so survivor equality also proves cache-on ≡ cache-off).
-fn chaos_options(parallel_workers: usize, plan_cache: bool) -> CompileOptions {
+/// cache-off, so survivor equality also proves cache-on ≡ cache-off);
+/// `spec_backend` switches the chaos model to the specialized kernel
+/// backend at threshold 1 (the reference stays on the interpreter, so
+/// survivor equality also proves spec ≡ interp under chaos).
+fn chaos_options(parallel_workers: usize, plan_cache: bool, spec_backend: bool) -> CompileOptions {
     let mut options = CompileOptions::default();
     options.runtime.retry = RetryPolicy { max_retries: 3, backoff_base_us: 10.0 };
     options.runtime.parallel_workers = parallel_workers;
     options.runtime.plan_cache = plan_cache;
+    if spec_backend {
+        options = options
+            .with_kernel_backend(acrobat_codegen::KernelBackendKind::Spec)
+            .with_spec_threshold(1);
+    }
     options
 }
 
@@ -120,12 +128,14 @@ fn chaos_round(
     seed: u64,
     parallel_workers: usize,
     plan_cache: bool,
+    spec_backend: bool,
 ) {
-    let options = chaos_options(parallel_workers, plan_cache);
-    // Fault-free serial reference on a separate cache-off model, so the
-    // chaos model's outcome ledger stays exactly the chaos traffic — and,
-    // with `plan_cache`, survivors additionally prove cache-on ≡ cache-off.
-    let reference_model = build(spec, &chaos_options(parallel_workers, false));
+    let options = chaos_options(parallel_workers, plan_cache, spec_backend);
+    // Fault-free serial reference on a separate cache-off, interpreter-only
+    // model, so the chaos model's outcome ledger stays exactly the chaos
+    // traffic — and, with `plan_cache` or `spec_backend`, survivors
+    // additionally prove cache-on ≡ cache-off and spec ≡ interp.
+    let reference_model = build(spec, &chaos_options(parallel_workers, false, false));
     let instances = (spec.make_instances)(0xC8A0, 4);
     let reference =
         reference_model.run(&spec.params, &instances).expect("fault-free reference").outputs;
@@ -265,6 +275,16 @@ fn chaos_round(
     sum_eq!(plan_cache_hits);
     sum_eq!(plan_cache_misses);
     sum_eq!(plan_cache_evictions);
+    sum_eq!(backend_compiles);
+    sum_eq!(backend_hits);
+    sum_eq!(backend_interp_falls);
+    if spec_backend {
+        assert!(
+            agg.backend_compiles + agg.backend_hits > 0,
+            "{}: the spec-backend round actually ran compiled kernels",
+            spec.name
+        );
+    }
 
     // The model stays healthy after the storm.
     let after = model.run(&spec.params, &instances).expect("run after chaos").outputs;
@@ -276,7 +296,7 @@ fn chaos_round(
 #[test]
 fn chaos_serving_sequential_model() {
     let spec = suite(ModelSize::Small, true).remove(0);
-    chaos_round(&spec, 4, 6, 0xC0A5_0001, 0, false);
+    chaos_round(&spec, 4, 6, 0xC0A5_0001, 0, false, false);
 }
 
 /// Chaos over the fiber-mode model (DRNN: tensor-dependent control flow,
@@ -284,7 +304,7 @@ fn chaos_serving_sequential_model() {
 #[test]
 fn chaos_serving_fiber_model() {
     let spec = suite(ModelSize::Small, true).remove(4);
-    chaos_round(&spec, 3, 4, 0xC0A5_0002, 0, false);
+    chaos_round(&spec, 3, 4, 0xC0A5_0002, 0, false, false);
 }
 
 /// The sequential-model chaos round with worker-pool kernel execution:
@@ -294,14 +314,14 @@ fn chaos_serving_fiber_model() {
 #[test]
 fn chaos_serving_sequential_model_parallel_exec() {
     let spec = suite(ModelSize::Small, true).remove(0);
-    chaos_round(&spec, 4, 6, 0xC0A5_0003, 4, false);
+    chaos_round(&spec, 4, 6, 0xC0A5_0003, 4, false, false);
 }
 
 /// The fiber-model chaos round with worker-pool kernel execution.
 #[test]
 fn chaos_serving_fiber_model_parallel_exec() {
     let spec = suite(ModelSize::Small, true).remove(4);
-    chaos_round(&spec, 3, 4, 0xC0A5_0004, 4, false);
+    chaos_round(&spec, 3, 4, 0xC0A5_0004, 4, false, false);
 }
 
 /// The sequential-model chaos round with flush-plan memoization on: every
@@ -311,14 +331,34 @@ fn chaos_serving_fiber_model_parallel_exec() {
 #[test]
 fn chaos_serving_sequential_model_plan_cache() {
     let spec = suite(ModelSize::Small, true).remove(0);
-    chaos_round(&spec, 4, 6, 0xC0A5_0005, 0, true);
+    chaos_round(&spec, 4, 6, 0xC0A5_0005, 0, true, false);
 }
 
 /// The fiber-model chaos round with flush-plan memoization on.
 #[test]
 fn chaos_serving_fiber_model_plan_cache() {
     let spec = suite(ModelSize::Small, true).remove(4);
-    chaos_round(&spec, 3, 4, 0xC0A5_0006, 0, true);
+    chaos_round(&spec, 3, 4, 0xC0A5_0006, 0, true, false);
+}
+
+/// The sequential-model chaos round on the specialized kernel backend:
+/// survivors (including storm-hit requests rescued by retry) must stay
+/// bit-for-bit identical to the *interpreter* fault-free reference, and
+/// aborted flushes must roll the backend launch counters back with the
+/// rest of the per-run statistics.
+#[test]
+fn chaos_serving_sequential_model_spec_backend() {
+    let spec = suite(ModelSize::Small, true).remove(0);
+    chaos_round(&spec, 4, 6, 0xC0A5_0007, 0, false, true);
+}
+
+/// The fiber-model chaos round on the specialized kernel backend, with
+/// worker-pool execution: parallel workers race on the shared
+/// compiled-kernel cache while disruptions poison suspended fibers.
+#[test]
+fn chaos_serving_fiber_model_spec_backend() {
+    let spec = suite(ModelSize::Small, true).remove(4);
+    chaos_round(&spec, 3, 4, 0xC0A5_0008, 4, false, true);
 }
 
 /// Deterministic load shedding: with `max_in_flight = 1` and the single
@@ -408,10 +448,10 @@ fn serial_fault_storm_sweep_is_classified_and_consistent() {
     // survive identically whether kernels run sequentially or on the
     // worker pool (fault occurrence order is prepare-phase, plan-order).
     for parallel_workers in [0usize, 4] {
-        let model = build(&spec, &chaos_options(parallel_workers, false));
+        let model = build(&spec, &chaos_options(parallel_workers, false, false));
         let instances = (spec.make_instances)(0x5707, 3);
         let reference = {
-            let clean = build(&spec, &chaos_options(parallel_workers, false));
+            let clean = build(&spec, &chaos_options(parallel_workers, false, false));
             clean.run(&spec.params, &instances).expect("reference").outputs
         };
 

@@ -3,14 +3,17 @@
 //!
 //! Every generated program/workload must agree **bit-for-bit** across:
 //! the host reference evaluator, all three schedulers × gather-fusion ×
-//! coarsening × plan-cache {off, on} × broker {off, on} (checked mode —
-//! every cache hit is gated by the cached ≡ freshly-scheduled invariant,
-//! and broker-on routes through `BatchBroker::submit` + the cohort path),
+//! coarsening × plan-cache {off, on} × broker {off, on} × kernel backend
+//! {interp, spec} (checked mode — every cache hit is gated by the cached
+//! ≡ freshly-scheduled invariant, broker-on routes through
+//! `BatchBroker::submit` + the cohort path, and spec-backend launches are
+//! each re-executed through the interpreter and bit-compared),
 //! unbatched eager execution, a two-member `run_cohort` split of the
 //! instance stream, and the DyNet-sim baseline.  The `fuzz` binary runs
 //! the same generators at larger scale (`--cases 500` by default).
 
 use acrobat_bench::fuzz::{config_matrix, dag_outputs, FuzzCase};
+use acrobat_codegen::KernelBackendKind;
 use acrobat_runtime::{RuntimeOptions, SchedulerKind};
 use acrobat_tensor::Tensor;
 
@@ -73,22 +76,29 @@ fn random_dag_workloads_agree_bit_for_bit() {
             for gather_fusion in [false, true] {
                 for parallel_workers in [0, 3] {
                     for plan_cache in [false, true] {
-                        let options = RuntimeOptions {
-                            scheduler,
-                            gather_fusion,
-                            checked: true,
-                            parallel_workers,
-                            plan_cache,
-                            ..RuntimeOptions::default()
-                        };
-                        let got = dag_outputs(case_seed, &options)
-                            .unwrap_or_else(|e| panic!("seed {case_seed} {scheduler:?}: {e}"));
-                        assert_eq!(
-                            bits(&got),
-                            want,
-                            "seed {case_seed} {scheduler:?}/gf={gather_fusion}\
-                             /par={parallel_workers}/pc={plan_cache} diverged from eager"
-                        );
+                        for backend in [KernelBackendKind::Interp, KernelBackendKind::Spec] {
+                            let options = RuntimeOptions {
+                                scheduler,
+                                gather_fusion,
+                                checked: true,
+                                parallel_workers,
+                                plan_cache,
+                                backend,
+                                // The generated DAGs run on a fresh engine,
+                                // so compile from the first launch.
+                                spec_threshold: 1,
+                                ..RuntimeOptions::default()
+                            };
+                            let got = dag_outputs(case_seed, &options)
+                                .unwrap_or_else(|e| panic!("seed {case_seed} {scheduler:?}: {e}"));
+                            assert_eq!(
+                                bits(&got),
+                                want,
+                                "seed {case_seed} {scheduler:?}/gf={gather_fusion}\
+                                 /par={parallel_workers}/pc={plan_cache}/be={backend:?} \
+                                 diverged from eager"
+                            );
+                        }
                     }
                 }
             }

@@ -1,0 +1,188 @@
+//! Integration tests for the kernel-backend abstraction
+//! (`acrobat_codegen::backend`): specialized execution is bit-for-bit
+//! identical to the reference interpreter across the model suite, modeled
+//! statistics are backend-invariant, checked mode cross-validates every
+//! compiled launch, and an engine retune (PGO) invalidates the
+//! compiled-kernel cache exactly like it invalidates the plan cache.
+
+use acrobat_bench::suite;
+use acrobat_codegen::KernelBackendKind;
+use acrobat_core::{compile, CompileOptions, Model};
+use acrobat_models::{ModelSize, ModelSpec};
+use acrobat_vm::OutputValue;
+
+fn assert_bit_identical(spec: &ModelSpec, want: &[OutputValue], got: &[OutputValue], label: &str) {
+    assert_eq!(want.len(), got.len(), "{}: {label}: instance count", spec.name);
+    for (i, (w, g)) in want.iter().zip(got).enumerate() {
+        let (wt, gt) = ((spec.flatten_output)(w), (spec.flatten_output)(g));
+        assert_eq!(wt.len(), gt.len(), "{}: {label}: instance {i} tensor count", spec.name);
+        for (j, (a, b)) in wt.iter().zip(&gt).enumerate() {
+            assert_eq!(a.data(), b.data(), "{}: {label}: instance {i} tensor {j}", spec.name);
+        }
+    }
+}
+
+fn build(spec: &ModelSpec, options: &CompileOptions) -> Model {
+    compile(&spec.source, options).unwrap_or_else(|e| panic!("{} compiles: {e}", spec.name))
+}
+
+/// The specialized backend must be bit-for-bit identical to the
+/// interpreter over the whole quick suite — on the cold request (kernels
+/// compile mid-run) and on warm steady-state requests (cache hits) — and
+/// every *modeled* statistic must be backend-invariant: the backend only
+/// changes how the execute phase runs on the host, never what is modeled.
+#[test]
+fn spec_matches_interp_bit_for_bit_across_suite() {
+    for spec in suite(ModelSize::Small, true) {
+        let instances = (spec.make_instances)(0xBACE, 4);
+        let interp = build(&spec, &CompileOptions::default());
+        let specialized = build(
+            &spec,
+            &CompileOptions::default()
+                .with_kernel_backend(KernelBackendKind::Spec)
+                .with_spec_threshold(1),
+        );
+        let want = interp.run(&spec.params, &instances).expect("interp run");
+        for round in 0..3 {
+            let got = specialized.run(&spec.params, &instances).expect("spec run");
+            assert_bit_identical(&spec, &want.outputs, &got.outputs, &format!("round {round}"));
+            assert_eq!(
+                want.stats.kernel_launches, got.stats.kernel_launches,
+                "{}: modeled launches are backend-invariant",
+                spec.name
+            );
+            assert_eq!(
+                want.stats.kernel_time_us, got.stats.kernel_time_us,
+                "{}: modeled kernel time is backend-invariant",
+                spec.name
+            );
+            assert_eq!(
+                want.stats.gather_bytes, got.stats.gather_bytes,
+                "{}: modeled gather traffic is backend-invariant",
+                spec.name
+            );
+        }
+        // The interpreter backend never touches the backend counters...
+        assert_eq!(want.stats.backend_compiles, 0, "{}: interp compiles", spec.name);
+        assert_eq!(want.stats.backend_hits, 0, "{}: interp hits", spec.name);
+        assert_eq!(want.stats.backend_interp_falls, 0, "{}: interp falls", spec.name);
+        // ...while with threshold 1 every launch of the specialized model
+        // runs compiled.
+        let agg = specialized.stats();
+        assert!(agg.backend_compiles > 0, "{}: specialized backend compiled nothing", spec.name);
+        assert!(agg.backend_hits > 0, "{}: compiled kernels were never reused", spec.name);
+        assert_eq!(agg.backend_interp_falls, 0, "{}: threshold 1 must never fall back", spec.name);
+    }
+}
+
+/// With the default compile threshold, cold kernels interpret their first
+/// launches (counted as fallbacks) and hot kernels graduate to compiled
+/// execution — all within one serving session, with identical outputs.
+#[test]
+fn default_threshold_mixes_interp_and_compiled() {
+    let spec = &suite(ModelSize::Small, true)[0]; // TreeLSTM: recursive, hot kernels
+    let instances = (spec.make_instances)(0x7E57, 4);
+    let interp = build(spec, &CompileOptions::default());
+    let specialized =
+        build(spec, &CompileOptions::default().with_kernel_backend(KernelBackendKind::Spec));
+    let want = interp.run(&spec.params, &instances).expect("interp run");
+    for _ in 0..4 {
+        let got = specialized.run(&spec.params, &instances).expect("spec run");
+        assert_bit_identical(spec, &want.outputs, &got.outputs, "default threshold");
+    }
+    let agg = specialized.stats();
+    assert!(agg.backend_compiles > 0, "hot kernels compile");
+    assert!(agg.backend_hits > 0, "compiled kernels are reused");
+    let total = agg.backend_compiles + agg.backend_hits + agg.backend_interp_falls;
+    assert_eq!(total, agg.kernel_launches, "every launch is classified exactly once");
+}
+
+/// Checked mode re-executes every compiled launch through the interpreter
+/// and compares output bits — the strongest identity gate; a run
+/// completing cleanly means every single compiled launch matched.
+#[test]
+fn checked_mode_validates_every_compiled_launch() {
+    for spec in suite(ModelSize::Small, true).iter().take(3) {
+        let instances = (spec.make_instances)(0xC4EC, 3);
+        let model = build(
+            spec,
+            &CompileOptions::default()
+                .with_kernel_backend(KernelBackendKind::Spec)
+                .with_spec_threshold(1)
+                .with_checked(true),
+        );
+        let r = model.run(&spec.params, &instances).expect("checked spec run");
+        assert!(
+            r.stats.backend_compiles + r.stats.backend_hits > 0,
+            "{}: checked run exercised the compiled path",
+            spec.name
+        );
+    }
+}
+
+/// Parallel workers share the engine-resident compiled-kernel cache and
+/// produce bit-identical outputs to sequential specialized execution.
+#[test]
+fn parallel_workers_share_compiled_cache() {
+    let spec = &suite(ModelSize::Small, true)[3]; // NestedRNN: deep same-level plans
+    let instances = (spec.make_instances)(0x9A12, 4);
+    let seq = build(
+        spec,
+        &CompileOptions::default()
+            .with_kernel_backend(KernelBackendKind::Spec)
+            .with_spec_threshold(1),
+    );
+    let mut par_options = CompileOptions::default()
+        .with_kernel_backend(KernelBackendKind::Spec)
+        .with_spec_threshold(1);
+    par_options.runtime.parallel_workers = 4;
+    let par = build(spec, &par_options);
+    let want = seq.run(&spec.params, &instances).expect("sequential spec run");
+    let got = par.run(&spec.params, &instances).expect("parallel spec run");
+    assert_bit_identical(spec, &want.outputs, &got.outputs, "parallel vs sequential");
+    assert!(got.stats.backend_compiles + got.stats.backend_hits > 0, "parallel compiled path ran");
+}
+
+/// An engine retune (PGO) must invalidate the compiled-kernel cache: the
+/// retuned library can carry different schedules, so stale compiled
+/// kernels must not survive the swap.  Mirrors the plan-cache
+/// invalidation contract.
+#[test]
+fn retune_invalidates_compiled_kernel_cache() {
+    let spec = &suite(ModelSize::Small, true)[0];
+    let instances = (spec.make_instances)(0x9107, 4);
+    let mut model = build(
+        spec,
+        &CompileOptions::default()
+            .with_kernel_backend(KernelBackendKind::Spec)
+            .with_spec_threshold(1),
+    );
+    let interp = build(spec, &CompileOptions::default());
+    let want = interp.run(&spec.params, &instances).expect("interp reference");
+
+    // Cold engine: first run compiles.
+    let r1 = model.run(&spec.params, &instances).expect("cold run");
+    assert!(r1.stats.backend_compiles > 0, "cold run compiles");
+    let session = &model.executable().session;
+    let compiled_before = session.engine().backend().compiled_count();
+    assert!(compiled_before > 0, "engine cache holds compiled kernels");
+
+    // Warm engine: steady state is all cache hits, zero fresh compiles.
+    let r2 = model.run(&spec.params, &instances).expect("warm run");
+    assert_eq!(r2.stats.backend_compiles, 0, "warm run compiles nothing");
+    assert!(r2.stats.backend_hits > 0, "warm run hits the compiled cache");
+
+    // PGO retune: swaps the engine; the new backend starts empty (stale
+    // compiled kernels die with the old engine) and is re-seeded from the
+    // aggregated profile, so hot kernels recompile on first launch.
+    model.apply_pgo(&spec.params, &instances).expect("pgo retune");
+    let session = &model.executable().session;
+    assert_eq!(
+        session.engine().backend().compiled_count(),
+        0,
+        "retuned engine starts with an empty compiled-kernel cache"
+    );
+    let r3 = model.run(&spec.params, &instances).expect("post-retune run");
+    assert!(r3.stats.backend_compiles > 0, "post-retune run recompiles");
+    assert_bit_identical(spec, &want.outputs, &r3.outputs, "post-retune outputs");
+}
